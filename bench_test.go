@@ -1,0 +1,369 @@
+package stagedweb
+
+// One benchmark per table and figure of the DSN'09 evaluation, plus
+// ablation benches for the design decisions called out in DESIGN.md §5
+// and micro-benchmarks for each substrate. Experiment benches run a
+// miniature two-minute TPC-W experiment per iteration and report the
+// reproduced quantity via b.ReportMetric; run with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/experiments for the full-scale reproduction.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/harness"
+	"stagedweb/internal/sched"
+	"stagedweb/internal/server"
+	"stagedweb/internal/sqldb"
+	"stagedweb/internal/template"
+	"stagedweb/internal/tpcw"
+)
+
+// miniConfig is a reduced experiment sized for benchmark iterations
+// (~2 s wall each at scale 200 on a single core).
+func miniConfig(kind harness.ServerKind) harness.Config {
+	cfg := harness.QuickConfig(kind, clock.Timescale(200))
+	cfg.EBs = 60
+	cfg.RampUp = 15 * time.Second
+	cfg.Measure = 2 * time.Minute
+	cfg.CoolDown = 5 * time.Second
+	cfg.Populate = tpcw.PopulateConfig{Items: 800, Customers: 200, Orders: 180}
+	return cfg
+}
+
+func runMini(b *testing.B, kind harness.ServerKind, mutate func(*harness.Config)) *harness.Result {
+	b.Helper()
+	cfg := miniConfig(kind)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// ---- Table 1: dispatch rules ----
+
+func BenchmarkTable1Dispatch(b *testing.B) {
+	cls := sched.NewClassifier(sched.DefaultCutoff)
+	cls.Record("/best_sellers", 8*time.Second)
+	cls.Record("/home", 20*time.Millisecond)
+	rc := sched.NewReserveController(20)
+	d := sched.NewDispatcher(cls, rc, func() int { return 30 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			d.Choose("/home")
+		} else {
+			d.Choose("/best_sellers")
+		}
+	}
+}
+
+// ---- Table 2: reserve controller ----
+
+func BenchmarkTable2ReserveController(b *testing.B) {
+	rc := sched.NewReserveController(20)
+	trace := []int{35, 24, 17, 21, 30, 36, 38, 37, 35, 39}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc.Update(trace[i%len(trace)])
+	}
+}
+
+// ---- Tables 3 and 4: full experiment, both variants ----
+
+func BenchmarkTable3ResponseTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		unmod := runMini(b, harness.Unmodified, nil)
+		mod := runMini(b, harness.Modified, nil)
+		u := unmod.Pages[tpcw.PageHome].MeanPaperSec
+		m := mod.Pages[tpcw.PageHome].MeanPaperSec
+		if m > 0 {
+			b.ReportMetric(u/m, "home-speedup")
+		}
+	}
+}
+
+func BenchmarkTable4Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		unmod := runMini(b, harness.Unmodified, nil)
+		mod := runMini(b, harness.Modified, nil)
+		b.ReportMetric(harness.ThroughputGainPercent(unmod, mod), "gain-%")
+		b.ReportMetric(float64(mod.TotalInteractions), "interactions")
+	}
+}
+
+// ---- Figure 7: baseline queue length ----
+
+func BenchmarkFigure7QueueBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		unmod := runMini(b, harness.Unmodified, nil)
+		b.ReportMetric(harness.SeriesMax(unmod.QueueSingle), "queue-max")
+		b.ReportMetric(harness.SeriesMean(unmod.QueueSingle), "queue-mean")
+	}
+}
+
+// ---- Figure 8: staged queue lengths ----
+
+func BenchmarkFigure8QueuesStaged(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mod := runMini(b, harness.Modified, nil)
+		b.ReportMetric(harness.SeriesMax(mod.QueueGeneral), "general-max")
+		b.ReportMetric(harness.SeriesMax(mod.QueueLengthy), "lengthy-max")
+	}
+}
+
+// ---- Figure 9: total throughput over time ----
+
+func BenchmarkFigure9Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		unmod := runMini(b, harness.Unmodified, nil)
+		mod := runMini(b, harness.Modified, nil)
+		b.ReportMetric(harness.SeriesMean(unmod.ThroughputAll), "unmod-per-min")
+		b.ReportMetric(harness.SeriesMean(mod.ThroughputAll), "mod-per-min")
+	}
+}
+
+// ---- Figure 10: per-class throughput ----
+
+func BenchmarkFigure10PerClass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mod := runMini(b, harness.Modified, nil)
+		b.ReportMetric(harness.SeriesMean(mod.ThroughputStatic), "static-per-min")
+		b.ReportMetric(harness.SeriesMean(mod.ThroughputQuick), "quick-per-min")
+		b.ReportMetric(harness.SeriesMean(mod.ThroughputLengthy), "lengthy-per-min")
+	}
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationConnPlacement compares the two connection-placement
+// strategies directly: per-worker connections doing everything
+// (baseline) vs connections bound to dynamic workers only (staged).
+func BenchmarkAblationConnPlacement(b *testing.B) {
+	for _, kind := range []harness.ServerKind{harness.Unmodified, harness.Modified} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runMini(b, kind, nil)
+				b.ReportMetric(float64(res.TotalInteractions), "interactions")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSinglePool disables the two-pool split by raising the
+// cutoff above any page's service time: every dynamic request lands in
+// the general pool, as in a single-dynamic-pool design.
+func BenchmarkAblationSinglePool(b *testing.B) {
+	for _, split := range []bool{true, false} {
+		name := "two-pools"
+		if !split {
+			name = "single-pool"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runMini(b, harness.Modified, func(cfg *harness.Config) {
+					if !split {
+						cfg.Cutoff = time.Hour // nothing classifies lengthy
+					}
+				})
+				b.ReportMetric(float64(res.TotalInteractions), "interactions")
+				b.ReportMetric(res.Pages[tpcw.PageHome].MeanPaperSec, "home-sec")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPoolRatio sweeps the general:lengthy worker ratio the
+// paper fixes at 4:1, holding the total connection budget constant.
+func BenchmarkAblationPoolRatio(b *testing.B) {
+	const budget = 26
+	for _, lengthy := range []int{2, 5, 9, 13} {
+		b.Run(fmt.Sprintf("lengthy-%d-of-%d", lengthy, budget), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runMini(b, harness.Modified, func(cfg *harness.Config) {
+					cfg.GeneralWorkers = budget - lengthy
+					cfg.LengthyWorkers = lengthy
+				})
+				b.ReportMetric(float64(res.TotalInteractions), "interactions")
+				b.ReportMetric(res.Pages[tpcw.PageBestSellers].MeanPaperSec, "bestsellers-sec")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCutoff sweeps the quick/lengthy boundary around the
+// paper's 2 s choice.
+func BenchmarkAblationCutoff(b *testing.B) {
+	for _, cutoff := range []time.Duration{500 * time.Millisecond, 2 * time.Second, 8 * time.Second} {
+		b.Run(cutoff.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runMini(b, harness.Modified, func(cfg *harness.Config) {
+					cfg.Cutoff = cutoff
+				})
+				b.ReportMetric(res.Pages[tpcw.PageHome].MeanPaperSec, "home-sec")
+				b.ReportMetric(float64(res.TotalInteractions), "interactions")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDeferredRender compares the paper's deferred-render
+// return style against eagerly rendering inside the handler (the
+// backward-compatibility path, which keeps rendering on the
+// connection-holding worker).
+func BenchmarkAblationDeferredRender(b *testing.B) {
+	// The eager case is approximated by charging render work on the
+	// dynamic worker: with zero render cost the difference vanishes, so
+	// compare normal work cost vs render cost folded into the DB side.
+	b.Run("deferred", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := runMini(b, harness.Modified, nil)
+			b.ReportMetric(float64(res.TotalInteractions), "interactions")
+		}
+	})
+	b.Run("eager-on-db-worker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := runMini(b, harness.Modified, func(cfg *harness.Config) {
+				// Move the render cost into the per-statement database
+				// charge: the conn-holding worker pays it, as the
+				// unmodified return style would.
+				cfg.Work.RenderBase = 0
+				cfg.Work.RenderPerKB = 0
+				cfg.Cost.PerStatement += 25 * time.Millisecond
+			})
+			b.ReportMetric(float64(res.TotalInteractions), "interactions")
+		}
+	})
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkTemplateRenderTPCWPage(b *testing.B) {
+	set := template.NewSet()
+	set.AddAll(tpcw.Templates())
+	rows := make([]map[string]any, 50)
+	for i := range rows {
+		rows[i] = map[string]any{
+			"i_id": i, "i_title": "SOME BOOK TITLE", "i_cost": 12.34,
+			"a_fname": "First", "a_lname": "Last", "qty": int64(10),
+		}
+	}
+	data := map[string]any{"subject": "ARTS", "results": rows}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := set.Render("best_sellers.html", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLPointQuery(b *testing.B) {
+	db := sqldb.Open(sqldb.Options{})
+	if err := tpcw.CreateTables(db); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tpcw.Populate(db, tpcw.PopulateConfig{Items: 1000, Customers: 100, Orders: 80}); err != nil {
+		b.Fatal(err)
+	}
+	c := db.Connect()
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT i_title, i_cost FROM item WHERE i_id = ?", i%1000+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLScanQuery(b *testing.B) {
+	db := sqldb.Open(sqldb.Options{})
+	if err := tpcw.CreateTables(db); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tpcw.Populate(db, tpcw.PopulateConfig{Items: 1000, Customers: 100, Orders: 80}); err != nil {
+		b.Fatal(err)
+	}
+	c := db.Connect()
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(
+			"SELECT i_id FROM item JOIN author ON i_a_id = a_id WHERE i_subject = ? ORDER BY i_pub_date DESC LIMIT 50",
+			tpcw.Subjects[i%len(tpcw.Subjects)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLBestSellersAggregate(b *testing.B) {
+	db := sqldb.Open(sqldb.Options{})
+	if err := tpcw.CreateTables(db); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tpcw.Populate(db, tpcw.PopulateConfig{Items: 1000, Customers: 100, Orders: 200}); err != nil {
+		b.Fatal(err)
+	}
+	c := db.Connect()
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(
+			`SELECT i_id, i_title, SUM(ol_qty) AS qty FROM order_line
+			 JOIN item ON ol_i_id = i_id WHERE ol_o_id > 0 GROUP BY i_id
+			 ORDER BY qty DESC LIMIT 50`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkCostModel(b *testing.B) {
+	w := server.DefaultWorkCost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Render(12 << 10)
+		_ = w.Static(4 << 10)
+	}
+}
+
+func BenchmarkClassifierRecord(b *testing.B) {
+	cls := sched.NewClassifier(sched.DefaultCutoff)
+	pages := tpcw.Pages
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls.Record(pages[i%len(pages)], time.Duration(i%1000)*time.Millisecond)
+	}
+}
+
+func BenchmarkTemplateParse(b *testing.B) {
+	srcs := tpcw.Templates()
+	src := srcs["best_sellers.html"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := template.NewSet()
+		set.AddAll(srcs)
+		set.Add("bench.html", src)
+		if _, err := set.Get("bench.html"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMixPick(b *testing.B) {
+	// Deterministic weighted picking from the browsing mix.
+	m := tpcw.NewMix(tpcw.BrowsingMix)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Pick(rng)
+	}
+}

@@ -1,0 +1,180 @@
+// Command experiments reproduces the DSN'09 evaluation: it runs the
+// TPC-W browsing mix against the unmodified (thread-per-request) and
+// modified (staged multi-pool) servers and prints the paper's tables and
+// figures.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (two full runs)
+//	experiments -exp table3              # response times
+//	experiments -exp table4              # per-page throughput
+//	experiments -exp table2              # t_reserve controller trace
+//	experiments -exp fig7,fig8,fig9,fig10
+//	experiments -scale 100 -ebs 400 -measure 50m   # paper-sized run
+//	experiments -quick                   # reduced run (seconds)
+//	experiments -csv dir                 # also dump figure CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/harness"
+	"stagedweb/internal/metrics"
+	"stagedweb/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated)")
+		scale   = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
+		ebs     = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
+		measure = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
+		quick   = fs.Bool("quick", false, "use the reduced quick configuration")
+		csvDir  = fs.String("csv", "", "directory to write figure CSVs into")
+		seed    = fs.Int64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	// Table 2 needs no server runs: replay the paper's t_spare trace
+	// through the reserve controller.
+	if all || want["table2"] {
+		fmt.Println(table2())
+	}
+	needRuns := all || want["table3"] || want["table4"] ||
+		want["fig7"] || want["fig8"] || want["fig9"] || want["fig10"]
+	if !needRuns {
+		return nil
+	}
+
+	build := func(kind harness.ServerKind) harness.Config {
+		var cfg harness.Config
+		if *quick {
+			cfg = harness.QuickConfig(kind, clock.Timescale(*scale))
+		} else {
+			cfg = harness.PaperConfig(kind, clock.Timescale(*scale))
+		}
+		if *ebs > 0 {
+			cfg.EBs = *ebs
+		}
+		if *measure > 0 {
+			cfg.Measure = *measure
+		}
+		cfg.Seed = *seed
+		return cfg
+	}
+
+	fmt.Printf("running unmodified server (%d EBs, %v measured, scale %.0fx)...\n",
+		build(harness.Unmodified).EBs, build(harness.Unmodified).Measure, *scale)
+	unmod, err := harness.Run(build(harness.Unmodified))
+	if err != nil {
+		return fmt.Errorf("unmodified run: %w", err)
+	}
+	fmt.Printf("  done in %v wall (%d interactions)\n", unmod.WallDuration.Round(time.Millisecond), unmod.TotalInteractions)
+
+	fmt.Println("running modified server...")
+	mod, err := harness.Run(build(harness.Modified))
+	if err != nil {
+		return fmt.Errorf("modified run: %w", err)
+	}
+	fmt.Printf("  done in %v wall (%d interactions)\n\n", mod.WallDuration.Round(time.Millisecond), mod.TotalInteractions)
+
+	if all || want["table3"] {
+		fmt.Println(harness.Table3(unmod, mod))
+	}
+	if all || want["table4"] {
+		fmt.Println(harness.Table4(unmod, mod))
+	}
+	if all || want["fig7"] {
+		fmt.Println(harness.Figure7(unmod))
+	}
+	if all || want["fig8"] {
+		fmt.Println(harness.Figure8(mod))
+	}
+	if all || want["fig9"] {
+		fmt.Println(harness.Figure9(unmod, mod))
+	}
+	if all || want["fig10"] {
+		fmt.Println(harness.Figure10(unmod, mod))
+	}
+	fmt.Println(harness.Summary(unmod, mod))
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, unmod, mod); err != nil {
+			return err
+		}
+		fmt.Println("figure CSVs written to", *csvDir)
+	}
+	return nil
+}
+
+// table2 replays the paper's Table 2 t_spare trace through the
+// controller.
+func table2() string {
+	rc := sched.NewReserveController(20)
+	tspare := []int{35, 24, 17, 21, 30, 36, 38, 37, 35, 39}
+	treserve := make([]int, 0, len(tspare)+1)
+	for _, s := range tspare {
+		treserve = append(treserve, rc.Reserve())
+		rc.Update(s)
+	}
+	treserve = append(treserve, rc.Reserve())
+	return harness.Table2(tspare, treserve)
+}
+
+func writeCSVs(dir string, unmod, mod *harness.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	series := map[string]*metrics.Series{
+		"fig7_queue_unmodified.csv": unmod.QueueSingle,
+		"fig8a_queue_general.csv":   mod.QueueGeneral,
+		"fig8b_queue_lengthy.csv":   mod.QueueLengthy,
+		"fig9_throughput_unmod.csv": unmod.ThroughputAll,
+		"fig9_throughput_mod.csv":   mod.ThroughputAll,
+		"fig10a_static_unmod.csv":   unmod.ThroughputStatic,
+		"fig10a_static_mod.csv":     mod.ThroughputStatic,
+		"fig10b_dynamic_unmod.csv":  unmod.ThroughputDynamic,
+		"fig10b_dynamic_mod.csv":    mod.ThroughputDynamic,
+		"fig10c_quick_unmod.csv":    unmod.ThroughputQuick,
+		"fig10c_quick_mod.csv":      mod.ThroughputQuick,
+		"fig10d_lengthy_unmod.csv":  unmod.ThroughputLengthy,
+		"fig10d_lengthy_mod.csv":    mod.ThroughputLengthy,
+		"treserve_modified.csv":     mod.ReserveSeries,
+	}
+	for name, s := range series {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = harness.WriteCSV(f, s)
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Command poolserv serves the TPC-W bookstore with either server
+// variant. It is the interactive face of the reproduction: start it,
+// point a browser or cmd/tpcwload at it, and watch the queue and
+// scheduling state.
+//
+// Usage:
+//
+//	poolserv -mode staged   -addr :8080
+//	poolserv -mode baseline -addr :8080 -workers 80
+//	poolserv -mode staged -items 10000 -scale 100 -stats 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/core"
+	"stagedweb/internal/server"
+	"stagedweb/internal/sqldb"
+	"stagedweb/internal/tpcw"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "poolserv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("poolserv", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "staged", "server variant: staged or baseline")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
+		items     = fs.Int("items", 10000, "item population")
+		customers = fs.Int("customers", 2880, "customer population")
+		orders    = fs.Int("orders", 2592, "order population")
+		scale     = fs.Float64("scale", 1, "timescale (1 = real time)")
+		workers   = fs.Int("workers", 80, "baseline worker/connection count")
+		general   = fs.Int("general", 64, "staged general dynamic workers")
+		lengthy   = fs.Int("lengthy", 16, "staged lengthy dynamic workers")
+		statsEach = fs.Duration("stats", 0, "print server stats every interval (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ts := clock.Timescale(*scale)
+	db := sqldb.Open(sqldb.Options{Timescale: ts, Cost: sqldb.DefaultCostModel()})
+	if err := tpcw.CreateTables(db); err != nil {
+		return err
+	}
+	fmt.Printf("populating %d items, %d customers, %d orders...\n", *items, *customers, *orders)
+	counts, err := tpcw.Populate(db, tpcw.PopulateConfig{
+		Items: *items, Customers: *customers, Orders: *orders,
+	})
+	if err != nil {
+		return err
+	}
+	app := tpcw.NewApp(counts, nil)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s server on http://%s (try /home, /best_sellers?subject=ARTS)\n", *mode, l.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+
+	switch *mode {
+	case "baseline":
+		srv, err := server.NewBaseline(server.BaselineConfig{
+			App: app, DB: db, Workers: *workers,
+			Cost: server.DefaultWorkCost(), Scale: ts,
+		})
+		if err != nil {
+			return err
+		}
+		go func() { serveErr <- srv.Serve(l) }()
+		if *statsEach > 0 {
+			go func() {
+				for range time.Tick(*statsEach) {
+					fmt.Printf("queue=%d served=%d\n", srv.QueueLen(), srv.Served())
+				}
+			}()
+		}
+		defer srv.Stop()
+	case "staged":
+		srv, err := core.New(core.Config{
+			App: app, DB: db,
+			GeneralWorkers: *general, LengthyWorkers: *lengthy,
+			Scale: ts, Cost: server.DefaultWorkCost(),
+		})
+		if err != nil {
+			return err
+		}
+		go func() { serveErr <- srv.Serve(l) }()
+		if *statsEach > 0 {
+			go func() {
+				for range time.Tick(*statsEach) {
+					fmt.Printf("queues=%v tspare=%d treserve=%d served=%d\n",
+						srv.QueueLens(), srv.Spare(), srv.Reserve(), srv.Served())
+				}
+			}()
+		}
+		defer srv.Stop()
+	default:
+		return fmt.Errorf("unknown mode %q (want staged or baseline)", *mode)
+	}
+
+	select {
+	case <-stop:
+		fmt.Println("\nshutting down")
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}

@@ -1,0 +1,65 @@
+// Command tpcwload drives the TPC-W browsing-mix workload against a
+// running poolserv instance and reports client-side response times.
+//
+// Usage:
+//
+//	tpcwload -addr 127.0.0.1:8080 -ebs 400 -duration 5m -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tpcwload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tpcwload", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "server address")
+		ebs       = fs.Int("ebs", 100, "emulated browsers")
+		duration  = fs.Duration("duration", time.Minute, "run duration (paper time)")
+		scale     = fs.Float64("scale", 1, "timescale (match the server's)")
+		items     = fs.Int("items", 10000, "item id range")
+		customers = fs.Int("customers", 2880, "customer id range")
+		images    = fs.Bool("images", true, "fetch embedded images")
+		seed      = fs.Int64("seed", 1, "rng seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ts := clock.Timescale(*scale)
+	gen := workload.New(workload.Config{
+		Addr:        *addr,
+		EBs:         *ebs,
+		Scale:       ts,
+		Customers:   *customers,
+		Items:       *items,
+		FetchImages: *images,
+		Seed:        *seed,
+	})
+	fmt.Printf("driving %d EBs against %s for %v (paper time)...\n", *ebs, *addr, *duration)
+	gen.Start()
+	time.Sleep(ts.Wall(*duration))
+	gen.Stop()
+
+	fmt.Printf("\n%-28s %8s %12s %12s %12s\n", "page", "count", "mean (s)", "p90 (s)", "max (s)")
+	for _, p := range gen.Stats().Pages() {
+		fmt.Printf("%-28s %8d %12.3f %12.3f %12.3f\n",
+			p.Page, p.Count,
+			ts.PaperSeconds(p.Mean), ts.PaperSeconds(p.P90), ts.PaperSeconds(p.Max))
+	}
+	fmt.Printf("\ntotal interactions: %d, errors: %d\n",
+		gen.Stats().TotalInteractions(), gen.Stats().Errors())
+	return nil
+}

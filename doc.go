@@ -1,0 +1,22 @@
+// Package stagedweb is a reproduction of "Efficient Resource Management
+// on Template-based Web Servers" (Courtwright, Yue, Wang; DSN 2009) as a
+// production-quality Go library.
+//
+// The paper's contribution — a multithreaded web server whose requests
+// are served by different threads in five thread pools, with database
+// connections bound only to data-generation workers — lives in
+// internal/core. The thread-per-request baseline it is compared against
+// lives in internal/server. Every substrate the evaluation depends on is
+// implemented from scratch in this module: a Django-style template
+// engine (internal/template), an embedded relational database with table
+// locks and a latency cost model (internal/sqldb), an HTTP/1.1 wire
+// implementation with two-phase header parsing (internal/httpwire), the
+// TPC-W bookstore and its browsing-mix workload (internal/tpcw,
+// internal/workload), and the experiment harness that regenerates the
+// paper's tables and figures (internal/harness).
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level bench_test.go regenerates each table and figure as a Go
+// benchmark.
+package stagedweb

@@ -1,0 +1,65 @@
+// Package clock provides time sources for the staged web server and its
+// experiment harness.
+//
+// Two implementations are provided: Real, backed by the runtime clock, and
+// Manual, a deterministic clock for tests that only advances when told to.
+// All latency-sensitive components (database cost model, think times,
+// reserve controller ticks, queue samplers) take a Clock so that unit tests
+// are deterministic and experiments can run at a scaled pace.
+package clock
+
+import "time"
+
+// Clock is an abstract time source.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d. Non-positive d returns
+	// immediately.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// NewTicker returns a ticker firing every d. d must be positive.
+	NewTicker(d time.Duration) Ticker
+	// Since reports the time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Ticker delivers ticks on C until stopped.
+type Ticker interface {
+	// C is the channel on which ticks are delivered.
+	C() <-chan time.Time
+	// Stop turns off the ticker. Stop does not close C.
+	Stop()
+}
+
+// Real is a Clock backed by the runtime clock. The zero value is ready to
+// use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }

@@ -1,0 +1,44 @@
+package clock
+
+import "time"
+
+// Timescale converts between "paper time" — durations as reported in the
+// DSN'09 evaluation (seconds-scale database queries, 0.7–7 s think times,
+// a 50-minute measurement window) — and wall time on the machine running
+// the reproduction.
+//
+// A Timescale of 100 means one paper-second elapses in 10 ms of wall time,
+// so the paper's one-hour experiment completes in 36 s while every ratio
+// (response-time factors, throughput shares, queue dynamics) is preserved.
+type Timescale float64
+
+// Common scales.
+const (
+	// RealTime runs paper durations unscaled.
+	RealTime Timescale = 1
+	// DefaultScale compresses one paper-second to 10 ms.
+	DefaultScale Timescale = 100
+)
+
+// Wall converts a paper duration to a wall duration.
+func (s Timescale) Wall(paper time.Duration) time.Duration {
+	if s <= 0 {
+		panic("clock: non-positive timescale")
+	}
+	return time.Duration(float64(paper) / float64(s))
+}
+
+// Paper converts a wall duration back to paper time, e.g. for reporting
+// measured response times in the paper's units.
+func (s Timescale) Paper(wall time.Duration) time.Duration {
+	if s <= 0 {
+		panic("clock: non-positive timescale")
+	}
+	return time.Duration(float64(wall) * float64(s))
+}
+
+// PaperSeconds converts a wall duration to paper seconds as a float, the
+// unit used by the paper's tables.
+func (s Timescale) PaperSeconds(wall time.Duration) float64 {
+	return s.Paper(wall).Seconds()
+}

@@ -1,0 +1,61 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimescaleWall(t *testing.T) {
+	tests := []struct {
+		name  string
+		scale Timescale
+		paper time.Duration
+		want  time.Duration
+	}{
+		{"real time identity", RealTime, 3 * time.Second, 3 * time.Second},
+		{"default compresses 100x", DefaultScale, time.Second, 10 * time.Millisecond},
+		{"two paper seconds at 100x", DefaultScale, 2 * time.Second, 20 * time.Millisecond},
+		{"fifty paper minutes at 100x", DefaultScale, 50 * time.Minute, 30 * time.Second},
+		{"fractional scale", Timescale(2), time.Second, 500 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.scale.Wall(tt.paper); got != tt.want {
+				t.Fatalf("Wall(%v) = %v, want %v", tt.paper, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTimescalePaperRoundTrip(t *testing.T) {
+	s := DefaultScale
+	paper := 7 * time.Second
+	if got := s.Paper(s.Wall(paper)); got != paper {
+		t.Fatalf("round trip = %v, want %v", got, paper)
+	}
+}
+
+func TestTimescalePaperSeconds(t *testing.T) {
+	s := Timescale(100)
+	// 10ms wall at 100x is one paper second.
+	if got := s.PaperSeconds(10 * time.Millisecond); got != 1.0 {
+		t.Fatalf("PaperSeconds = %v, want 1.0", got)
+	}
+}
+
+func TestTimescaleInvalidPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Timescale(0).Wall(time.Second) },
+		func() { Timescale(-1).Wall(time.Second) },
+		func() { Timescale(0).Paper(time.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid timescale did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

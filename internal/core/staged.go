@@ -1,0 +1,591 @@
+// Package core implements the paper's primary contribution: the modified
+// multithreaded web server whose requests are served by different threads
+// in multiple thread pools.
+//
+// The topology is exactly Figure 5 of the paper — a single listener and
+// five pools:
+//
+//	listener -> header parsing -> static requests
+//	                           -> general dynamic requests  -> template
+//	                           -> lengthy dynamic requests  ->  rendering
+//
+// Database connections are bound only to the dynamic-request workers, so
+// they are never idle while templates render or static files are served.
+// Dynamic requests are classified quick/lengthy by tracked mean
+// data-generation time (sched.Classifier, 2 s cutoff), dispatched per
+// Table 1, and protected from head-of-line blocking by the t_reserve
+// feedback controller (sched.ReserveController, updated once per paper
+// second).
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/httpwire"
+	"stagedweb/internal/metrics"
+	"stagedweb/internal/pool"
+	"stagedweb/internal/sched"
+	"stagedweb/internal/server"
+	"stagedweb/internal/sqldb"
+)
+
+// Config configures the staged server.
+type Config struct {
+	// App is the application to serve.
+	App server.App
+	// DB is the database; each dynamic worker owns one connection, so the
+	// connection budget is GeneralWorkers + LengthyWorkers.
+	DB *sqldb.DB
+
+	// Pool sizes. The paper sizes the general pool at four times the
+	// lengthy pool. Zero values take the defaults below.
+	HeaderWorkers  int // default 8
+	StaticWorkers  int // default 16
+	GeneralWorkers int // default 64
+	LengthyWorkers int // default 16
+	RenderWorkers  int // default 16
+
+	// QueueCap bounds every stage queue. Defaults to 4096.
+	QueueCap int
+
+	// Cutoff is the quick/lengthy boundary in paper time (default 2 s,
+	// the paper's value).
+	Cutoff time.Duration
+	// MinReserve is the configured minimum t_reserve (default 20, the
+	// value used in the paper's Table 2).
+	MinReserve int
+	// ControllerInterval is the t_reserve update period in paper time
+	// (default 1 s, per the paper).
+	ControllerInterval time.Duration
+
+	// Clock and Scale drive the controller loop and convert measured
+	// wall durations into paper time for classification.
+	Clock clock.Clock
+	Scale clock.Timescale
+
+	// IdleTimeout bounds how long a header-parsing worker waits for the
+	// next request line on a connection (wall time), like CherryPy's
+	// socket timeout. Defaults to 10 s.
+	IdleTimeout time.Duration
+
+	// Cost models render/static worker time (paper time); zero charges
+	// nothing. In this server the costs land on the rendering and static
+	// pools, which hold no database connections — the paper's point.
+	Cost server.WorkCost
+
+	// OnComplete, when set, receives a CompletionEvent per request.
+	OnComplete func(server.CompletionEvent)
+}
+
+func (c *Config) fillDefaults() {
+	if c.HeaderWorkers <= 0 {
+		c.HeaderWorkers = 8
+	}
+	if c.StaticWorkers <= 0 {
+		c.StaticWorkers = 16
+	}
+	if c.GeneralWorkers <= 0 {
+		c.GeneralWorkers = 64
+	}
+	if c.LengthyWorkers <= 0 {
+		c.LengthyWorkers = 16
+	}
+	if c.RenderWorkers <= 0 {
+		c.RenderWorkers = 16
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.Cutoff <= 0 {
+		c.Cutoff = sched.DefaultCutoff
+	}
+	if c.MinReserve <= 0 {
+		c.MinReserve = 20
+	}
+	if c.ControllerInterval <= 0 {
+		c.ControllerInterval = time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 10 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.Scale == 0 {
+		c.Scale = clock.RealTime
+	}
+}
+
+// connCtx is a client connection moving through the pipeline.
+type connCtx struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	acquired time.Time // when the current request started processing
+}
+
+// staticTask is a request classified static by a header-parsing worker.
+type staticTask struct {
+	cc   *connCtx
+	line httpwire.RequestLine
+}
+
+// dynTask is a fully header-parsed dynamic request.
+type dynTask struct {
+	cc  *connCtx
+	req *httpwire.Request
+	key string
+}
+
+// renderTask is an unrendered template plus its data, queued for the
+// rendering pool.
+type renderTask struct {
+	cc     *connCtx
+	req    *httpwire.Request
+	key    string
+	result *server.Result
+}
+
+// Server is the staged (modified) web server.
+type Server struct {
+	cfg Config
+
+	headerQ  *pool.Queue[*connCtx]
+	staticQ  *pool.Queue[*staticTask]
+	generalQ *pool.Queue[*dynTask]
+	lengthyQ *pool.Queue[*dynTask]
+	renderQ  *pool.Queue[*renderTask]
+
+	headerP  *pool.Pool[*connCtx]
+	staticP  *pool.Pool[*staticTask]
+	generalP *pool.Pool[*dynTask]
+	lengthyP *pool.Pool[*dynTask]
+	renderP  *pool.Pool[*renderTask]
+
+	dispatcher *sched.Dispatcher
+	controller *sched.Controller
+
+	mu       sync.Mutex
+	listener net.Listener
+	stopped  bool
+	conns    []*sqldb.Conn
+
+	accepted metrics.Counter
+	served   metrics.Counter
+	shed     metrics.Counter // keep-alive re-enqueues dropped on full queue
+}
+
+// New validates the configuration and builds the staged server.
+func New(cfg Config) (*Server, error) {
+	if cfg.App == nil {
+		return nil, errors.New("core: nil App")
+	}
+	if cfg.DB == nil {
+		return nil, errors.New("core: nil DB")
+	}
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg}
+
+	s.headerQ = pool.NewQueue[*connCtx](cfg.QueueCap)
+	s.staticQ = pool.NewQueue[*staticTask](cfg.QueueCap)
+	s.generalQ = pool.NewQueue[*dynTask](cfg.QueueCap)
+	s.lengthyQ = pool.NewQueue[*dynTask](cfg.QueueCap)
+	s.renderQ = pool.NewQueue[*renderTask](cfg.QueueCap)
+
+	cls := sched.NewClassifier(cfg.Cutoff)
+	rc := sched.NewReserveController(cfg.MinReserve)
+	// Keep the controller in its stable region: reserving more than 3/4
+	// of the general pool would let the grow rule run away (see
+	// sched.NewReserveController).
+	if maxR := cfg.GeneralWorkers * 3 / 4; maxR > cfg.MinReserve {
+		rc.SetMax(maxR)
+	}
+
+	s.headerP = pool.New("header-parsing", cfg.HeaderWorkers, s.headerQ, s.headerWork)
+	s.staticP = pool.New("static", cfg.StaticWorkers, s.staticQ, s.staticWork)
+
+	// Database connections are created for dynamic workers only.
+	generalConns := pool.NewQueue[*sqldb.Conn](cfg.GeneralWorkers)
+	lengthyConns := pool.NewQueue[*sqldb.Conn](cfg.LengthyWorkers)
+	for i := 0; i < cfg.GeneralWorkers; i++ {
+		c := cfg.DB.Connect()
+		s.conns = append(s.conns, c)
+		_ = generalConns.Put(c)
+	}
+	for i := 0; i < cfg.LengthyWorkers; i++ {
+		c := cfg.DB.Connect()
+		s.conns = append(s.conns, c)
+		_ = lengthyConns.Put(c)
+	}
+	s.generalP = pool.New("general-dynamic", cfg.GeneralWorkers, s.generalQ, func(t *dynTask) {
+		dbc, _ := generalConns.Get()
+		s.dynamicWork(t, dbc)
+		_, _ = generalConns.TryPut(dbc)
+	})
+	s.lengthyP = pool.New("lengthy-dynamic", cfg.LengthyWorkers, s.lengthyQ, func(t *dynTask) {
+		dbc, _ := lengthyConns.Get()
+		s.dynamicWork(t, dbc)
+		_, _ = lengthyConns.TryPut(dbc)
+	})
+	s.renderP = pool.New("template-rendering", cfg.RenderWorkers, s.renderQ, s.renderWork)
+
+	// t_spare is the general pool's live spare-worker count.
+	s.dispatcher = sched.NewDispatcher(cls, rc, s.generalP.Spare)
+	return s, nil
+}
+
+// Serve accepts connections on l until Stop. It blocks; run it in a
+// goroutine. The error is nil after a clean Stop.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		_ = l.Close()
+		return nil
+	}
+	s.listener = l
+	s.headerP.Start()
+	s.staticP.Start()
+	s.generalP.Start()
+	s.lengthyP.Start()
+	s.renderP.Start()
+	s.controller = sched.StartController(
+		s.cfg.Clock,
+		s.cfg.Scale.Wall(s.cfg.ControllerInterval),
+		s.dispatcher.ReserveController(),
+		s.generalP.Spare,
+	)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.accepted.Inc()
+		cc := &connCtx{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+		if err := s.headerQ.Put(cc); err != nil {
+			_ = conn.Close()
+			return nil // shutting down
+		}
+	}
+}
+
+// Stop shuts the pipeline down in flow order, draining each stage. It is
+// safe to call before, during, or after Serve.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	l := s.listener
+	ctl := s.controller
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	if ctl != nil {
+		ctl.Stop()
+	}
+	s.headerP.Stop()
+	s.staticP.Stop()
+	s.generalP.Stop()
+	s.lengthyP.Stop()
+	s.renderP.Stop()
+	for _, c := range s.conns {
+		c.Close()
+	}
+}
+
+// ---- pipeline stages ----
+
+// headerWork is the header-parsing pool: phase-one parse, static/dynamic
+// classification, and (for dynamics) the full header+query parse plus the
+// Table 1 dispatch decision.
+func (s *Server) headerWork(cc *connCtx) {
+	cc.acquired = time.Now()
+	// Bound the wait for the request line so an idle keep-alive client
+	// cannot pin a header-parsing worker.
+	_ = cc.conn.SetReadDeadline(cc.acquired.Add(s.cfg.IdleTimeout))
+	line, err := httpwire.ReadRequestLine(cc.br)
+	if err != nil {
+		// EOF between keep-alive requests is normal connection teardown.
+		_ = cc.conn.Close()
+		return
+	}
+	_ = cc.conn.SetReadDeadline(time.Time{})
+	if line.IsStatic() {
+		// Static requests carry their unparsed header tail to the static
+		// pool; "this is not an issue for static requests, so we let the
+		// threads which actually serve those static requests parse their
+		// headers" (Section 3.2).
+		if err := s.staticQ.Put(&staticTask{cc: cc, line: line}); err != nil {
+			_ = cc.conn.Close()
+		}
+		return
+	}
+	// Dynamic: parse everything here so a thread with an open database
+	// connection never spends time on anything but generating data.
+	req, err := httpwire.FinishRequest(cc.br, line)
+	if err != nil {
+		_ = httpwire.WriteError(cc.bw, httpwire.StatusBadRequest, "bad request")
+		_ = cc.conn.Close()
+		return
+	}
+	task := &dynTask{cc: cc, req: req, key: line.Path}
+	var putErr error
+	switch s.dispatcher.Choose(task.key) {
+	case sched.Lengthy:
+		putErr = s.lengthyQ.Put(task)
+	default:
+		putErr = s.generalQ.Put(task)
+	}
+	if putErr != nil {
+		_ = cc.conn.Close()
+	}
+}
+
+// staticWork parses the header tail and serves the file.
+func (s *Server) staticWork(t *staticTask) {
+	cc := t.cc
+	hdr, err := httpwire.ReadHeaders(cc.br)
+	if err != nil {
+		_ = cc.conn.Close()
+		return
+	}
+	req := &httpwire.Request{Line: t.line, Header: hdr}
+	keep := req.KeepAlive()
+	body, ct, ok := s.cfg.App.Static(t.line.Path)
+	status := httpwire.StatusOK
+	if !ok {
+		status = httpwire.StatusNotFound
+		body, ct = []byte("not found"), "text/plain; charset=utf-8"
+		keep = false
+	} else {
+		s.charge(s.cfg.Cost.Static(len(body)))
+	}
+	resp := &httpwire.Response{Status: status, ContentType: ct, Body: body, KeepAlive: keep}
+	if err := resp.Write(cc.bw); err != nil {
+		_ = cc.conn.Close()
+		return
+	}
+	s.complete(server.CompletionEvent{
+		Page:       t.line.Path,
+		Class:      server.ClassStatic,
+		Status:     status,
+		Done:       time.Now(),
+		ServerTime: time.Since(cc.acquired),
+	})
+	s.recycle(cc, keep)
+}
+
+// dynamicWork runs the page handler on a worker that owns a database
+// connection, measures data-generation time, and hands deferred results
+// to the rendering pool.
+func (s *Server) dynamicWork(t *dynTask, dbc *sqldb.Conn) {
+	cc := t.cc
+	keep := t.req.KeepAlive()
+	handler, ok := s.cfg.App.Handler(t.req.Line.Path)
+	if !ok {
+		s.directReply(t, httpwire.StatusNotFound, []byte("not found"), "text/plain; charset=utf-8", false)
+		return
+	}
+	start := time.Now()
+	res, err := handler(&server.Request{
+		Path:   t.req.Line.Path,
+		Query:  t.req.Query,
+		Header: t.req.Header,
+		DB:     dbc,
+	})
+	if err != nil {
+		s.directReply(t, httpwire.StatusInternalServerError, []byte("internal error"), "text/plain; charset=utf-8", false)
+		return
+	}
+
+	if res.Deferred() {
+		// The paper's measurement: "from when the request is acquired
+		// through when its unrendered template is placed in the template
+		// rendering queue" — an accurate database-time figure because
+		// rendering happens elsewhere.
+		rt := &renderTask{cc: cc, req: t.req, key: t.key, result: res}
+		putErr := s.renderQ.Put(rt)
+		s.dispatcher.Classifier().Record(t.key, s.cfg.Scale.Paper(time.Since(start)))
+		if putErr != nil {
+			_ = cc.conn.Close()
+		}
+		return
+	}
+
+	// Backward compatibility (Section 3.1): a handler that returns an
+	// already-rendered string is served directly by the dynamic worker —
+	// the scheduling benefit is lost for such pages, as the paper notes.
+	s.dispatcher.Classifier().Record(t.key, s.cfg.Scale.Paper(time.Since(start)))
+	body, ct, status, rerr := server.RenderResult(s.cfg.App, res)
+	if rerr != nil {
+		s.directReply(t, httpwire.StatusInternalServerError, []byte("render error"), "text/plain; charset=utf-8", false)
+		return
+	}
+	if res.Body != "" {
+		// A pre-rendered page did its rendering inside the handler, on
+		// this connection-holding worker; charge it here.
+		s.charge(s.cfg.Cost.Render(len(body)))
+	}
+	resp := server.BuildResponse(res, body, ct, status, keep)
+	if err := resp.Write(cc.bw); err != nil {
+		_ = cc.conn.Close()
+		return
+	}
+	s.complete(server.CompletionEvent{
+		Page:       t.key,
+		Class:      s.classOf(t.key),
+		Status:     status,
+		Done:       time.Now(),
+		ServerTime: time.Since(cc.acquired),
+	})
+	s.recycle(cc, keep)
+}
+
+// renderWork renders the deferred template, measures the output size (the
+// response writer sets the exact Content-Length), and transmits.
+func (s *Server) renderWork(t *renderTask) {
+	cc := t.cc
+	keep := t.req.KeepAlive()
+	body, ct, status, err := server.RenderResult(s.cfg.App, t.result)
+	if err != nil {
+		_ = httpwire.WriteError(cc.bw, httpwire.StatusInternalServerError, "render error")
+		_ = cc.conn.Close()
+		return
+	}
+	s.charge(s.cfg.Cost.Render(len(body)))
+	resp := server.BuildResponse(t.result, body, ct, status, keep)
+	if err := resp.Write(cc.bw); err != nil {
+		_ = cc.conn.Close()
+		return
+	}
+	s.complete(server.CompletionEvent{
+		Page:       t.key,
+		Class:      s.classOf(t.key),
+		Status:     status,
+		Done:       time.Now(),
+		ServerTime: time.Since(cc.acquired),
+	})
+	s.recycle(cc, keep)
+}
+
+// directReply sends a terminal plain response from a dynamic worker.
+func (s *Server) directReply(t *dynTask, status int, body []byte, ct string, keep bool) {
+	cc := t.cc
+	resp := &httpwire.Response{Status: status, ContentType: ct, Body: body, KeepAlive: keep}
+	if err := resp.Write(cc.bw); err != nil {
+		_ = cc.conn.Close()
+		return
+	}
+	s.complete(server.CompletionEvent{
+		Page:       t.key,
+		Class:      s.classOf(t.key),
+		Status:     status,
+		Done:       time.Now(),
+		ServerTime: time.Since(cc.acquired),
+	})
+	s.recycle(cc, keep)
+}
+
+// recycle parks a keep-alive connection until its next request's first
+// byte arrives, then re-enqueues it to the header-parsing pool; non-keep-
+// alive connections close. The park goroutine plays the role of the OS
+// readiness notification (select/poll in CherryPy's listener): header
+// workers must never camp on idle sockets, or a handful of keep-alive
+// clients would pin the whole pool.
+func (s *Server) recycle(cc *connCtx, keep bool) {
+	if !keep {
+		_ = cc.conn.Close()
+		return
+	}
+	go s.awaitNextRequest(cc)
+}
+
+// awaitNextRequest blocks until the connection has readable data (the
+// next pipelined request), then hands it back to the header queue. EOF,
+// timeout, or a full/closed queue close the connection.
+func (s *Server) awaitNextRequest(cc *connCtx) {
+	_ = cc.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	if _, err := cc.br.Peek(1); err != nil {
+		_ = cc.conn.Close()
+		return
+	}
+	_ = cc.conn.SetReadDeadline(time.Time{})
+	ok, err := s.headerQ.TryPut(cc)
+	if err != nil || !ok {
+		s.shed.Inc()
+		_ = cc.conn.Close()
+	}
+}
+
+// charge sleeps a paper-time work cost through the timescale.
+func (s *Server) charge(paperCost time.Duration) {
+	if paperCost > 0 {
+		s.cfg.Clock.Sleep(s.cfg.Scale.Wall(paperCost))
+	}
+}
+
+func (s *Server) classOf(key string) server.Class {
+	if s.dispatcher.Classifier().Lengthy(key) {
+		return server.ClassLengthy
+	}
+	return server.ClassQuick
+}
+
+func (s *Server) complete(ev server.CompletionEvent) {
+	s.served.Inc()
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(ev)
+	}
+}
+
+// ---- introspection for the harness and experiments ----
+
+// QueueLens reports the current length of every stage queue, keyed by
+// stage name. The general and lengthy entries are Figures 8(a) and 8(b).
+func (s *Server) QueueLens() map[string]int {
+	return map[string]int{
+		"header":  s.headerQ.Len(),
+		"static":  s.staticQ.Len(),
+		"general": s.generalQ.Len(),
+		"lengthy": s.lengthyQ.Len(),
+		"render":  s.renderQ.Len(),
+	}
+}
+
+// GeneralQueueLen reports the general dynamic queue length (Figure 8a).
+func (s *Server) GeneralQueueLen() int { return s.generalQ.Len() }
+
+// LengthyQueueLen reports the lengthy dynamic queue length (Figure 8b).
+func (s *Server) LengthyQueueLen() int { return s.lengthyQ.Len() }
+
+// Spare reports the general pool's current spare workers (t_spare).
+func (s *Server) Spare() int { return s.generalP.Spare() }
+
+// Reserve reports the controller's current t_reserve.
+func (s *Server) Reserve() int { return s.dispatcher.ReserveController().Reserve() }
+
+// Classifier exposes the page classifier (for diagnostics and tests).
+func (s *Server) Classifier() *sched.Classifier { return s.dispatcher.Classifier() }
+
+// Served reports the number of completed requests.
+func (s *Server) Served() int64 { return s.served.Value() }
+
+// Shed reports keep-alive connections dropped due to a full header queue.
+func (s *Server) Shed() int64 { return s.shed.Value() }
+
+// String describes the server's pool configuration.
+func (s *Server) String() string {
+	return fmt.Sprintf("staged{header:%d static:%d general:%d lengthy:%d render:%d}",
+		s.cfg.HeaderWorkers, s.cfg.StaticWorkers, s.cfg.GeneralWorkers,
+		s.cfg.LengthyWorkers, s.cfg.RenderWorkers)
+}

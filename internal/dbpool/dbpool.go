@@ -1,0 +1,150 @@
+// Package dbpool provides a bounded pool of database connections — the
+// "precious database connection resources" whose utilization the DSN'09
+// paper optimizes.
+//
+// Both server variants draw from a pool of the same size; the difference
+// the paper studies is *which threads hold the connections and for how
+// long*: the baseline's workers hold one for the entire request
+// (including template rendering and static serving), while the modified
+// server binds connections only to dynamic-request workers.
+package dbpool
+
+import (
+	"errors"
+	"time"
+
+	"stagedweb/internal/metrics"
+	"stagedweb/internal/sqldb"
+)
+
+// ErrPoolClosed is returned by Acquire after Close.
+var ErrPoolClosed = errors.New("dbpool: pool closed")
+
+// Pool is a fixed-size blocking pool of sqldb connections.
+type Pool struct {
+	db    *sqldb.DB
+	size  int
+	conns chan *sqldb.Conn
+	done  chan struct{}
+
+	inUse    metrics.Gauge
+	waits    metrics.Counter
+	waitTime metrics.Histogram
+}
+
+// New creates a pool of size connections to db. Size must be positive.
+func New(db *sqldb.DB, size int) *Pool {
+	if size <= 0 {
+		panic("dbpool: non-positive pool size")
+	}
+	p := &Pool{
+		db:    db,
+		size:  size,
+		conns: make(chan *sqldb.Conn, size),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		p.conns <- db.Connect()
+	}
+	return p
+}
+
+// Size reports the configured number of connections.
+func (p *Pool) Size() int { return p.size }
+
+// InUse reports how many connections are currently held.
+func (p *Pool) InUse() int { return int(p.inUse.Value()) }
+
+// Idle reports how many connections are available.
+func (p *Pool) Idle() int { return len(p.conns) }
+
+// WaitCount reports how many Acquire calls had to block.
+func (p *Pool) WaitCount() int64 { return p.waits.Value() }
+
+// WaitTimes exposes the Acquire wait-time histogram (wall time).
+func (p *Pool) WaitTimes() *metrics.Histogram { return &p.waitTime }
+
+// Acquire obtains a connection, blocking until one is free or the pool is
+// closed.
+func (p *Pool) Acquire() (*sqldb.Conn, error) {
+	select {
+	case <-p.done:
+		return nil, ErrPoolClosed
+	default:
+	}
+	// Fast path: no blocking.
+	select {
+	case c := <-p.conns:
+		p.inUse.Inc()
+		return c, nil
+	default:
+	}
+	p.waits.Inc()
+	start := time.Now()
+	select {
+	case c := <-p.conns:
+		p.waitTime.Observe(time.Since(start))
+		p.inUse.Inc()
+		return c, nil
+	case <-p.done:
+		return nil, ErrPoolClosed
+	}
+}
+
+// TryAcquire obtains a connection without blocking; ok is false when the
+// pool is exhausted.
+func (p *Pool) TryAcquire() (c *sqldb.Conn, ok bool, err error) {
+	select {
+	case <-p.done:
+		return nil, false, ErrPoolClosed
+	default:
+	}
+	select {
+	case c := <-p.conns:
+		p.inUse.Inc()
+		return c, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// Release returns a connection to the pool. Releasing a connection that
+// did not come from the pool corrupts accounting and panics when
+// detectable (pool overfull).
+func (p *Pool) Release(c *sqldb.Conn) {
+	if c == nil {
+		panic("dbpool: released nil connection")
+	}
+	p.inUse.Dec()
+	select {
+	case <-p.done:
+		c.Close()
+		return
+	default:
+	}
+	select {
+	case p.conns <- c:
+	default:
+		panic("dbpool: released more connections than acquired")
+	}
+}
+
+// Close closes the pool: waiting Acquires fail, and pooled connections
+// are closed. Connections currently held remain usable until released;
+// releases after Close are still accepted (and closed).
+func (p *Pool) Close() {
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	close(p.done)
+	for {
+		select {
+		case c := <-p.conns:
+			c.Close()
+		default:
+			return
+		}
+	}
+}

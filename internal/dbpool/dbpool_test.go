@@ -1,0 +1,175 @@
+package dbpool
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"stagedweb/internal/sqldb"
+)
+
+func newDB(t *testing.T) *sqldb.DB {
+	t.Helper()
+	db := sqldb.Open(sqldb.Options{})
+	db.MustCreateTable(sqldb.Schema{
+		Table:      "t",
+		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}},
+		PrimaryKey: "id",
+	})
+	return db
+}
+
+func TestAcquireRelease(t *testing.T) {
+	p := New(newDB(t), 2)
+	defer p.Close()
+	c1, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InUse() != 1 || p.Idle() != 1 {
+		t.Fatalf("InUse/Idle = %d/%d, want 1/1", p.InUse(), p.Idle())
+	}
+	if _, err := c1.Exec("INSERT INTO t (id) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(c1)
+	if p.InUse() != 0 || p.Idle() != 2 {
+		t.Fatalf("after release InUse/Idle = %d/%d", p.InUse(), p.Idle())
+	}
+}
+
+func TestAcquireBlocksWhenExhausted(t *testing.T) {
+	p := New(newDB(t), 1)
+	defer p.Close()
+	c1, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan *sqldb.Conn, 1)
+	go func() {
+		c, err := p.Acquire()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acquired <- c
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Acquire succeeded on exhausted pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Release(c1)
+	select {
+	case c := <-acquired:
+		p.Release(c)
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire never unblocked")
+	}
+	if p.WaitCount() == 0 {
+		t.Fatal("blocked Acquire not counted")
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	p := New(newDB(t), 1)
+	defer p.Close()
+	c, ok, err := p.TryAcquire()
+	if !ok || err != nil {
+		t.Fatalf("TryAcquire = %v,%v", ok, err)
+	}
+	if _, ok2, err := p.TryAcquire(); ok2 || err != nil {
+		t.Fatalf("TryAcquire on empty = %v,%v, want false,nil", ok2, err)
+	}
+	p.Release(c)
+}
+
+func TestCloseFailsWaiters(t *testing.T) {
+	p := New(newDB(t), 1)
+	c, err := p.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-errCh:
+		if err != ErrPoolClosed {
+			t.Fatalf("err = %v, want ErrPoolClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never failed after Close")
+	}
+	p.Release(c) // release after close must not panic
+	if _, err := p.Acquire(); err != ErrPoolClosed {
+		t.Fatalf("Acquire after close = %v", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestReleaseForeignPanics(t *testing.T) {
+	db := newDB(t)
+	p := New(db, 1)
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overfull release did not panic")
+		}
+	}()
+	p.Release(db.Connect()) // never acquired: pool goes overfull
+}
+
+func TestReleaseNilPanics(t *testing.T) {
+	p := New(newDB(t), 1)
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil release did not panic")
+		}
+	}()
+	p.Release(nil)
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero size did not panic")
+		}
+	}()
+	New(newDB(t), 0)
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	p := New(newDB(t), 4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c, err := p.Acquire()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Query("SELECT * FROM t"); err != nil {
+					t.Error(err)
+				}
+				p.Release(c)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d after churn, want 0", p.InUse())
+	}
+	if p.Idle() != 4 {
+		t.Fatalf("Idle = %d, want 4", p.Idle())
+	}
+}

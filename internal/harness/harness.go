@@ -1,0 +1,379 @@
+// Package harness runs the paper's experiments end to end: it boots a
+// database and a server variant, drives the TPC-W browsing-mix workload
+// with emulated browsers, applies the ramp-up / measure / cool-down
+// discipline of Section 4.1, and collects every series and table the
+// DSN'09 evaluation reports (Tables 3 and 4, Figures 7–10).
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/core"
+	"stagedweb/internal/metrics"
+	"stagedweb/internal/server"
+	"stagedweb/internal/sqldb"
+	"stagedweb/internal/tpcw"
+	"stagedweb/internal/webtest"
+	"stagedweb/internal/workload"
+)
+
+// ServerKind selects the server variant under test.
+type ServerKind int
+
+const (
+	// Unmodified is the baseline thread-per-request server.
+	Unmodified ServerKind = iota + 1
+	// Modified is the staged multi-pool server (the paper's proposal).
+	Modified
+)
+
+func (k ServerKind) String() string {
+	switch k {
+	case Unmodified:
+		return "unmodified"
+	case Modified:
+		return "modified"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes one experimental run. All durations are paper time.
+type Config struct {
+	Kind  ServerKind
+	Scale clock.Timescale
+
+	// Workload.
+	EBs                       int
+	RampUp, Measure, CoolDown time.Duration
+	FetchImages               bool
+	// ThinkExponential selects TPC-W's negative-exponential think time
+	// (mean 7 s) instead of uniform 0.7–7 s.
+	ThinkExponential bool
+	Seed             int64
+
+	// Database.
+	Populate tpcw.PopulateConfig
+	Cost     sqldb.CostModel
+	// Work models render/static worker time (CPython-calibrated).
+	Work server.WorkCost
+
+	// Baseline sizing: worker count == database connection budget.
+	BaselineWorkers int
+	// Staged sizing.
+	HeaderWorkers, StaticWorkers   int
+	GeneralWorkers, LengthyWorkers int
+	RenderWorkers                  int
+	MinReserve                     int
+	Cutoff                         time.Duration
+}
+
+// PaperConfig returns the full-paper-scale configuration: 400 EBs, a
+// 50-minute measurement window with 5-minute ramp-up and cool-down, the
+// default population, and the paper's pool sizes — compressed through the
+// given timescale (100 ⇒ the hour-long experiment takes 36 s).
+func PaperConfig(kind ServerKind, scale clock.Timescale) Config {
+	// Calibration notes (DESIGN.md section 5, EXPERIMENTS.md):
+	//   - scans cost ~0.2 ms/row so the three slow pages land at 2.5-4 s
+	//     of intrinsic data-generation time (over the 2 s cutoff, under
+	//     the paper's 11-21 s loaded response times);
+	//   - render/static work costs are CPython-calibrated (a 12 KiB
+	//     Django page ~ 190 ms, an image ~ 10 ms), making non-database
+	//     work a ~20% share of baseline worker time - the waste the
+	//     staged design reclaims;
+	//   - the connection budget (48) puts the baseline just past its
+	//     saturation knee at 400 browsers while total database demand
+	//     stays under capacity, the regime the paper's numbers imply.
+	cost := sqldb.DefaultCostModel()
+	cost.PerRowScanned = 200 * time.Microsecond
+	return Config{
+		Kind:             kind,
+		Scale:            scale,
+		EBs:              400,
+		RampUp:           5 * time.Minute,
+		Measure:          50 * time.Minute,
+		CoolDown:         5 * time.Minute,
+		FetchImages:      true,
+		ThinkExponential: true,
+		Seed:             1,
+		Populate:         tpcw.PopulateConfig{},
+		Cost:             cost,
+		Work: server.WorkCost{
+			RenderBase:  50 * time.Millisecond,
+			RenderPerKB: 12 * time.Millisecond,
+			StaticBase:  5 * time.Millisecond,
+			StaticPerKB: time.Millisecond,
+		},
+		BaselineWorkers: 48,
+		HeaderWorkers:   32,
+		StaticWorkers:   32,
+		GeneralWorkers:  40,
+		LengthyWorkers:  10,
+		RenderWorkers:   32,
+		MinReserve:      10,
+	}
+}
+
+// QuickConfig returns a reduced configuration for tests and benchmarks:
+// a smaller population with a proportionally heavier scan cost (so the
+// slow-page class stays seconds-scale), fewer browsers, and a short
+// window. One run takes a few seconds of wall time at scale 200.
+func QuickConfig(kind ServerKind, scale clock.Timescale) Config {
+	cost := sqldb.DefaultCostModel()
+	cost.PerRowScanned = 1500 * time.Microsecond // 2000 rows -> ~3 s scans
+	return Config{
+		Kind:        kind,
+		Scale:       scale,
+		EBs:         100,
+		RampUp:      30 * time.Second,
+		Measure:     5 * time.Minute,
+		CoolDown:    15 * time.Second,
+		FetchImages: true,
+		Seed:        1,
+		Populate:    tpcw.PopulateConfig{Items: 2000, Customers: 600, Orders: 520},
+		Cost:        cost,
+		Work:        server.DefaultWorkCost(),
+
+		BaselineWorkers: 26,
+		HeaderWorkers:   16,
+		StaticWorkers:   16,
+		GeneralWorkers:  21,
+		LengthyWorkers:  5,
+		RenderWorkers:   16,
+		MinReserve:      5,
+	}
+}
+
+// PageStat is the per-page server+client view for Tables 3 and 4.
+type PageStat struct {
+	Page string
+	// Count is completed interactions during the measurement window
+	// (Table 4).
+	Count int64
+	// MeanPaperSec is the mean client-side WIRT in paper seconds
+	// (Table 3).
+	MeanPaperSec float64
+}
+
+// Result is everything one run produces.
+type Result struct {
+	Kind   ServerKind
+	Config Config
+
+	// Per-page statistics (Tables 3 and 4), keyed by page path.
+	Pages map[string]PageStat
+	// TotalInteractions sums page interactions in the window.
+	TotalInteractions int64
+	// Errors is the count of failed client interactions.
+	Errors int64
+
+	// Throughput series, one bucket per paper minute (Figures 9, 10).
+	ThroughputAll     *metrics.Series
+	ThroughputStatic  *metrics.Series
+	ThroughputDynamic *metrics.Series
+	ThroughputQuick   *metrics.Series
+	ThroughputLengthy *metrics.Series
+
+	// Queue-length series, one sample per paper second. Baseline runs
+	// fill QueueSingle (Figure 7); staged runs fill QueueGeneral and
+	// QueueLengthy (Figure 8).
+	QueueSingle  *metrics.Series
+	QueueGeneral *metrics.Series
+	QueueLengthy *metrics.Series
+
+	// ReserveSeries tracks t_reserve per paper second (staged only).
+	ReserveSeries *metrics.Series
+
+	// WallDuration is how long the run took on the host.
+	WallDuration time.Duration
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("harness: timescale must be positive")
+	}
+	wallStart := time.Now()
+
+	db := sqldb.Open(sqldb.Options{
+		Clock:     clock.Precise{},
+		Timescale: cfg.Scale,
+		Cost:      cfg.Cost,
+	})
+	if err := tpcw.CreateTables(db); err != nil {
+		return nil, err
+	}
+	counts, err := tpcw.Populate(db, cfg.Populate)
+	if err != nil {
+		return nil, err
+	}
+	app := tpcw.NewApp(counts, nil)
+
+	// The measurement window starts after ramp-up; series anchored there
+	// silently drop ramp-up observations.
+	measureStart := time.Now().Add(cfg.Scale.Wall(cfg.RampUp))
+	minute := cfg.Scale.Wall(time.Minute)
+	second := cfg.Scale.Wall(time.Second)
+
+	res := &Result{
+		Kind:              cfg.Kind,
+		Config:            cfg,
+		Pages:             make(map[string]PageStat, len(tpcw.Pages)),
+		ThroughputAll:     metrics.NewSeries(measureStart, minute, metrics.AggSum),
+		ThroughputStatic:  metrics.NewSeries(measureStart, minute, metrics.AggSum),
+		ThroughputDynamic: metrics.NewSeries(measureStart, minute, metrics.AggSum),
+		ThroughputQuick:   metrics.NewSeries(measureStart, minute, metrics.AggSum),
+		ThroughputLengthy: metrics.NewSeries(measureStart, minute, metrics.AggSum),
+	}
+
+	// Server-side per-page completion counts, gated to the window.
+	var (
+		countMu    sync.Mutex
+		pageCounts = make(map[string]int64, len(tpcw.Pages))
+	)
+	measureEnd := measureStart.Add(cfg.Scale.Wall(cfg.Measure))
+	onComplete := func(ev server.CompletionEvent) {
+		res.ThroughputAll.Observe(ev.Done, 1)
+		if ev.Class == server.ClassStatic {
+			res.ThroughputStatic.Observe(ev.Done, 1)
+			return
+		}
+		res.ThroughputDynamic.Observe(ev.Done, 1)
+		// Classify by the paper's fixed slow-page set so both server
+		// variants bucket identically in Figure 10.
+		if tpcw.SlowPages[ev.Page] {
+			res.ThroughputLengthy.Observe(ev.Done, 1)
+		} else {
+			res.ThroughputQuick.Observe(ev.Done, 1)
+		}
+		if ev.Done.Before(measureStart) || ev.Done.After(measureEnd) {
+			return
+		}
+		countMu.Lock()
+		pageCounts[ev.Page]++
+		countMu.Unlock()
+	}
+
+	// Boot the server variant.
+	l, addr, err := webtest.Listen()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		stopServer func()
+		samplers   []*metrics.Sampler
+	)
+	clk := clock.Real{}
+	switch cfg.Kind {
+	case Unmodified:
+		srv, err := server.NewBaseline(server.BaselineConfig{
+			App:        app,
+			DB:         db,
+			Workers:    cfg.BaselineWorkers,
+			Cost:       cfg.Work,
+			Clock:      clock.Precise{},
+			Scale:      cfg.Scale,
+			OnComplete: onComplete,
+		})
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = srv.Serve(l) }()
+		stopServer = srv.Stop
+		res.QueueSingle = metrics.NewSeries(measureStart, second, metrics.AggLast)
+		samplers = append(samplers, metrics.StartSampler(clk, second,
+			func() float64 { return float64(srv.QueueLen()) }, res.QueueSingle))
+	case Modified:
+		srv, err := core.New(core.Config{
+			App:            app,
+			DB:             db,
+			HeaderWorkers:  cfg.HeaderWorkers,
+			StaticWorkers:  cfg.StaticWorkers,
+			GeneralWorkers: cfg.GeneralWorkers,
+			LengthyWorkers: cfg.LengthyWorkers,
+			RenderWorkers:  cfg.RenderWorkers,
+			MinReserve:     cfg.MinReserve,
+			Cutoff:         cfg.Cutoff,
+			Clock:          clock.Precise{},
+			Scale:          cfg.Scale,
+			Cost:           cfg.Work,
+			OnComplete:     onComplete,
+		})
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = srv.Serve(l) }()
+		stopServer = srv.Stop
+		res.QueueGeneral = metrics.NewSeries(measureStart, second, metrics.AggLast)
+		res.QueueLengthy = metrics.NewSeries(measureStart, second, metrics.AggLast)
+		res.ReserveSeries = metrics.NewSeries(measureStart, second, metrics.AggLast)
+		samplers = append(samplers,
+			metrics.StartSampler(clk, second,
+				func() float64 { return float64(srv.GeneralQueueLen()) }, res.QueueGeneral),
+			metrics.StartSampler(clk, second,
+				func() float64 { return float64(srv.LengthyQueueLen()) }, res.QueueLengthy),
+			metrics.StartSampler(clk, second,
+				func() float64 { return float64(srv.Reserve()) }, res.ReserveSeries),
+		)
+	default:
+		return nil, fmt.Errorf("harness: unknown server kind %d", cfg.Kind)
+	}
+
+	// Drive load: ramp-up (not recorded), measure, cool-down.
+	gen := workload.New(workload.Config{
+		Addr:             addr,
+		EBs:              cfg.EBs,
+		Scale:            cfg.Scale,
+		Customers:        counts.Customers,
+		Items:            counts.Items,
+		FetchImages:      cfg.FetchImages,
+		ThinkExponential: cfg.ThinkExponential,
+		Seed:             cfg.Seed,
+	})
+	gen.Stats().SetRecording(false)
+	gen.Start()
+
+	time.Sleep(time.Until(measureStart))
+	gen.Stats().Reset()
+	gen.Stats().SetRecording(true)
+	time.Sleep(cfg.Scale.Wall(cfg.Measure))
+	gen.Stats().SetRecording(false)
+	time.Sleep(cfg.Scale.Wall(cfg.CoolDown))
+
+	gen.Stop()
+	for _, s := range samplers {
+		s.Stop()
+	}
+	stopServer()
+
+	// Assemble per-page stats: client-side WIRT means, server-side
+	// counts.
+	countMu.Lock()
+	defer countMu.Unlock()
+	for _, page := range tpcw.Pages {
+		client := gen.Stats().Page(page)
+		res.Pages[page] = PageStat{
+			Page:         page,
+			Count:        pageCounts[page],
+			MeanPaperSec: cfg.Scale.PaperSeconds(client.Mean),
+		}
+		res.TotalInteractions += pageCounts[page]
+	}
+	res.Errors = gen.Stats().Errors()
+	res.WallDuration = time.Since(wallStart)
+	return res, nil
+}
+
+// ThroughputGainPercent computes the headline number: the modified
+// server's total-interaction gain over the unmodified server (the paper
+// reports +31.3%).
+func ThroughputGainPercent(unmod, mod *Result) float64 {
+	if unmod.TotalInteractions == 0 {
+		return 0
+	}
+	return (float64(mod.TotalInteractions) - float64(unmod.TotalInteractions)) /
+		float64(unmod.TotalInteractions) * 100
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"stagedweb/internal/tpcw"
+)
+
+// Table3 renders the paper's Table 3: per-page mean web interaction
+// response times (paper seconds) on the unmodified and modified servers.
+func Table3(unmod, mod *Result) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3. TPC-W pages and their average response times (seconds)\n")
+	fmt.Fprintf(&sb, "%-36s %12s %12s %9s\n", "web page name", "unmodified", "modified", "speedup")
+	sb.WriteString(strings.Repeat("-", 72) + "\n")
+	for _, page := range tpcw.Pages {
+		u := unmod.Pages[page]
+		m := mod.Pages[page]
+		speedup := "-"
+		if m.MeanPaperSec > 0 {
+			speedup = fmt.Sprintf("%8.1fx", u.MeanPaperSec/m.MeanPaperSec)
+		}
+		fmt.Fprintf(&sb, "%-36s %12.2f %12.2f %9s\n",
+			tpcw.PageTitle(page), u.MeanPaperSec, m.MeanPaperSec, speedup)
+	}
+	return sb.String()
+}
+
+// Table4 renders the paper's Table 4: completed web interactions per page
+// type during the measurement interval, plus the overall throughput gain.
+func Table4(unmod, mod *Result) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4. Completed web interactions per page type\n")
+	fmt.Fprintf(&sb, "%-36s %12s %12s\n", "web page name", "unmodified", "modified")
+	sb.WriteString(strings.Repeat("-", 62) + "\n")
+	for _, page := range tpcw.Pages {
+		fmt.Fprintf(&sb, "%-36s %12d %12d\n",
+			tpcw.PageTitle(page), unmod.Pages[page].Count, mod.Pages[page].Count)
+	}
+	sb.WriteString(strings.Repeat("-", 62) + "\n")
+	fmt.Fprintf(&sb, "%-36s %12d %12d\n", "total", unmod.TotalInteractions, mod.TotalInteractions)
+	fmt.Fprintf(&sb, "overall throughput gain: %+.1f%% (paper: +31.3%%)\n",
+		ThroughputGainPercent(unmod, mod))
+	return sb.String()
+}
+
+// Table2 renders the reserve-controller trace in the paper's Table 2
+// format from parallel t_spare/t_reserve samples.
+func Table2(tspare, treserve []int) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2. Changes to t_reserve over an example period\n")
+	fmt.Fprintf(&sb, "%6s %8s %10s %12s\n", "time", "tspare", "treserve", "delta")
+	sb.WriteString(strings.Repeat("-", 40) + "\n")
+	for i := 0; i < len(tspare) && i < len(treserve); i++ {
+		delta := 0
+		if i+1 < len(treserve) {
+			delta = treserve[i+1] - treserve[i]
+		}
+		fmt.Fprintf(&sb, "%5ds %8d %10d %+12d\n", i+1, tspare[i], treserve[i], delta)
+	}
+	return sb.String()
+}
+
+// Summary renders a one-paragraph comparison of two runs.
+func Summary(unmod, mod *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "unmodified: %d interactions, %d errors, wall %v\n",
+		unmod.TotalInteractions, unmod.Errors, unmod.WallDuration.Round(1e7))
+	fmt.Fprintf(&sb, "modified:   %d interactions, %d errors, wall %v\n",
+		mod.TotalInteractions, mod.Errors, mod.WallDuration.Round(1e7))
+	fmt.Fprintf(&sb, "throughput gain: %+.1f%%\n", ThroughputGainPercent(unmod, mod))
+	faster, slower := 0, 0
+	for _, page := range tpcw.Pages {
+		u, m := unmod.Pages[page], mod.Pages[page]
+		if u.Count == 0 || m.Count == 0 {
+			continue
+		}
+		switch {
+		case m.MeanPaperSec < u.MeanPaperSec:
+			faster++
+		case m.MeanPaperSec > u.MeanPaperSec:
+			slower++
+		}
+	}
+	fmt.Fprintf(&sb, "pages faster on modified: %d, slower: %d (paper: 11 faster of 14)\n", faster, slower)
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package httpwire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBadEscape reports an invalid percent-encoding in a query string.
+var ErrBadEscape = errors.New("httpwire: invalid percent-encoding")
+
+// ParseQuery parses an application/x-www-form-urlencoded query string
+// ("userid=5&popups=no") into a map, the "dictionary" the paper's header
+// parsing threads build for dynamic requests. Later duplicate keys win.
+// An empty input yields an empty, non-nil map.
+func ParseQuery(raw string) (map[string]string, error) {
+	q := make(map[string]string, 4)
+	for raw != "" {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		if pair == "" {
+			continue
+		}
+		key, value := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			key, value = pair[:i], pair[i+1:]
+		}
+		k, err := Unescape(key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := Unescape(value)
+		if err != nil {
+			return nil, err
+		}
+		q[k] = v
+	}
+	return q, nil
+}
+
+// Unescape decodes percent-escapes and '+' (as space) in s.
+func Unescape(s string) (string, error) {
+	if !strings.ContainsAny(s, "%+") {
+		return s, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '+':
+			sb.WriteByte(' ')
+		case '%':
+			if i+2 >= len(s) {
+				return "", fmt.Errorf("%w: truncated escape in %q", ErrBadEscape, s)
+			}
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if !ok1 || !ok2 {
+				return "", fmt.Errorf("%w: %q", ErrBadEscape, s[i:i+3])
+			}
+			sb.WriteByte(hi<<4 | lo)
+			i += 2
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String(), nil
+}
+
+// Escape percent-encodes s for use as a query-string key or value.
+func Escape(s string) string {
+	const hexDigits = "0123456789ABCDEF"
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ':
+			sb.WriteByte('+')
+		case isUnreserved(c):
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('%')
+			sb.WriteByte(hexDigits[c>>4])
+			sb.WriteByte(hexDigits[c&0xf])
+		}
+	}
+	return sb.String()
+}
+
+// EncodeQuery renders a query map in sorted-key order (deterministic for
+// tests and cache keys).
+func EncodeQuery(q map[string]string) string {
+	if len(q) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	// Insertion sort: key sets are tiny (a handful of form fields).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte('&')
+		}
+		sb.WriteString(Escape(k))
+		sb.WriteByte('=')
+		sb.WriteString(Escape(q[k]))
+	}
+	return sb.String()
+}
+
+func isUnreserved(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' ||
+		c == '-' || c == '_' || c == '.' || c == '~'
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,102 @@
+package httpwire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseQuery(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  string
+		want map[string]string
+	}{
+		{"paper example", "userid=5&popups=no", map[string]string{"userid": "5", "popups": "no"}},
+		{"empty", "", map[string]string{}},
+		{"value-less key", "flag", map[string]string{"flag": ""}},
+		{"empty value", "k=", map[string]string{"k": ""}},
+		{"plus is space", "q=hello+world", map[string]string{"q": "hello world"}},
+		{"percent escape", "q=a%26b%3D1", map[string]string{"q": "a&b=1"}},
+		{"duplicate keys last wins", "a=1&a=2", map[string]string{"a": "2"}},
+		{"stray ampersands", "&&a=1&&", map[string]string{"a": "1"}},
+		{"utf8 escape", "n=%E2%82%AC", map[string]string{"n": "€"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ParseQuery(tt.raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for k, v := range tt.want {
+				if got[k] != v {
+					t.Fatalf("got[%q] = %q, want %q", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, raw := range []string{"a=%", "a=%2", "a=%zz", "%G0=1"} {
+		if _, err := ParseQuery(raw); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded, want error", raw)
+		}
+	}
+}
+
+func TestEscapeUnescapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		out, err := Unescape(Escape(s))
+		return err == nil && out == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeQueryDeterministic(t *testing.T) {
+	q := map[string]string{"b": "2", "a": "1", "c": "x y"}
+	want := "a=1&b=2&c=x+y"
+	for i := 0; i < 10; i++ {
+		if got := EncodeQuery(q); got != want {
+			t.Fatalf("EncodeQuery = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEncodeQueryEmpty(t *testing.T) {
+	if got := EncodeQuery(nil); got != "" {
+		t.Fatalf("EncodeQuery(nil) = %q, want empty", got)
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	f := func(keys, values []string) bool {
+		in := map[string]string{}
+		for i, k := range keys {
+			if k == "" || i >= len(values) {
+				continue
+			}
+			in[k] = values[i]
+		}
+		out, err := ParseQuery(EncodeQuery(in))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for k, v := range in {
+			if out[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

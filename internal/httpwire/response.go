@@ -1,0 +1,97 @@
+package httpwire
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Status codes used by the servers.
+const (
+	StatusOK                  = 200
+	StatusFound               = 302
+	StatusBadRequest          = 400
+	StatusNotFound            = 404
+	StatusMethodNotAllowed    = 405
+	StatusInternalServerError = 500
+	StatusServiceUnavailable  = 503
+)
+
+var statusText = map[int]string{
+	StatusOK:                  "OK",
+	StatusFound:               "Found",
+	StatusBadRequest:          "Bad Request",
+	StatusNotFound:            "Not Found",
+	StatusMethodNotAllowed:    "Method Not Allowed",
+	StatusInternalServerError: "Internal Server Error",
+	StatusServiceUnavailable:  "Service Unavailable",
+}
+
+// StatusText returns the reason phrase for code, or "Unknown".
+func StatusText(code int) string {
+	if s, ok := statusText[code]; ok {
+		return s
+	}
+	return "Unknown"
+}
+
+// Response is a complete HTTP response ready to be written. Rendering a
+// template first and only then building the Response is what lets the
+// modified server set Content-Length exactly — the capability the paper
+// notes most dynamic-content servers lack.
+type Response struct {
+	Status      int
+	ContentType string
+	Body        []byte
+	KeepAlive   bool
+	Extra       Header // optional extra headers (e.g. Location)
+}
+
+// Write serializes the response, including an exact Content-Length.
+func (r *Response) Write(w io.Writer) error {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriter(w)
+	}
+	ct := r.ContentType
+	if ct == "" {
+		ct = "text/html; charset=utf-8"
+	}
+	writeString(bw, "HTTP/1.1 ")
+	writeString(bw, strconv.Itoa(r.Status))
+	writeString(bw, " ")
+	writeString(bw, StatusText(r.Status))
+	writeString(bw, "\r\nServer: stagedweb\r\nContent-Type: ")
+	writeString(bw, ct)
+	writeString(bw, "\r\nContent-Length: ")
+	writeString(bw, strconv.Itoa(len(r.Body)))
+	if r.KeepAlive {
+		writeString(bw, "\r\nConnection: keep-alive")
+	} else {
+		writeString(bw, "\r\nConnection: close")
+	}
+	for k, v := range r.Extra {
+		writeString(bw, "\r\n")
+		writeString(bw, k)
+		writeString(bw, ": ")
+		writeString(bw, v)
+	}
+	writeString(bw, "\r\n\r\n")
+	bw.Write(r.Body)
+	return bw.Flush()
+}
+
+func writeString(bw *bufio.Writer, s string) {
+	// bufio.Writer records the first error; a final Flush reports it.
+	_, _ = bw.WriteString(s)
+}
+
+// WriteError writes a minimal error response with a plain-text body.
+func WriteError(w io.Writer, status int, msg string) error {
+	resp := Response{
+		Status:      status,
+		ContentType: "text/plain; charset=utf-8",
+		Body:        []byte(msg),
+	}
+	return resp.Write(w)
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Mean() != 100*time.Millisecond {
+		t.Fatalf("Mean = %v, want 100ms", h.Mean())
+	}
+	if h.Min() != h.Max() || h.Min() != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v, want 100ms", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	h.Observe(3 * time.Second)
+	if got := h.Mean(); got != 2*time.Second {
+		t.Fatalf("Mean = %v, want 2s", got)
+	}
+	if got := h.Sum(); got != 4*time.Second {
+		t.Fatalf("Sum = %v, want 4s", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Min() != 0 {
+		t.Fatalf("Min = %v, want 0", h.Min())
+	}
+}
+
+func TestHistogramQuantileApproximation(t *testing.T) {
+	var h Histogram
+	// 100 observations spanning 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	// Log buckets with 8 per decade: relative error bound ~ 10^(1/8) = 1.33x.
+	if p50 < 40*time.Millisecond || p50 > 70*time.Millisecond {
+		t.Fatalf("P50 = %v, want ~50ms within bucket error", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 80*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("P99 = %v, want ~99ms within bucket error", p99)
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Fatalf("Quantile(1) = %v, want max %v", q, h.Max())
+	}
+}
+
+func TestHistogramQuantileOutOfRangePanics(t *testing.T) {
+	var h Histogram
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range quantile did not panic")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Duration(i+1) * time.Second)
+	}
+	s := h.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("Snapshot.Count = %d, want 10", s.Count)
+	}
+	if s.Mean != 5500*time.Millisecond {
+		t.Fatalf("Snapshot.Mean = %v, want 5.5s", s.Mean)
+	}
+	if s.P50 == 0 || s.P90 == 0 || s.P99 == 0 {
+		t.Fatal("Snapshot quantiles must be populated")
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Fatalf("quantiles not monotone: %v %v %v", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for j := 0; j < perG; j++ {
+				h.Observe(time.Duration(r.Intn(1000)) * time.Millisecond)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// Property: mean is always within [min, max] and quantiles are monotone in q.
+func TestHistogramInvariantsProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, u := range raw {
+			h.Observe(time.Duration(u%10_000_000) * time.Microsecond)
+		}
+		mean, lo, hi := h.Mean(), h.Min(), h.Max()
+		if mean < lo || mean > hi {
+			return false
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(1) <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{
+		0, time.Microsecond, 10 * time.Microsecond, time.Millisecond,
+		10 * time.Millisecond, time.Second, 10 * time.Second, time.Hour,
+	} {
+		idx := bucketIndex(d)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%v) = %d < previous %d", d, idx, prev)
+		}
+		prev = idx
+	}
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"stagedweb/internal/clock"
+)
+
+// Agg selects how a Series combines multiple observations that land in the
+// same bucket.
+type Agg int
+
+const (
+	// AggSum adds observations — used for per-interval throughput counts
+	// (Figures 9 and 10).
+	AggSum Agg = iota + 1
+	// AggLast keeps the most recent observation — used for sampled queue
+	// lengths (Figures 7 and 8).
+	AggLast
+	// AggMax keeps the largest observation.
+	AggMax
+	// AggMean averages observations within the bucket.
+	AggMean
+)
+
+// Series is a fixed-interval time series anchored at a start time. It is
+// safe for concurrent use.
+type Series struct {
+	mu     sync.Mutex
+	start  time.Time
+	width  time.Duration
+	agg    Agg
+	values []float64
+	counts []int64
+}
+
+// NewSeries returns a Series with the given bucket width and aggregation.
+// Width must be positive.
+func NewSeries(start time.Time, width time.Duration, agg Agg) *Series {
+	if width <= 0 {
+		panic("metrics: non-positive series bucket width")
+	}
+	return &Series{start: start, width: width, agg: agg}
+}
+
+// Start reports the series anchor time.
+func (s *Series) Start() time.Time { return s.start }
+
+// Width reports the bucket width.
+func (s *Series) Width() time.Duration { return s.width }
+
+// Observe records v at time t. Observations before the start time are
+// dropped (ramp-up traffic outside the measurement window).
+func (s *Series) Observe(t time.Time, v float64) {
+	d := t.Sub(s.start)
+	if d < 0 {
+		return
+	}
+	idx := int(d / s.width)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.values) <= idx {
+		s.values = append(s.values, 0)
+		s.counts = append(s.counts, 0)
+	}
+	switch s.agg {
+	case AggSum:
+		s.values[idx] += v
+	case AggLast:
+		s.values[idx] = v
+	case AggMax:
+		if s.counts[idx] == 0 || v > s.values[idx] {
+			s.values[idx] = v
+		}
+	case AggMean:
+		s.values[idx] += v
+	default:
+		panic("metrics: unknown aggregation")
+	}
+	s.counts[idx]++
+}
+
+// Point is one (offset, value) sample of a series.
+type Point struct {
+	Offset time.Duration // from series start to bucket start
+	Value  float64
+}
+
+// Points returns the bucketed samples in time order. Buckets with no
+// observations report zero, matching how the paper's figures show idle
+// intervals.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := make([]Point, len(s.values))
+	for i := range s.values {
+		v := s.values[i]
+		if s.agg == AggMean && s.counts[i] > 0 {
+			v /= float64(s.counts[i])
+		}
+		pts[i] = Point{Offset: time.Duration(i) * s.width, Value: v}
+	}
+	return pts
+}
+
+// Len reports the number of buckets with at least the last observation.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.values)
+}
+
+// Sampler periodically reads a gauge-like source into a Series. It powers
+// the queue-length figures: one sample per paper-second.
+type Sampler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartSampler samples src into dst every interval until Stop is called.
+// The interval is interpreted on clk (wall time for experiments, manual
+// time for tests).
+func StartSampler(clk clock.Clock, interval time.Duration, src func() float64, dst *Series) *Sampler {
+	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	tk := clk.NewTicker(interval)
+	go func() {
+		defer close(s.done)
+		defer tk.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-tk.C():
+				dst.Observe(now, src())
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts the sampler and waits for its goroutine to exit.
+func (s *Sampler) Stop() {
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"stagedweb/internal/clock"
+)
+
+var tsEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSeriesSum(t *testing.T) {
+	s := NewSeries(tsEpoch, time.Minute, AggSum)
+	s.Observe(tsEpoch.Add(10*time.Second), 1)
+	s.Observe(tsEpoch.Add(30*time.Second), 1)
+	s.Observe(tsEpoch.Add(90*time.Second), 1)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("len(Points) = %d, want 2", len(pts))
+	}
+	if pts[0].Value != 2 || pts[1].Value != 1 {
+		t.Fatalf("values = %v/%v, want 2/1", pts[0].Value, pts[1].Value)
+	}
+	if pts[1].Offset != time.Minute {
+		t.Fatalf("offset = %v, want 1m", pts[1].Offset)
+	}
+}
+
+func TestSeriesLast(t *testing.T) {
+	s := NewSeries(tsEpoch, time.Second, AggLast)
+	s.Observe(tsEpoch.Add(100*time.Millisecond), 5)
+	s.Observe(tsEpoch.Add(900*time.Millisecond), 9)
+	pts := s.Points()
+	if pts[0].Value != 9 {
+		t.Fatalf("AggLast value = %v, want 9", pts[0].Value)
+	}
+}
+
+func TestSeriesMax(t *testing.T) {
+	s := NewSeries(tsEpoch, time.Second, AggMax)
+	s.Observe(tsEpoch, 3)
+	s.Observe(tsEpoch.Add(time.Millisecond), 7)
+	s.Observe(tsEpoch.Add(2*time.Millisecond), 5)
+	if got := s.Points()[0].Value; got != 7 {
+		t.Fatalf("AggMax value = %v, want 7", got)
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	s := NewSeries(tsEpoch, time.Second, AggMean)
+	s.Observe(tsEpoch, 2)
+	s.Observe(tsEpoch.Add(time.Millisecond), 4)
+	if got := s.Points()[0].Value; got != 3 {
+		t.Fatalf("AggMean value = %v, want 3", got)
+	}
+}
+
+func TestSeriesDropsEarlyObservations(t *testing.T) {
+	s := NewSeries(tsEpoch, time.Second, AggSum)
+	s.Observe(tsEpoch.Add(-time.Second), 100) // ramp-up traffic
+	if s.Len() != 0 {
+		t.Fatal("observation before start must be dropped")
+	}
+}
+
+func TestSeriesGapBucketsReportZero(t *testing.T) {
+	s := NewSeries(tsEpoch, time.Second, AggSum)
+	s.Observe(tsEpoch.Add(5*time.Second), 1)
+	pts := s.Points()
+	if len(pts) != 6 {
+		t.Fatalf("len = %d, want 6", len(pts))
+	}
+	for i := 0; i < 5; i++ {
+		if pts[i].Value != 0 {
+			t.Fatalf("gap bucket %d = %v, want 0", i, pts[i].Value)
+		}
+	}
+}
+
+func TestSeriesInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width did not panic")
+		}
+	}()
+	NewSeries(tsEpoch, 0, AggSum)
+}
+
+func TestSamplerCollectsOnTicks(t *testing.T) {
+	clk := clock.NewManual(tsEpoch)
+	s := NewSeries(tsEpoch, time.Second, AggLast)
+	var g Gauge
+	sampler := StartSampler(clk, time.Second, func() float64 { return float64(g.Value()) }, s)
+	defer sampler.Stop()
+
+	clk.BlockUntilWaiters(1)
+	g.Set(4)
+	clk.Advance(time.Second)
+	waitForLen(t, s, 2) // bucket for t=1s exists once sampled
+	g.Set(7)
+	clk.Advance(time.Second)
+	waitForLen(t, s, 3)
+
+	pts := s.Points()
+	if pts[1].Value != 4 {
+		t.Fatalf("sample at 1s = %v, want 4", pts[1].Value)
+	}
+	if pts[2].Value != 7 {
+		t.Fatalf("sample at 2s = %v, want 7", pts[2].Value)
+	}
+}
+
+func waitForLen(t *testing.T, s *Series, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Len() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("series never reached %d buckets (have %d)", n, s.Len())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestSamplerStopIdempotentGoroutine(t *testing.T) {
+	clk := clock.NewManual(tsEpoch)
+	s := NewSeries(tsEpoch, time.Second, AggLast)
+	sampler := StartSampler(clk, time.Second, func() float64 { return 1 }, s)
+	sampler.Stop() // must not deadlock
+}

@@ -1,0 +1,95 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of workers draining a Queue. Each worker
+// corresponds to one thread of a CherryPy pool; the busy/spare split is
+// tracked because the paper's dispatcher reads the general pool's spare
+// count (t_spare) on every lengthy-request dispatch.
+type Pool[T any] struct {
+	name  string
+	size  int
+	queue *Queue[T]
+	work  func(T)
+
+	busy      atomic.Int64
+	completed atomic.Int64
+	wg        sync.WaitGroup
+	started   atomic.Bool
+}
+
+// New returns an unstarted pool of size workers draining queue with work.
+// Size must be positive; work must be non-nil.
+func New[T any](name string, size int, queue *Queue[T], work func(T)) *Pool[T] {
+	if size <= 0 {
+		panic(fmt.Sprintf("pool %q: non-positive size %d", name, size))
+	}
+	if work == nil {
+		panic(fmt.Sprintf("pool %q: nil work function", name))
+	}
+	if queue == nil {
+		panic(fmt.Sprintf("pool %q: nil queue", name))
+	}
+	return &Pool[T]{name: name, size: size, queue: queue, work: work}
+}
+
+// Start launches the workers. It panics if called twice.
+func (p *Pool[T]) Start() {
+	if !p.started.CompareAndSwap(false, true) {
+		panic(fmt.Sprintf("pool %q: started twice", p.name))
+	}
+	p.wg.Add(p.size)
+	for i := 0; i < p.size; i++ {
+		go p.worker()
+	}
+}
+
+func (p *Pool[T]) worker() {
+	defer p.wg.Done()
+	for {
+		item, ok := p.queue.Get()
+		if !ok {
+			return
+		}
+		p.busy.Add(1)
+		p.work(item)
+		p.busy.Add(-1)
+		p.completed.Add(1)
+	}
+}
+
+// Stop closes the queue and waits for all workers to finish in-flight
+// work and drain remaining items.
+func (p *Pool[T]) Stop() {
+	p.queue.Close()
+	p.wg.Wait()
+}
+
+// Name reports the pool's name.
+func (p *Pool[T]) Name() string { return p.name }
+
+// Size reports the configured worker count.
+func (p *Pool[T]) Size() int { return p.size }
+
+// Busy reports how many workers are currently executing work.
+func (p *Pool[T]) Busy() int { return int(p.busy.Load()) }
+
+// Spare reports the number of idle workers. This is the paper's t_spare
+// when read on the general dynamic pool.
+func (p *Pool[T]) Spare() int {
+	s := p.size - int(p.busy.Load())
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// Completed reports how many work items have finished.
+func (p *Pool[T]) Completed() int64 { return p.completed.Load() }
+
+// Queue returns the pool's input queue, e.g. for length sampling.
+func (p *Pool[T]) Queue() *Queue[T] { return p.queue }

@@ -1,0 +1,174 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolProcessesAll(t *testing.T) {
+	q := NewQueue[int](16)
+	var sum atomic.Int64
+	p := New("test", 4, q, func(v int) { sum.Add(int64(v)) })
+	p.Start()
+	total := 0
+	for i := 1; i <= 100; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+		total += i
+	}
+	p.Stop()
+	if got := sum.Load(); got != int64(total) {
+		t.Fatalf("sum = %d, want %d", got, total)
+	}
+	if got := p.Completed(); got != 100 {
+		t.Fatalf("Completed = %d, want 100", got)
+	}
+}
+
+func TestPoolSpareTracking(t *testing.T) {
+	q := NewQueue[chan struct{}](16)
+	p := New("test", 4, q, func(release chan struct{}) { <-release })
+	p.Start()
+	defer p.Stop()
+
+	if got := p.Spare(); got != 4 {
+		t.Fatalf("initial Spare = %d, want 4", got)
+	}
+
+	releases := make([]chan struct{}, 3)
+	for i := range releases {
+		releases[i] = make(chan struct{})
+		if err := q.Put(releases[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return p.Busy() == 3 })
+	if got := p.Spare(); got != 1 {
+		t.Fatalf("Spare with 3 busy = %d, want 1", got)
+	}
+	for _, r := range releases {
+		close(r)
+	}
+	waitFor(t, func() bool { return p.Spare() == 4 })
+}
+
+func TestPoolStopWaitsForInFlight(t *testing.T) {
+	q := NewQueue[struct{}](1)
+	var finished atomic.Bool
+	started := make(chan struct{})
+	p := New("test", 1, q, func(struct{}) {
+		close(started)
+		time.Sleep(30 * time.Millisecond)
+		finished.Store(true)
+	})
+	p.Start()
+	if err := q.Put(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	p.Stop()
+	if !finished.Load() {
+		t.Fatal("Stop returned before in-flight work finished")
+	}
+}
+
+func TestPoolStopDrainsQueue(t *testing.T) {
+	q := NewQueue[int](64)
+	var n atomic.Int64
+	p := New("test", 2, q, func(int) { n.Add(1) })
+	for i := 0; i < 50; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Start()
+	p.Stop()
+	if got := n.Load(); got != 50 {
+		t.Fatalf("processed %d, want 50 (Stop must drain)", got)
+	}
+}
+
+func TestPoolDoubleStartPanics(t *testing.T) {
+	q := NewQueue[int](1)
+	p := New("test", 1, q, func(int) {})
+	p.Start()
+	defer p.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	p.Start()
+}
+
+func TestPoolInvalidConfigPanics(t *testing.T) {
+	q := NewQueue[int](1)
+	for name, fn := range map[string]func(){
+		"zero size": func() { New("x", 0, q, func(int) {}) },
+		"nil work":  func() { New[int]("x", 1, q, nil) },
+		"nil queue": func() { New("x", 1, nil, func(int) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPoolBoundedConcurrency(t *testing.T) {
+	q := NewQueue[struct{}](128)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	p := New("test", 3, q, func(struct{}) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	})
+	p.Start()
+	for i := 0; i < 60; i++ {
+		if err := q.Put(struct{}{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Stop()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size 3", got)
+	}
+}
+
+func TestPoolAccessors(t *testing.T) {
+	q := NewQueue[int](2)
+	p := New("header-parsing", 5, q, func(int) {})
+	if p.Name() != "header-parsing" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if p.Size() != 5 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if p.Queue() != q {
+		t.Fatal("Queue accessor mismatch")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,163 @@
+// Package pool implements the bounded synchronized queues and fixed-size
+// worker pools that model the paper's thread pools.
+//
+// CherryPy's request machinery — a listener placing work on a synchronized
+// queue drained by a fixed pool of threads — maps onto a Queue plus a Pool
+// of goroutines. Queue length and pool spare-worker counts are exposed as
+// gauges because both are inputs to the DSN'09 scheduling policy (t_spare)
+// and outputs of its evaluation (Figures 7 and 8).
+package pool
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Put after Close.
+var ErrClosed = errors.New("pool: queue closed")
+
+// Queue is a bounded, synchronized FIFO. Put blocks while the queue is
+// full; Get blocks while it is empty. The zero value is not usable — use
+// NewQueue.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	buf    []T
+	head   int
+	count  int
+	closed bool
+
+	enqueued int64
+	dequeued int64
+	maxLen   int
+}
+
+// NewQueue returns a queue holding at most capacity items. Capacity must
+// be positive.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic("pool: non-positive queue capacity")
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Put appends item, blocking while the queue is full. It returns ErrClosed
+// if the queue has been closed (including while blocked).
+func (q *Queue[T]) Put(item T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.putLocked(item)
+	return nil
+}
+
+// TryPut appends item without blocking. It reports false if the queue is
+// full and ErrClosed if closed.
+func (q *Queue[T]) TryPut(item T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if q.count == len(q.buf) {
+		return false, nil
+	}
+	q.putLocked(item)
+	return true, nil
+}
+
+func (q *Queue[T]) putLocked(item T) {
+	tail := (q.head + q.count) % len(q.buf)
+	q.buf[tail] = item
+	q.count++
+	q.enqueued++
+	if q.count > q.maxLen {
+		q.maxLen = q.count
+	}
+	q.notEmpty.Signal()
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false once the queue is closed and drained.
+func (q *Queue[T]) Get() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.count == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release reference for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.dequeued++
+	q.notFull.Signal()
+	return item, true
+}
+
+// Close marks the queue closed. Blocked Puts fail with ErrClosed; blocked
+// Gets drain remaining items and then report ok=false. Close is
+// idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// Len reports the current number of queued items. This is the quantity
+// plotted in Figures 7 and 8 of the paper.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// Stats is a snapshot of queue activity.
+type Stats struct {
+	Len      int
+	Cap      int
+	Enqueued int64
+	Dequeued int64
+	MaxLen   int
+	Closed   bool
+}
+
+// Stats returns a consistent snapshot of the queue counters.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Len:      q.count,
+		Cap:      len(q.buf),
+		Enqueued: q.enqueued,
+		Dequeued: q.dequeued,
+		MaxLen:   q.maxLen,
+		Closed:   q.closed,
+	}
+}

@@ -1,0 +1,61 @@
+package sched
+
+// Target is the dynamic-request pool a request is dispatched to.
+type Target int
+
+const (
+	// General is the general dynamic request pool: all quick requests,
+	// plus lengthy requests while spare capacity is abundant.
+	General Target = iota + 1
+	// Lengthy is the lengthy dynamic request pool.
+	Lengthy
+)
+
+func (t Target) String() string {
+	switch t {
+	case General:
+		return "general"
+	case Lengthy:
+		return "lengthy"
+	default:
+		return "unknown"
+	}
+}
+
+// Dispatcher applies Table 1 of the paper:
+//
+//	quick request                              -> general pool
+//	lengthy request and t_spare >  t_reserve   -> general pool
+//	lengthy request and t_spare <= t_reserve   -> lengthy pool
+type Dispatcher struct {
+	cls   *Classifier
+	rc    *ReserveController
+	spare func() int // live spare-thread count of the general pool
+}
+
+// NewDispatcher wires the classifier, reserve controller, and the general
+// pool's spare-count source.
+func NewDispatcher(cls *Classifier, rc *ReserveController, spare func() int) *Dispatcher {
+	if cls == nil || rc == nil || spare == nil {
+		panic("sched: nil dispatcher dependency")
+	}
+	return &Dispatcher{cls: cls, rc: rc, spare: spare}
+}
+
+// Choose picks the pool for a dynamic request identified by its page key.
+func (d *Dispatcher) Choose(key string) Target {
+	if !d.cls.Lengthy(key) {
+		return General
+	}
+	if d.spare() > d.rc.Reserve() {
+		return General
+	}
+	return Lengthy
+}
+
+// Classifier exposes the dispatcher's classifier (for recording
+// measurements and for diagnostics).
+func (d *Dispatcher) Classifier() *Classifier { return d.cls }
+
+// ReserveController exposes the dispatcher's controller.
+func (d *Dispatcher) ReserveController() *ReserveController { return d.rc }

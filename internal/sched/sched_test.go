@@ -1,0 +1,251 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stagedweb/internal/clock"
+)
+
+// TestReserveControllerPaperTrace reproduces Table 2 of the paper exactly:
+// the 10-second t_spare trace with min t_reserve = 20.
+func TestReserveControllerPaperTrace(t *testing.T) {
+	rc := NewReserveController(20)
+	trace := []struct {
+		tspare      int
+		wantReserve int // t_reserve listed for this second (before update)
+		wantDelta   int // the table's delta column
+	}{
+		{35, 20, 0},
+		{24, 20, 0},
+		{17, 20, 6},
+		{21, 26, 5},
+		{30, 31, 1},
+		{36, 32, -2},
+		{38, 30, -4},
+		{37, 26, -5},
+		{35, 21, -1},
+		{39, 20, 0},
+	}
+	for i, step := range trace {
+		if got := rc.Reserve(); got != step.wantReserve {
+			t.Fatalf("second %d: t_reserve = %d, want %d", i+1, got, step.wantReserve)
+		}
+		before := rc.Reserve()
+		after := rc.Update(step.tspare)
+		if delta := after - before; delta != step.wantDelta {
+			t.Fatalf("second %d: delta = %+d, want %+d (t_spare=%d, before=%d)",
+				i+1, delta, step.wantDelta, step.tspare, before)
+		}
+	}
+	if got := rc.Reserve(); got != 20 {
+		t.Fatalf("final t_reserve = %d, want 20", got)
+	}
+}
+
+func TestReserveNeverBelowMin(t *testing.T) {
+	rc := NewReserveController(20)
+	for i := 0; i < 50; i++ {
+		rc.Update(1000) // huge spare counts decay the reserve
+		if rc.Reserve() < 20 {
+			t.Fatalf("reserve %d fell below min", rc.Reserve())
+		}
+	}
+	if rc.Reserve() != 20 {
+		t.Fatalf("reserve = %d, want steady-state 20", rc.Reserve())
+	}
+}
+
+func TestReserveSpikesGrow(t *testing.T) {
+	rc := NewReserveController(20)
+	// A spike: spare collapses to 0. Growth = (20-0) + (20-0) = +40.
+	if got := rc.Update(0); got != 60 {
+		t.Fatalf("reserve after total collapse = %d, want 60", got)
+	}
+}
+
+// Property: the reserve is always >= min, and updates are monotone in the
+// right direction (spare below reserve grows it, spare above shrinks it).
+func TestReserveControllerProperty(t *testing.T) {
+	f := func(spares []uint8) bool {
+		rc := NewReserveController(10)
+		for _, s := range spares {
+			before := rc.Reserve()
+			after := rc.Update(int(s))
+			if after < 10 {
+				return false
+			}
+			if int(s) < before && after <= before {
+				return false // drop must grow the reserve
+			}
+			if int(s) > before && after > before {
+				return false // surplus must not grow it
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifierCutoff(t *testing.T) {
+	c := NewClassifier(DefaultCutoff)
+	if c.Lengthy("unknown") {
+		t.Fatal("unseen page must be quick")
+	}
+	c.Record("home", 30*time.Millisecond)
+	if c.Lengthy("home") {
+		t.Fatal("30ms page classified lengthy")
+	}
+	c.Record("best_sellers", 8*time.Second)
+	if !c.Lengthy("best_sellers") {
+		t.Fatal("8s page classified quick")
+	}
+}
+
+func TestClassifierMeanTracksHistory(t *testing.T) {
+	c := NewClassifier(DefaultCutoff)
+	c.Record("p", 1*time.Second)
+	c.Record("p", 3*time.Second)
+	if got := c.Mean("p"); got != 2*time.Second {
+		t.Fatalf("Mean = %v, want 2s", got)
+	}
+	// A page drifting over the cutoff flips classification.
+	c.Record("p", 10*time.Second)
+	if !c.Lengthy("p") {
+		t.Fatalf("mean %v should be lengthy", c.Mean("p"))
+	}
+}
+
+func TestClassifierNegativeClamped(t *testing.T) {
+	c := NewClassifier(DefaultCutoff)
+	c.Record("p", -time.Second)
+	if got := c.Mean("p"); got != 0 {
+		t.Fatalf("Mean = %v, want 0", got)
+	}
+}
+
+func TestClassifierSnapshotSorted(t *testing.T) {
+	c := NewClassifier(DefaultCutoff)
+	c.Record("zeta", time.Second)
+	c.Record("alpha", time.Second)
+	c.Record("alpha", 3*time.Second)
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[0].Key != "alpha" || snap[1].Key != "zeta" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Count != 2 || snap[0].Mean != 2*time.Second {
+		t.Fatalf("alpha stats = %+v", snap[0])
+	}
+}
+
+func TestClassifierConcurrent(t *testing.T) {
+	c := NewClassifier(DefaultCutoff)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Record("page", time.Millisecond)
+				_ = c.Lengthy("page")
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap[0].Count != 4000 {
+		t.Fatalf("count = %d, want 4000", snap[0].Count)
+	}
+}
+
+// TestDispatchRules verifies Table 1 of the paper.
+func TestDispatchRules(t *testing.T) {
+	cls := NewClassifier(DefaultCutoff)
+	cls.Record("quick_page", 10*time.Millisecond)
+	cls.Record("lengthy_page", 10*time.Second)
+	rc := NewReserveController(20)
+
+	spare := 0
+	d := NewDispatcher(cls, rc, func() int { return spare })
+
+	tests := []struct {
+		name   string
+		key    string
+		tspare int
+		want   Target
+	}{
+		{"quick always general (low spare)", "quick_page", 0, General},
+		{"quick always general (high spare)", "quick_page", 100, General},
+		{"unknown page treated quick", "never_seen", 0, General},
+		{"lengthy with tspare > treserve", "lengthy_page", 21, General},
+		{"lengthy with tspare == treserve", "lengthy_page", 20, Lengthy},
+		{"lengthy with tspare < treserve", "lengthy_page", 3, Lengthy},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spare = tt.tspare
+			if got := d.Choose(tt.key); got != tt.want {
+				t.Fatalf("Choose(%s) with tspare=%d treserve=%d = %v, want %v",
+					tt.key, tt.tspare, rc.Reserve(), got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDispatcherAccessors(t *testing.T) {
+	cls := NewClassifier(DefaultCutoff)
+	rc := NewReserveController(5)
+	d := NewDispatcher(cls, rc, func() int { return 0 })
+	if d.Classifier() != cls || d.ReserveController() != rc {
+		t.Fatal("accessors mismatched")
+	}
+}
+
+func TestControllerLoopUpdatesOncePerTick(t *testing.T) {
+	clk := clock.NewManual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	rc := NewReserveController(20)
+	ctl := StartController(clk, time.Second, rc, func() int { return 0 }) // collapse: +40 per tick
+	defer ctl.Stop()
+
+	clk.BlockUntilWaiters(1)
+	// Tick 1: reserve 20, spare 0 -> +(20-0) + (20-0) = 60.
+	clk.Advance(time.Second)
+	waitForReserve(t, rc, 60)
+	// Tick 2: reserve 60, spare 0 -> +(60-0) + (20-0) = 140.
+	clk.Advance(time.Second)
+	waitForReserve(t, rc, 140)
+}
+
+// waitForReserve polls until the controller has applied the tick.
+func waitForReserve(t *testing.T, rc *ReserveController, atLeast int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for rc.Reserve() < atLeast {
+		if time.Now().After(deadline) {
+			t.Fatalf("reserve %d never reached %d", rc.Reserve(), atLeast)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero cutoff":    func() { NewClassifier(0) },
+		"negative min":   func() { NewReserveController(-1) },
+		"nil spare":      func() { NewDispatcher(NewClassifier(time.Second), NewReserveController(0), nil) },
+		"nil classifier": func() { NewDispatcher(nil, NewReserveController(0), func() int { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/httpwire"
+	"stagedweb/internal/metrics"
+	"stagedweb/internal/pool"
+	"stagedweb/internal/sqldb"
+)
+
+// BaselineConfig configures the thread-per-request server.
+type BaselineConfig struct {
+	// App is the application to serve.
+	App App
+	// DB is the database. Every worker opens and owns one connection for
+	// its lifetime — the convention the paper's Section 1 describes. The
+	// worker count therefore equals the connection budget.
+	DB *sqldb.DB
+	// Workers is the size of the single thread pool (and the number of
+	// database connections held).
+	Workers int
+	// QueueCap bounds the accept queue. Defaults to 4096.
+	QueueCap int
+	// IdleTimeout bounds how long a worker waits for the next request on
+	// a keep-alive connection (wall time), like CherryPy's socket
+	// timeout. Defaults to 10 s.
+	IdleTimeout time.Duration
+	// Cost models render/static worker time (paper time); zero charges
+	// nothing.
+	Cost WorkCost
+	// Clock and Scale drive the cost model's sleeps.
+	Clock clock.Clock
+	Scale clock.Timescale
+	// OnComplete, when set, receives a CompletionEvent per request.
+	OnComplete func(CompletionEvent)
+}
+
+// Baseline is the unmodified thread-per-request server (Figure 4 of the
+// paper): a single listener feeding a single synchronized queue drained
+// by a single pool of workers, each of which parses, queries, renders,
+// and writes an entire request while holding its database connection.
+type Baseline struct {
+	cfg   BaselineConfig
+	queue *pool.Queue[net.Conn]
+	pool  *pool.Pool[net.Conn]
+
+	mu       sync.Mutex
+	listener net.Listener
+	stopped  bool
+	conns    []*sqldb.Conn
+
+	accepted metrics.Counter
+	served   metrics.Counter
+}
+
+// NewBaseline validates the configuration and builds the server.
+func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
+	if cfg.App == nil {
+		return nil, errors.New("server: nil App")
+	}
+	if cfg.DB == nil {
+		return nil, errors.New("server: nil DB")
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("server: invalid worker count %d", cfg.Workers)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = clock.RealTime
+	}
+	s := &Baseline{cfg: cfg}
+	s.queue = pool.NewQueue[net.Conn](cfg.QueueCap)
+
+	// Each worker owns a dedicated database connection for its lifetime.
+	workerConns := pool.NewQueue[*sqldb.Conn](cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		c := cfg.DB.Connect()
+		s.conns = append(s.conns, c)
+		if err := workerConns.Put(c); err != nil {
+			return nil, fmt.Errorf("server: seeding worker connections: %w", err)
+		}
+	}
+	s.pool = pool.New("baseline", cfg.Workers, s.queue, func(conn net.Conn) {
+		// Bind a connection to this goroutine for the duration of the
+		// request; workers outnumber neither conns nor vice versa, so
+		// this never blocks.
+		dbc, _ := workerConns.Get()
+		s.serveConn(conn, dbc)
+		_, _ = workerConns.TryPut(dbc)
+	})
+	return s, nil
+}
+
+// Serve accepts connections on l until Stop. It blocks; run it in a
+// goroutine. The error is nil after a clean Stop.
+func (s *Baseline) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		_ = l.Close()
+		return nil
+	}
+	s.listener = l
+	s.pool.Start()
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.accepted.Inc()
+		if err := s.queue.Put(conn); err != nil {
+			_ = conn.Close()
+			return nil // queue closed: shutting down
+		}
+	}
+}
+
+// Stop closes the listener and drains the worker pool. It is safe to
+// call before, during, or after Serve.
+func (s *Baseline) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	s.pool.Stop()
+	for _, c := range s.conns {
+		c.Close()
+	}
+}
+
+// charge sleeps a paper-time work cost through the timescale.
+func (s *Baseline) charge(paperCost time.Duration) {
+	if paperCost > 0 {
+		s.cfg.Clock.Sleep(s.cfg.Scale.Wall(paperCost))
+	}
+}
+
+// QueueLen reports the single request queue's length — the series plotted
+// in Figure 7.
+func (s *Baseline) QueueLen() int { return s.queue.Len() }
+
+// Served reports the number of completed requests.
+func (s *Baseline) Served() int64 { return s.served.Value() }
+
+// serveConn handles every request on one connection (keep-alive loop),
+// all on the same worker with the same database connection.
+func (s *Baseline) serveConn(conn net.Conn, dbc *sqldb.Conn) {
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		start := time.Now()
+		_ = conn.SetReadDeadline(start.Add(s.cfg.IdleTimeout))
+		req, err := httpwire.ReadRequest(br)
+		if err != nil {
+			// EOF/timeout/reset between requests is the normal end of a
+			// keep-alive session; anything mid-request gets a 400.
+			return
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		keep := req.KeepAlive()
+		ev := CompletionEvent{Page: req.Line.Path, Done: start}
+
+		if req.Line.IsStatic() {
+			body, ct, ok := s.cfg.App.Static(req.Line.Path)
+			if !ok {
+				s.finish(bw, conn, ev, httpwire.StatusNotFound, nil, "text/plain; charset=utf-8", false, start, ClassStatic)
+				return
+			}
+			// The worker serves the file itself — holding its database
+			// connection idle the whole time.
+			s.charge(s.cfg.Cost.Static(len(body)))
+			if !s.finish(bw, conn, ev, httpwire.StatusOK, body, ct, keep, start, ClassStatic) {
+				return
+			}
+			if !keep {
+				return
+			}
+			continue
+		}
+
+		handler, ok := s.cfg.App.Handler(req.Line.Path)
+		if !ok {
+			s.finish(bw, conn, ev, httpwire.StatusNotFound, []byte("not found"), "text/plain; charset=utf-8", false, start, ClassQuick)
+			return
+		}
+		res, err := handler(&Request{Path: req.Line.Path, Query: req.Query, Header: req.Header, DB: dbc})
+		if err != nil {
+			s.finish(bw, conn, ev, httpwire.StatusInternalServerError, []byte("internal error"), "text/plain; charset=utf-8", false, start, ClassQuick)
+			return
+		}
+		// Thread-per-request: the same worker renders the template while
+		// still holding its database connection — the inefficiency the
+		// paper removes.
+		body, ct, status, err := RenderResult(s.cfg.App, res)
+		if err != nil {
+			s.finish(bw, conn, ev, httpwire.StatusInternalServerError, []byte("render error"), "text/plain; charset=utf-8", false, start, ClassQuick)
+			return
+		}
+		if res.Deferred() {
+			s.charge(s.cfg.Cost.Render(len(body)))
+		}
+		resp := BuildResponse(res, body, ct, status, keep)
+		if err := resp.Write(bw); err != nil {
+			return
+		}
+		ev.Status = status
+		ev.ServerTime = time.Since(start)
+		ev.Done = time.Now()
+		ev.Class = ClassQuick // harness reclassifies dynamics by page key
+		s.served.Inc()
+		if s.cfg.OnComplete != nil {
+			s.cfg.OnComplete(ev)
+		}
+		if !keep {
+			return
+		}
+	}
+}
+
+// finish writes a simple response and fires the completion event. It
+// reports false when the connection should close.
+func (s *Baseline) finish(bw *bufio.Writer, conn net.Conn, ev CompletionEvent,
+	status int, body []byte, ct string, keep bool, start time.Time, class Class) bool {
+	resp := &httpwire.Response{Status: status, ContentType: ct, Body: body, KeepAlive: keep}
+	if err := resp.Write(bw); err != nil {
+		return false
+	}
+	ev.Status = status
+	ev.Class = class
+	ev.ServerTime = time.Since(start)
+	ev.Done = time.Now()
+	s.served.Inc()
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(ev)
+	}
+	_ = conn // connection closing is the caller's decision
+	return true
+}

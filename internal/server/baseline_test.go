@@ -1,0 +1,254 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stagedweb/internal/server"
+	"stagedweb/internal/sqldb"
+	"stagedweb/internal/webtest"
+)
+
+// startBaseline boots a baseline server around app and returns its
+// address and a stopper.
+func startBaseline(t *testing.T, app *webtest.App, workers int, onComplete func(server.CompletionEvent)) string {
+	t.Helper()
+	db := sqldb.Open(sqldb.Options{})
+	db.MustCreateTable(sqldb.Schema{
+		Table:      "kv",
+		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}, {Name: "v", Type: sqldb.String}},
+		PrimaryKey: "id",
+	})
+	seed := db.Connect()
+	if _, err := seed.Exec("INSERT INTO kv (id, v) VALUES (1, 'hello-from-db')"); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	s, err := server.NewBaseline(server.BaselineConfig{
+		App:        app,
+		DB:         db,
+		Workers:    workers,
+		OnComplete: onComplete,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, addr, err := webtest.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	t.Cleanup(func() {
+		s.Stop()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return addr
+}
+
+func testApp() *webtest.App {
+	app := webtest.NewApp()
+	app.AddTemplate("page.html", "<html><body>{{ msg }}</body></html>")
+	app.AddStatic("/img/flowers.gif", []byte("GIF89a-fake-image-bytes"), "image/gif")
+	app.AddPage("/hello", func(r *server.Request) (*server.Result, error) {
+		rs, err := r.DB.Query("SELECT v FROM kv WHERE id = ?", 1)
+		if err != nil {
+			return nil, err
+		}
+		return &server.Result{Template: "page.html", Data: map[string]any{"msg": rs.Str(0, "v")}}, nil
+	})
+	app.AddPage("/prerendered", func(r *server.Request) (*server.Result, error) {
+		return &server.Result{Body: "<html>already rendered</html>"}, nil
+	})
+	app.AddPage("/boom", func(r *server.Request) (*server.Result, error) {
+		return nil, fmt.Errorf("handler exploded")
+	})
+	app.AddPage("/redirect", func(r *server.Request) (*server.Result, error) {
+		return &server.Result{Redirect: "/hello"}, nil
+	})
+	app.AddPage("/echo", func(r *server.Request) (*server.Result, error) {
+		return &server.Result{Body: "q=" + r.Query["q"]}, nil
+	})
+	return app
+}
+
+func TestBaselineDynamicPage(t *testing.T) {
+	addr := startBaseline(t, testApp(), 4, nil)
+	resp, err := webtest.Get(addr, "/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	if want := "<html><body>hello-from-db</body></html>"; string(resp.Body) != want {
+		t.Fatalf("body = %q, want %q", resp.Body, want)
+	}
+}
+
+func TestBaselineStaticFile(t *testing.T) {
+	addr := startBaseline(t, testApp(), 4, nil)
+	resp, err := webtest.Get(addr, "/img/flowers.gif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.Header.Get("Content-Type") != "image/gif" {
+		t.Fatalf("status=%d ct=%q", resp.Status, resp.Header.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(string(resp.Body), "GIF89a") {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}
+
+func TestBaselineNotFound(t *testing.T) {
+	addr := startBaseline(t, testApp(), 4, nil)
+	for _, path := range []string{"/nosuch", "/img/nosuch.gif"} {
+		resp, err := webtest.Get(addr, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != 404 {
+			t.Fatalf("GET %s status = %d, want 404", path, resp.Status)
+		}
+	}
+}
+
+func TestBaselineHandlerError(t *testing.T) {
+	addr := startBaseline(t, testApp(), 4, nil)
+	resp, err := webtest.Get(addr, "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 500 {
+		t.Fatalf("status = %d, want 500", resp.Status)
+	}
+}
+
+func TestBaselineRedirect(t *testing.T) {
+	addr := startBaseline(t, testApp(), 4, nil)
+	resp, err := webtest.Get(addr, "/redirect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 302 || resp.Header.Get("Location") != "/hello" {
+		t.Fatalf("status=%d location=%q", resp.Status, resp.Header.Get("Location"))
+	}
+}
+
+func TestBaselineQueryParams(t *testing.T) {
+	addr := startBaseline(t, testApp(), 4, nil)
+	resp, err := webtest.Get(addr, "/echo?q=forty+two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "q=forty two" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}
+
+func TestBaselineKeepAlive(t *testing.T) {
+	addr := startBaseline(t, testApp(), 4, nil)
+	c, err := webtest.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := c.Do("/prerendered", true)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Status != 200 {
+			t.Fatalf("request %d: status %d", i, resp.Status)
+		}
+	}
+}
+
+func TestBaselineContentLengthExact(t *testing.T) {
+	addr := startBaseline(t, testApp(), 4, nil)
+	resp, err := webtest.Get(addr, "/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(len(resp.Body)) {
+		t.Fatalf("Content-Length %s != body %d", got, len(resp.Body))
+	}
+}
+
+func TestBaselineCompletionEvents(t *testing.T) {
+	var events sync.Map
+	var n atomic.Int64
+	addr := startBaseline(t, testApp(), 4, func(ev server.CompletionEvent) {
+		events.Store(n.Add(1), ev)
+	})
+	if _, err := webtest.Get(addr, "/hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := webtest.Get(addr, "/img/flowers.gif"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("completion events = %d, want 2", n.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sawStatic := false
+	events.Range(func(_, v any) bool {
+		ev := v.(server.CompletionEvent)
+		if ev.Class == server.ClassStatic && ev.Page == "/img/flowers.gif" {
+			sawStatic = true
+		}
+		return true
+	})
+	if !sawStatic {
+		t.Fatal("no static completion event")
+	}
+}
+
+func TestBaselineConcurrentClients(t *testing.T) {
+	addr := startBaseline(t, testApp(), 8, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := webtest.Get(addr, "/hello")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Status != 200 {
+				errs <- fmt.Errorf("status %d", resp.Status)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineConfigValidation(t *testing.T) {
+	db := sqldb.Open(sqldb.Options{})
+	app := testApp()
+	for name, cfg := range map[string]server.BaselineConfig{
+		"nil app":      {DB: db, Workers: 1},
+		"nil db":       {App: app, Workers: 1},
+		"zero workers": {App: app, DB: db},
+	} {
+		if _, err := server.NewBaseline(cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package sqldb
+
+import "fmt"
+
+// This file compiles WHERE trees into closures with column positions
+// resolved once per statement execution, and splits top-level AND
+// conjuncts by the deepest join binding they reference so the executor
+// can apply each predicate as early as possible during nested-loop
+// enumeration (predicate pushdown). Without this, a query like the TPC-W
+// new-products listing would join the author table for all ten thousand
+// item rows before discarding 96% of them on the subject filter.
+
+// compiledPred is a WHERE conjunct ready for per-row evaluation.
+type compiledPred struct {
+	eval  func(rows [][]Value, ec *execCtx) (bool, error)
+	depth int // deepest binding index referenced
+}
+
+// splitAnd flattens top-level AND nodes into conjuncts.
+func splitAnd(e boolExpr, out []boolExpr) []boolExpr {
+	if a, ok := e.(andExpr); ok {
+		out = splitAnd(a.L, out)
+		return splitAnd(a.R, out)
+	}
+	return append(out, e)
+}
+
+// compileWhere compiles a WHERE tree into per-depth predicate lists:
+// preds[i] holds the conjuncts that can run once bindings 0..i are bound.
+func compileWhere(e boolExpr, bindings []binding) ([][]compiledPred, error) {
+	preds := make([][]compiledPred, len(bindings))
+	if e == nil {
+		return preds, nil
+	}
+	for _, conj := range splitAnd(e, nil) {
+		cp, err := compileBool(conj, bindings)
+		if err != nil {
+			return nil, err
+		}
+		preds[cp.depth] = append(preds[cp.depth], cp)
+	}
+	return preds, nil
+}
+
+// compileBool compiles one boolean node.
+func compileBool(e boolExpr, bindings []binding) (compiledPred, error) {
+	switch t := e.(type) {
+	case andExpr:
+		l, err := compileBool(t.L, bindings)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		r, err := compileBool(t.R, bindings)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		return compiledPred{
+			depth: maxInt(l.depth, r.depth),
+			eval: func(rows [][]Value, ec *execCtx) (bool, error) {
+				ok, err := l.eval(rows, ec)
+				if err != nil || !ok {
+					return false, err
+				}
+				return r.eval(rows, ec)
+			},
+		}, nil
+	case orExpr:
+		l, err := compileBool(t.L, bindings)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		r, err := compileBool(t.R, bindings)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		return compiledPred{
+			depth: maxInt(l.depth, r.depth),
+			eval: func(rows [][]Value, ec *execCtx) (bool, error) {
+				ok, err := l.eval(rows, ec)
+				if err != nil || ok {
+					return ok, err
+				}
+				return r.eval(rows, ec)
+			},
+		}, nil
+	case notExpr:
+		inner, err := compileBool(t.E, bindings)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		return compiledPred{
+			depth: inner.depth,
+			eval: func(rows [][]Value, ec *execCtx) (bool, error) {
+				ok, err := inner.eval(rows, ec)
+				return !ok, err
+			},
+		}, nil
+	case cmpExpr:
+		bi, ci, err := resolveCol(bindings, t.Col)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		rhs, rhsDepth, err := compileOperand(t.Rhs, bindings)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		op := t.Op
+		return compiledPred{
+			depth: maxInt(bi, rhsDepth),
+			eval: func(rows [][]Value, ec *execCtx) (bool, error) {
+				lhs := rows[bi][ci]
+				rv, err := rhs(rows, ec)
+				if err != nil {
+					return false, err
+				}
+				if lhs == nil || rv == nil {
+					return false, nil
+				}
+				c, err := compare(lhs, rv)
+				if err != nil {
+					return false, err
+				}
+				switch op {
+				case "=":
+					return c == 0, nil
+				case "!=":
+					return c != 0, nil
+				case "<":
+					return c < 0, nil
+				case "<=":
+					return c <= 0, nil
+				case ">":
+					return c > 0, nil
+				case ">=":
+					return c >= 0, nil
+				default:
+					return false, fmt.Errorf("sqldb: unknown operator %q", op)
+				}
+			},
+		}, nil
+	case likeExpr:
+		bi, ci, err := resolveCol(bindings, t.Col)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		rhs, rhsDepth, err := compileOperand(t.Rhs, bindings)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		neg := t.Neg
+		return compiledPred{
+			depth: maxInt(bi, rhsDepth),
+			eval: func(rows [][]Value, ec *execCtx) (bool, error) {
+				s, ok1 := rows[bi][ci].(string)
+				rv, err := rhs(rows, ec)
+				if err != nil {
+					return false, err
+				}
+				pat, ok2 := rv.(string)
+				if !ok1 || !ok2 {
+					return false, nil
+				}
+				m := likeMatch(s, pat)
+				if neg {
+					m = !m
+				}
+				return m, nil
+			},
+		}, nil
+	case inExpr:
+		bi, ci, err := resolveCol(bindings, t.Col)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		depth := bi
+		evals := make([]func([][]Value, *execCtx) (Value, error), len(t.Set))
+		for i, op := range t.Set {
+			fn, d, err := compileOperand(op, bindings)
+			if err != nil {
+				return compiledPred{}, err
+			}
+			evals[i] = fn
+			depth = maxInt(depth, d)
+		}
+		neg := t.Neg
+		return compiledPred{
+			depth: depth,
+			eval: func(rows [][]Value, ec *execCtx) (bool, error) {
+				lhs := rows[bi][ci]
+				for _, fn := range evals {
+					rv, err := fn(rows, ec)
+					if err != nil {
+						return false, err
+					}
+					if valuesEqual(lhs, rv) {
+						return !neg, nil
+					}
+				}
+				return neg, nil
+			},
+		}, nil
+	case nullExpr:
+		bi, ci, err := resolveCol(bindings, t.Col)
+		if err != nil {
+			return compiledPred{}, err
+		}
+		neg := t.Neg
+		return compiledPred{
+			depth: bi,
+			eval: func(rows [][]Value, ec *execCtx) (bool, error) {
+				isNull := rows[bi][ci] == nil
+				if neg {
+					return !isNull, nil
+				}
+				return isNull, nil
+			},
+		}, nil
+	default:
+		return compiledPred{}, fmt.Errorf("sqldb: unknown boolean expression %T", e)
+	}
+}
+
+// compileOperand compiles a literal, placeholder, or column reference to
+// a value closure plus the deepest binding it references.
+func compileOperand(op operand, bindings []binding) (func([][]Value, *execCtx) (Value, error), int, error) {
+	switch {
+	case op.IsLit:
+		v := op.Lit
+		return func([][]Value, *execCtx) (Value, error) { return v, nil }, 0, nil
+	case op.IsPlacehold:
+		idx := op.Placeholder
+		return func(_ [][]Value, ec *execCtx) (Value, error) {
+			if idx >= len(ec.args) {
+				return nil, fmt.Errorf("sqldb: missing argument for placeholder %d", idx+1)
+			}
+			return ec.args[idx], nil
+		}, 0, nil
+	default:
+		bi, ci, err := resolveCol(bindings, op.Col)
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(rows [][]Value, _ *execCtx) (Value, error) {
+			return rows[bi][ci], nil
+		}, bi, nil
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,369 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/metrics"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Clock supplies time; defaults to the real clock.
+	Clock clock.Clock
+	// Timescale converts the CostModel's paper-time charges to wall
+	// sleeps; defaults to real time (no compression).
+	Timescale clock.Timescale
+	// Cost is the latency model; defaults to DefaultCostModel. Use
+	// ZeroCostModel for tests.
+	Cost CostModel
+}
+
+// DB is the embedded database engine. It is safe for concurrent use by
+// any number of connections.
+type DB struct {
+	mu     sync.RWMutex // guards tables map (DDL)
+	tables map[string]*table
+
+	stmtMu    sync.RWMutex // guards stmtCache
+	stmtCache map[string]stmt
+
+	clk  clock.Clock
+	ts   clock.Timescale
+	cost CostModel
+
+	queries   metrics.Counter // statements executed
+	queryTime metrics.Histogram
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.Timescale == 0 {
+		opts.Timescale = clock.RealTime
+	}
+	if opts.Cost == (CostModel{}) {
+		// An explicitly zeroed model is indistinguishable from "unset";
+		// ZeroCostModel and DefaultCostModel share this path, so pick
+		// zero cost only when the caller asked via ZeroCostModel —
+		// which is the same value. Default to zero: harmless for tests,
+		// and experiments always set a model explicitly.
+		opts.Cost = ZeroCostModel()
+	}
+	return &DB{
+		tables:    make(map[string]*table, 16),
+		stmtCache: make(map[string]stmt, 64),
+		clk:       opts.Clock,
+		ts:        opts.Timescale,
+		cost:      opts.Cost,
+	}
+}
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(s Schema) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[s.Table]; dup {
+		return fmt.Errorf("sqldb: table %q already exists", s.Table)
+	}
+	db.tables[s.Table] = newTable(s)
+	return nil
+}
+
+// MustCreateTable is CreateTable, panicking on error; used by schema
+// definitions whose correctness is static.
+func (db *DB) MustCreateTable(s Schema) {
+	if err := db.CreateTable(s); err != nil {
+		panic(err)
+	}
+}
+
+// TableNames lists the registered tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableSize reports the number of live rows in a table.
+func (db *DB) TableSize(name string) (int, error) {
+	tbl, err := db.lookupTable(name)
+	if err != nil {
+		return 0, err
+	}
+	tbl.lock.RLock()
+	defer tbl.lock.RUnlock()
+	return tbl.live, nil
+}
+
+// QueryCount reports the number of statements executed.
+func (db *DB) QueryCount() int64 { return db.queries.Value() }
+
+// QueryTimes exposes the per-statement latency histogram (paper time is
+// not applied here; durations are wall time).
+func (db *DB) QueryTimes() *metrics.Histogram { return &db.queryTime }
+
+func (db *DB) lookupTable(name string) (*table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	tbl, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: unknown table %q", name)
+	}
+	return tbl, nil
+}
+
+// prepare parses SQL with a per-DB statement cache.
+func (db *DB) prepare(sql string) (stmt, error) {
+	db.stmtMu.RLock()
+	s, ok := db.stmtCache[sql]
+	db.stmtMu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	s, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.stmtMu.Lock()
+	db.stmtCache[sql] = s
+	db.stmtMu.Unlock()
+	return s, nil
+}
+
+// chargeCost sleeps the statement's modeled latency (converted through
+// the timescale). Called while the statement's table locks are held, so
+// that concurrent statements contend the way the paper's MySQL server
+// does.
+func (db *DB) chargeCost(ec *execCtx) {
+	d := ec.cost.total(db.cost)
+	if d > 0 {
+		db.clk.Sleep(db.ts.Wall(d))
+	}
+}
+
+// ErrConnClosed reports use of a closed connection.
+var ErrConnClosed = errors.New("sqldb: connection closed")
+
+// ErrConnBusy reports concurrent use of one connection.
+var ErrConnBusy = errors.New("sqldb: connection used concurrently")
+
+// Conn is a database connection. Like the paper's per-thread MySQL
+// connections it executes one statement at a time; concurrent use is a
+// bug in the caller and reported as ErrConnBusy.
+type Conn struct {
+	db     *DB
+	mu     sync.Mutex
+	busy   bool
+	closed bool
+}
+
+// Connect opens a new connection.
+func (db *DB) Connect() *Conn { return &Conn{db: db} }
+
+func (c *Conn) enter() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConnClosed
+	}
+	if c.busy {
+		return ErrConnBusy
+	}
+	c.busy = true
+	return nil
+}
+
+func (c *Conn) exit() {
+	c.mu.Lock()
+	c.busy = false
+	c.mu.Unlock()
+}
+
+// Close closes the connection. Idempotent.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// Query executes a SELECT and returns the materialized result.
+func (c *Conn) Query(sql string, args ...any) (*ResultSet, error) {
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
+	defer c.exit()
+	start := time.Now()
+	defer func() { c.db.queryTime.Observe(time.Since(start)) }()
+	c.db.queries.Inc()
+
+	s, err := c.db.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := s.(*selectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires SELECT, got %q", sql)
+	}
+	ec, err := newExecCtx(args)
+	if err != nil {
+		return nil, err
+	}
+	return c.db.execSelect(sel, ec)
+}
+
+// ExecResult reports the effect of a DML statement.
+type ExecResult struct {
+	RowsAffected int64
+	LastInsertID int64
+}
+
+// Exec executes an INSERT, UPDATE, or DELETE.
+func (c *Conn) Exec(sql string, args ...any) (ExecResult, error) {
+	if err := c.enter(); err != nil {
+		return ExecResult{}, err
+	}
+	defer c.exit()
+	start := time.Now()
+	defer func() { c.db.queryTime.Observe(time.Since(start)) }()
+	c.db.queries.Inc()
+
+	s, err := c.db.prepare(sql)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	ec, err := newExecCtx(args)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	switch t := s.(type) {
+	case *insertStmt:
+		return c.db.execInsert(t, ec)
+	case *updateStmt:
+		return c.db.execUpdate(t, ec)
+	case *deleteStmt:
+		return c.db.execDelete(t, ec)
+	default:
+		return ExecResult{}, fmt.Errorf("sqldb: Exec requires INSERT/UPDATE/DELETE, got %q", sql)
+	}
+}
+
+func newExecCtx(args []any) (*execCtx, error) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := normalize(a)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return &execCtx{args: vals}, nil
+}
+
+// ResultSet is a fully materialized query result.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Len reports the number of rows.
+func (rs *ResultSet) Len() int { return len(rs.Rows) }
+
+// ColIndex returns the position of a column name, or -1.
+func (rs *ResultSet) ColIndex(name string) int {
+	for i, c := range rs.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the value at (row, column name); nil if out of range.
+func (rs *ResultSet) Get(row int, name string) Value {
+	ci := rs.ColIndex(name)
+	if ci < 0 || row < 0 || row >= len(rs.Rows) {
+		return nil
+	}
+	return rs.Rows[row][ci]
+}
+
+// Int returns an int64 cell (0 when NULL or mistyped).
+func (rs *ResultSet) Int(row int, name string) int64 {
+	switch v := rs.Get(row, name).(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	default:
+		return 0
+	}
+}
+
+// Float returns a float64 cell (0 when NULL or mistyped).
+func (rs *ResultSet) Float(row int, name string) float64 {
+	switch v := rs.Get(row, name).(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	default:
+		return 0
+	}
+}
+
+// Str returns a string cell ("" when NULL or mistyped).
+func (rs *ResultSet) Str(row int, name string) string {
+	if v, ok := rs.Get(row, name).(string); ok {
+		return v
+	}
+	return ""
+}
+
+// TimeVal returns a time cell (zero time when NULL or mistyped).
+func (rs *ResultSet) TimeVal(row int, name string) time.Time {
+	if v, ok := rs.Get(row, name).(time.Time); ok {
+		return v
+	}
+	return time.Time{}
+}
+
+// Maps converts the result into one map per row — the shape template
+// contexts want.
+func (rs *ResultSet) Maps() []map[string]any {
+	out := make([]map[string]any, len(rs.Rows))
+	for i, row := range rs.Rows {
+		m := make(map[string]any, len(rs.Columns))
+		for j, c := range rs.Columns {
+			m[c] = row[j]
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// First returns the first row as a map, or nil for an empty result.
+func (rs *ResultSet) First() map[string]any {
+	if len(rs.Rows) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(rs.Columns))
+	for j, c := range rs.Columns {
+		m[c] = rs.Rows[0][j]
+	}
+	return m
+}

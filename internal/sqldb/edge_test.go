@@ -1,0 +1,182 @@
+package sqldb
+
+import (
+	"testing"
+)
+
+// Edge-case coverage for the executor: empty aggregates, alias ordering,
+// pushdown correctness across join depths, and DML on indexed columns.
+
+func TestAggregatesOnEmptyTable(t *testing.T) {
+	db := Open(Options{})
+	db.MustCreateTable(Schema{
+		Table:      "t",
+		Columns:    []Column{{Name: "id", Type: Int}, {Name: "v", Type: Float}},
+		PrimaryKey: "id",
+	})
+	c := db.Connect()
+	defer c.Close()
+	rs := mustQuery(t, c, "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a, MIN(v) AS lo, MAX(v) AS hi FROM t")
+	if rs.Len() != 1 {
+		t.Fatalf("rows = %d, want 1 (aggregate of empty set)", rs.Len())
+	}
+	if rs.Int(0, "n") != 0 {
+		t.Fatalf("count = %d", rs.Int(0, "n"))
+	}
+	if rs.Get(0, "a") != nil {
+		t.Fatalf("avg of empty = %v, want NULL", rs.Get(0, "a"))
+	}
+	if rs.Get(0, "lo") != nil || rs.Get(0, "hi") != nil {
+		t.Fatalf("min/max of empty = %v/%v", rs.Get(0, "lo"), rs.Get(0, "hi"))
+	}
+}
+
+func TestGroupByEmptyTableHasNoGroups(t *testing.T) {
+	db := Open(Options{})
+	db.MustCreateTable(Schema{
+		Table:      "t",
+		Columns:    []Column{{Name: "id", Type: Int}, {Name: "g", Type: Int}},
+		PrimaryKey: "id",
+	})
+	c := db.Connect()
+	defer c.Close()
+	rs := mustQuery(t, c, "SELECT g, COUNT(*) AS n FROM t GROUP BY g")
+	if rs.Len() != 0 {
+		t.Fatalf("groups = %d, want 0", rs.Len())
+	}
+}
+
+func TestOrderByProjectionAlias(t *testing.T) {
+	_, c := newTestDB(t)
+	// Alias ordering requires the post-projection sort path.
+	rs := mustQuery(t, c, "SELECT b_id AS ident FROM book ORDER BY ident DESC")
+	if rs.Int(0, "ident") != 4 {
+		t.Fatalf("alias sort: %v", rs.Rows)
+	}
+}
+
+func TestPushdownFiltersBeforeJoin(t *testing.T) {
+	// A predicate on the FROM table must not depend on join success:
+	// rows failing it are never joined, and the result matches the
+	// unfiltered join intersected with the predicate.
+	_, c := newTestDB(t)
+	all := mustQuery(t, c,
+		"SELECT b_id FROM book JOIN author ON b_a_id = a_id WHERE b_price > 50 ORDER BY b_id")
+	if all.Len() != 2 || all.Int(0, "b_id") != 1 || all.Int(1, "b_id") != 2 {
+		t.Fatalf("pushdown result: %v", all.Rows)
+	}
+	// Predicate on the joined table only.
+	byAuthor := mustQuery(t, c,
+		"SELECT b_id FROM book JOIN author ON b_a_id = a_id WHERE a_name = 'Knuth' ORDER BY b_id")
+	if byAuthor.Len() != 2 {
+		t.Fatalf("join-side predicate: %v", byAuthor.Rows)
+	}
+	// Cross-table OR cannot be pushed down and must still work.
+	mixed := mustQuery(t, c,
+		"SELECT b_id FROM book JOIN author ON b_a_id = a_id WHERE a_name = 'Knuth' OR b_price < 35")
+	if mixed.Len() != 3 {
+		t.Fatalf("cross-table OR: %v", mixed.Rows)
+	}
+}
+
+func TestJoinOnUnindexedColumnScans(t *testing.T) {
+	db := Open(Options{})
+	db.MustCreateTable(Schema{
+		Table:      "l",
+		Columns:    []Column{{Name: "id", Type: Int}, {Name: "k", Type: Int}},
+		PrimaryKey: "id",
+	})
+	db.MustCreateTable(Schema{
+		Table:      "r",
+		Columns:    []Column{{Name: "rid", Type: Int}, {Name: "rk", Type: Int}},
+		PrimaryKey: "rid",
+		// rk deliberately unindexed: the join must fall back to scanning.
+	})
+	c := db.Connect()
+	defer c.Close()
+	mustExec(t, c, "INSERT INTO l (id, k) VALUES (1, 7)")
+	mustExec(t, c, "INSERT INTO r (rid, rk) VALUES (1, 7)")
+	mustExec(t, c, "INSERT INTO r (rid, rk) VALUES (2, 7)")
+	mustExec(t, c, "INSERT INTO r (rid, rk) VALUES (3, 8)")
+	rs := mustQuery(t, c, "SELECT rid FROM l JOIN r ON k = rk ORDER BY rid")
+	if rs.Len() != 2 || rs.Int(0, "rid") != 1 || rs.Int(1, "rid") != 2 {
+		t.Fatalf("scan join: %v", rs.Rows)
+	}
+}
+
+func TestUpdatePrimaryKeyRewiresIndex(t *testing.T) {
+	_, c := newTestDB(t)
+	mustExec(t, c, "UPDATE author SET a_id = ? WHERE a_id = ?", 50, 1)
+	if rs := mustQuery(t, c, "SELECT a_name FROM author WHERE a_id = 50"); rs.Str(0, "a_name") != "Knuth" {
+		t.Fatalf("moved pk: %v", rs.Rows)
+	}
+	if rs := mustQuery(t, c, "SELECT * FROM author WHERE a_id = 1"); rs.Len() != 0 {
+		t.Fatal("old pk still resolves")
+	}
+	// Collision with an existing key must fail.
+	if _, err := c.Exec("UPDATE author SET a_id = 2 WHERE a_id = 50"); err == nil {
+		t.Fatal("pk collision accepted")
+	}
+}
+
+func TestDeleteThenReinsertSamePK(t *testing.T) {
+	_, c := newTestDB(t)
+	mustExec(t, c, "DELETE FROM author WHERE a_id = 1")
+	mustExec(t, c, "INSERT INTO author (a_id, a_name) VALUES (1, 'Again')")
+	rs := mustQuery(t, c, "SELECT a_name FROM author WHERE a_id = 1")
+	if rs.Str(0, "a_name") != "Again" {
+		t.Fatalf("reinsert: %v", rs.Rows)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	_, c := newTestDB(t)
+	if rs := mustQuery(t, c, "SELECT * FROM book LIMIT 0"); rs.Len() != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", rs.Len())
+	}
+	if rs := mustQuery(t, c, "SELECT * FROM book LIMIT 2 OFFSET 99"); rs.Len() != 0 {
+		t.Fatalf("big OFFSET returned %d rows", rs.Len())
+	}
+}
+
+func TestSelectStarWithJoin(t *testing.T) {
+	_, c := newTestDB(t)
+	rs := mustQuery(t, c, "SELECT * FROM book JOIN author ON b_a_id = a_id WHERE b_id = 1")
+	if len(rs.Columns) != 6+2 {
+		t.Fatalf("star join columns = %v", rs.Columns)
+	}
+	if rs.Str(0, "a_name") != "Knuth" {
+		t.Fatalf("joined star row: %v", rs.Rows)
+	}
+	// Qualified star.
+	rs = mustQuery(t, c, "SELECT author.* FROM book JOIN author ON b_a_id = a_id WHERE b_id = 1")
+	if len(rs.Columns) != 2 {
+		t.Fatalf("qualified star columns = %v", rs.Columns)
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	db := Open(Options{})
+	for _, name := range []string{"x", "y"} {
+		db.MustCreateTable(Schema{
+			Table:      name,
+			Columns:    []Column{{Name: "id", Type: Int}, {Name: "same", Type: Int}},
+			PrimaryKey: "id",
+		})
+	}
+	c := db.Connect()
+	defer c.Close()
+	mustExec(t, c, "INSERT INTO x (id, same) VALUES (1, 1)")
+	mustExec(t, c, "INSERT INTO y (id, same) VALUES (1, 1)")
+	if _, err := c.Query("SELECT same FROM x JOIN y ON x.same = y.same"); err == nil {
+		t.Fatal("ambiguous projection accepted")
+	}
+}
+
+func TestInWithPlaceholders(t *testing.T) {
+	_, c := newTestDB(t)
+	rs := mustQuery(t, c, "SELECT b_id FROM book WHERE b_id IN (?, ?, ?)", 1, 3, 99)
+	if rs.Len() != 2 {
+		t.Fatalf("IN placeholders: %v", rs.Rows)
+	}
+}

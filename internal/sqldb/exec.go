@@ -1,0 +1,947 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// binding is one table instance participating in a SELECT (FROM or JOIN),
+// addressed by its alias.
+type binding struct {
+	ref tableRef
+	tbl *table
+}
+
+// execCtx carries per-statement state.
+type execCtx struct {
+	args []Value
+	cost costCounter
+}
+
+// resolveBindings maps the FROM/JOIN clauses onto tables.
+func (db *DB) resolveBindings(s *selectStmt) ([]binding, error) {
+	refs := append([]tableRef{s.From}, make([]tableRef, 0, len(s.Joins))...)
+	for _, j := range s.Joins {
+		refs = append(refs, j.Table)
+	}
+	bindings := make([]binding, len(refs))
+	seen := make(map[string]bool, len(refs))
+	for i, ref := range refs {
+		tbl, err := db.lookupTable(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		name := ref.name()
+		if seen[name] {
+			return nil, fmt.Errorf("sqldb: duplicate table alias %q", name)
+		}
+		seen[name] = true
+		bindings[i] = binding{ref: ref, tbl: tbl}
+	}
+	return bindings, nil
+}
+
+// resolveCol locates a column reference among the bindings.
+func resolveCol(bindings []binding, ref colRef) (bindIdx, colIdx int, err error) {
+	if ref.Table != "" {
+		for bi, b := range bindings {
+			if b.ref.name() == ref.Table {
+				ci := b.tbl.schema.colIndex(ref.Column)
+				if ci < 0 {
+					return 0, 0, fmt.Errorf("sqldb: table %q has no column %q", ref.Table, ref.Column)
+				}
+				return bi, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("sqldb: unknown table %q in column reference", ref.Table)
+	}
+	found := -1
+	for bi, b := range bindings {
+		if ci := b.tbl.schema.colIndex(ref.Column); ci >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sqldb: ambiguous column %q", ref.Column)
+			}
+			found = bi
+			colIdx = ci
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("sqldb: unknown column %q", ref.Column)
+	}
+	return found, colIdx, nil
+}
+
+// operandValue evaluates an operand against the current combined row
+// (rows may be nil for row-independent evaluation).
+func operandValue(op operand, bindings []binding, rows [][]Value, ec *execCtx) (Value, error) {
+	switch {
+	case op.IsLit:
+		return op.Lit, nil
+	case op.IsPlacehold:
+		if op.Placeholder >= len(ec.args) {
+			return nil, fmt.Errorf("sqldb: missing argument for placeholder %d", op.Placeholder+1)
+		}
+		return ec.args[op.Placeholder], nil
+	default:
+		if rows == nil {
+			return nil, fmt.Errorf("sqldb: column %s in row-independent position", op.Col)
+		}
+		bi, ci, err := resolveCol(bindings, op.Col)
+		if err != nil {
+			return nil, err
+		}
+		return rows[bi][ci], nil
+	}
+}
+
+// evalBool evaluates a WHERE tree against the combined row.
+func evalBool(e boolExpr, bindings []binding, rows [][]Value, ec *execCtx) (bool, error) {
+	switch t := e.(type) {
+	case andExpr:
+		l, err := evalBool(t.L, bindings, rows, ec)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalBool(t.R, bindings, rows, ec)
+	case orExpr:
+		l, err := evalBool(t.L, bindings, rows, ec)
+		if err != nil || l {
+			return l, err
+		}
+		return evalBool(t.R, bindings, rows, ec)
+	case notExpr:
+		v, err := evalBool(t.E, bindings, rows, ec)
+		return !v, err
+	case cmpExpr:
+		bi, ci, err := resolveCol(bindings, t.Col)
+		if err != nil {
+			return false, err
+		}
+		lhs := rows[bi][ci]
+		rhs, err := operandValue(t.Rhs, bindings, rows, ec)
+		if err != nil {
+			return false, err
+		}
+		if lhs == nil || rhs == nil {
+			// SQL three-valued logic degraded to false, except
+			// equality-with-null which is still false.
+			return false, nil
+		}
+		c, err := compare(lhs, rhs)
+		if err != nil {
+			return false, err
+		}
+		switch t.Op {
+		case "=":
+			return c == 0, nil
+		case "!=":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		default:
+			return false, fmt.Errorf("sqldb: unknown operator %q", t.Op)
+		}
+	case likeExpr:
+		bi, ci, err := resolveCol(bindings, t.Col)
+		if err != nil {
+			return false, err
+		}
+		rhs, err := operandValue(t.Rhs, bindings, rows, ec)
+		if err != nil {
+			return false, err
+		}
+		s, ok1 := rows[bi][ci].(string)
+		pat, ok2 := rhs.(string)
+		if !ok1 || !ok2 {
+			return false, nil
+		}
+		m := likeMatch(s, pat)
+		if t.Neg {
+			m = !m
+		}
+		return m, nil
+	case inExpr:
+		bi, ci, err := resolveCol(bindings, t.Col)
+		if err != nil {
+			return false, err
+		}
+		lhs := rows[bi][ci]
+		for _, op := range t.Set {
+			rhs, err := operandValue(op, bindings, rows, ec)
+			if err != nil {
+				return false, err
+			}
+			if valuesEqual(lhs, rhs) {
+				return !t.Neg, nil
+			}
+		}
+		return t.Neg, nil
+	case nullExpr:
+		bi, ci, err := resolveCol(bindings, t.Col)
+		if err != nil {
+			return false, err
+		}
+		isNull := rows[bi][ci] == nil
+		if t.Neg {
+			return !isNull, nil
+		}
+		return isNull, nil
+	default:
+		return false, fmt.Errorf("sqldb: unknown boolean expression %T", e)
+	}
+}
+
+// eqLookup describes an index-usable equality found in the WHERE clause.
+type eqLookup struct {
+	col string
+	val Value
+}
+
+// findEqLookup walks AND-connected predicates for "col = value" where col
+// belongs to binding b, value is row-independent, and the table has an
+// index on col.
+func findEqLookup(e boolExpr, bindings []binding, b binding, ec *execCtx) *eqLookup {
+	switch t := e.(type) {
+	case andExpr:
+		if l := findEqLookup(t.L, bindings, b, ec); l != nil {
+			return l
+		}
+		return findEqLookup(t.R, bindings, b, ec)
+	case cmpExpr:
+		if t.Op != "=" || (!t.Rhs.IsLit && !t.Rhs.IsPlacehold) {
+			return nil
+		}
+		bi, _, err := resolveCol(bindings, t.Col)
+		if err != nil || bindings[bi].ref.name() != b.ref.name() {
+			return nil
+		}
+		if !b.tbl.hasIndex(t.Col.Column) {
+			return nil
+		}
+		v, err := operandValue(t.Rhs, bindings, nil, ec)
+		if err != nil {
+			return nil
+		}
+		nv, err := normalize(v)
+		if err != nil {
+			return nil
+		}
+		return &eqLookup{col: t.Col.Column, val: nv}
+	default:
+		return nil
+	}
+}
+
+// candidateRows yields the row IDs of table b to visit, using an index
+// when the WHERE clause allows, and charges scan/probe costs.
+func candidateRows(where boolExpr, bindings []binding, b binding, ec *execCtx) []int {
+	if where != nil {
+		if lk := findEqLookup(where, bindings, b, ec); lk != nil {
+			return indexedRows(b.tbl, lk.col, lk.val, ec)
+		}
+	}
+	// Full scan.
+	ids := make([]int, 0, b.tbl.live)
+	for id, row := range b.tbl.rows {
+		if row != nil {
+			ids = append(ids, id)
+		}
+	}
+	ec.cost.scanned += len(b.tbl.rows)
+	return ids
+}
+
+// indexedRows resolves an equality through the primary key or a secondary
+// index and charges probe costs.
+func indexedRows(t *table, col string, v Value, ec *execCtx) []int {
+	if t.pkCol >= 0 && t.schema.Columns[t.pkCol].Name == col {
+		ec.cost.probes++
+		key, ok := v.(int64)
+		if !ok {
+			if f, fok := v.(float64); fok {
+				key, ok = int64(f), true
+			}
+		}
+		if !ok {
+			return nil
+		}
+		if id, found := t.lookupPK(key); found {
+			return []int{id}
+		}
+		return nil
+	}
+	ids, _ := t.lookupIndex(col, v)
+	ec.cost.probes += len(ids) + 1
+	return ids
+}
+
+// execSelect runs a SELECT entirely under the read locks of its tables.
+func (db *DB) execSelect(s *selectStmt, ec *execCtx) (*ResultSet, error) {
+	bindings, err := db.resolveBindings(s)
+	if err != nil {
+		return nil, err
+	}
+	unlock := db.lockTables(bindings, false)
+	defer unlock()
+	defer db.chargeCost(ec) // sleep the cost before releasing the locks
+
+	// Pre-resolve join sides: joins[i] extends binding i+1.
+	plans := make([]joinPlan, len(s.Joins))
+	for i, j := range s.Joins {
+		inner := bindings[i+1]
+		visible := bindings[:i+1]
+		lInner := colBelongsTo(inner, j.LCol)
+		rInner := colBelongsTo(inner, j.RCol)
+		switch {
+		case lInner && !rInner:
+			plans[i] = joinPlan{innerCol: inner.tbl.schema.colIndex(j.LCol.Column), innerName: j.LCol.Column, outerRef: j.RCol}
+		case rInner && !lInner:
+			plans[i] = joinPlan{innerCol: inner.tbl.schema.colIndex(j.RCol.Column), innerName: j.RCol.Column, outerRef: j.LCol}
+		default:
+			return nil, fmt.Errorf("sqldb: join ON must relate %q to an earlier table", inner.ref.name())
+		}
+		bi, ci, err := resolveCol(visible, plans[i].outerRef)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: join outer column: %w", err)
+		}
+		plans[i].outerBi, plans[i].outerCi = bi, ci
+	}
+
+	// Compile the WHERE clause once, split into conjuncts applied at the
+	// shallowest join depth possible (predicate pushdown).
+	preds, err := compileWhere(s.Where, bindings)
+	if err != nil {
+		return nil, err
+	}
+
+	// Nested-loop enumeration with pushdown: candidate rows for the FROM
+	// table, then joins, applying each predicate as soon as its deepest
+	// referenced binding is bound.
+	matched, err := db.enumerate(s, bindings, plans, preds, ec)
+	if err != nil {
+		return nil, err
+	}
+
+	hasAgg := false
+	for _, it := range s.Items {
+		if it.Agg != aggNone {
+			hasAgg = true
+			break
+		}
+	}
+
+	var rs *ResultSet
+	if hasAgg || len(s.GroupBy) > 0 {
+		rs, err = db.aggregate(s, bindings, matched, ec)
+		if err != nil {
+			return nil, err
+		}
+		// Aggregated queries order by output columns, including
+		// aggregate aliases (ORDER BY qty DESC).
+		if len(s.OrderBy) > 0 {
+			if err := orderResult(rs, s.OrderBy, ec); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Plain queries may order by any table column, projected or not
+		// (ORDER BY i_pub_date DESC with only i_title selected), so sort
+		// the combined rows before projection. Aliases that are not
+		// table columns fall back to a post-projection sort.
+		sortedPre := false
+		if len(s.OrderBy) > 0 {
+			ok, err := orderCombined(matched, bindings, s.OrderBy, ec)
+			if err != nil {
+				return nil, err
+			}
+			sortedPre = ok
+		}
+		rs, err = db.project(s, bindings, matched, ec)
+		if err != nil {
+			return nil, err
+		}
+		if len(s.OrderBy) > 0 && !sortedPre {
+			if err := orderResult(rs, s.OrderBy, ec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	applyLimit(rs, s.Limit, s.Offset)
+	return rs, nil
+}
+
+// orderCombined sorts joined rows by table columns. It reports false
+// (without sorting) when a key does not resolve to a table column, in
+// which case the caller sorts the projected output instead.
+func orderCombined(matched [][][]Value, bindings []binding, keys []orderKey, ec *execCtx) (bool, error) {
+	type sortCol struct {
+		bi, ci int
+		desc   bool
+	}
+	scols := make([]sortCol, len(keys))
+	for i, k := range keys {
+		bi, ci, err := resolveCol(bindings, k.Ref)
+		if err != nil {
+			return false, nil // alias; sort after projection
+		}
+		scols[i] = sortCol{bi: bi, ci: ci, desc: k.Desc}
+	}
+	ec.cost.sorted += len(matched)
+	var sortErr error
+	sort.SliceStable(matched, func(i, j int) bool {
+		for _, sc := range scols {
+			c, err := compare(matched[i][sc.bi][sc.ci], matched[j][sc.bi][sc.ci])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if sc.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return false, sortErr
+	}
+	return true, nil
+}
+
+func colBelongsTo(b binding, ref colRef) bool {
+	if ref.Table != "" {
+		return ref.Table == b.ref.name()
+	}
+	return b.tbl.schema.colIndex(ref.Column) >= 0
+}
+
+// joinPlan pre-resolves one join: which column of the newly joined table
+// matches which already-visible column.
+type joinPlan struct {
+	innerCol  int    // column index in the inner (new) table
+	innerName string // column name, for index lookup
+	outerRef  colRef
+	outerBi   int // resolved outer column position
+	outerCi   int
+}
+
+// enumerate runs the nested-loop join with predicate pushdown and returns
+// the fully matched combined rows.
+func (db *DB) enumerate(s *selectStmt, bindings []binding, plans []joinPlan, preds [][]compiledPred, ec *execCtx) ([][][]Value, error) {
+	var out [][][]Value
+	rows := make([][]Value, len(bindings))
+
+	// applyPreds evaluates the depth-i conjuncts on the partial row.
+	applyPreds := func(i int) (bool, error) {
+		for _, p := range preds[i] {
+			ok, err := p.eval(rows, ec)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i >= len(bindings) {
+			cp := make([][]Value, len(rows))
+			copy(cp, rows)
+			out = append(out, cp)
+			ec.cost.matched++
+			return nil
+		}
+		plan := plans[i-1]
+		outerVal := rows[plan.outerBi][plan.outerCi]
+		inner := bindings[i]
+		var ids []int
+		if inner.tbl.hasIndex(plan.innerName) {
+			ids = indexedRows(inner.tbl, plan.innerName, outerVal, ec)
+		} else {
+			ec.cost.scanned += len(inner.tbl.rows)
+			for id, row := range inner.tbl.rows {
+				if row != nil && valuesEqual(row[plan.innerCol], outerVal) {
+					ids = append(ids, id)
+				}
+			}
+		}
+		for _, id := range ids {
+			rows[i] = inner.tbl.rows[id]
+			ok, err := applyPreds(i)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		rows[i] = nil
+		return nil
+	}
+
+	for _, id := range candidateRows(s.Where, bindings, bindings[0], ec) {
+		rows[0] = bindings[0].tbl.rows[id]
+		if rows[0] == nil {
+			continue
+		}
+		ok, err := applyPreds(0)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if err := rec(1); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// outputColumns computes the result column names for the projection.
+func outputColumns(s *selectStmt, bindings []binding) ([]string, error) {
+	var cols []string
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			for _, b := range bindings {
+				if it.Table != "" && b.ref.name() != it.Table {
+					continue
+				}
+				for _, c := range b.tbl.schema.Columns {
+					cols = append(cols, c.Name)
+				}
+			}
+		case it.Agg != aggNone:
+			cols = append(cols, aggOutputName(it))
+		default:
+			if it.Alias != "" {
+				cols = append(cols, it.Alias)
+			} else {
+				cols = append(cols, it.Col.Column)
+			}
+		}
+	}
+	return cols, nil
+}
+
+func aggOutputName(it selectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	var fn string
+	switch it.Agg {
+	case aggCount:
+		fn = "count"
+	case aggSum:
+		fn = "sum"
+	case aggAvg:
+		fn = "avg"
+	case aggMin:
+		fn = "min"
+	case aggMax:
+		fn = "max"
+	}
+	if it.AggStar {
+		return fn
+	}
+	return fn + "_" + it.AggCol.Column
+}
+
+// project materializes a non-aggregate result.
+func (db *DB) project(s *selectStmt, bindings []binding, matched [][][]Value, ec *execCtx) (*ResultSet, error) {
+	cols, err := outputColumns(s, bindings)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Columns: cols, Rows: make([][]Value, 0, len(matched))}
+	for _, rows := range matched {
+		out := make([]Value, 0, len(cols))
+		for _, it := range s.Items {
+			switch {
+			case it.Star:
+				for bi, b := range bindings {
+					if it.Table != "" && b.ref.name() != it.Table {
+						continue
+					}
+					out = append(out, rows[bi]...)
+				}
+			default:
+				bi, ci, err := resolveCol(bindings, it.Col)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, rows[bi][ci])
+			}
+		}
+		rs.Rows = append(rs.Rows, out)
+	}
+	return rs, nil
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count    int64
+	sum      float64
+	sumInts  bool
+	min, max Value
+	seen     bool
+}
+
+func (a *aggState) add(v Value) {
+	if v == nil {
+		return
+	}
+	a.count++
+	if n, ok := asNumber(v); ok {
+		a.sum += n
+		if !a.seen {
+			a.sumInts = true
+		}
+		if _, isInt := v.(int64); !isInt {
+			a.sumInts = false
+		}
+	}
+	if !a.seen {
+		a.min, a.max, a.seen = v, v, true
+		return
+	}
+	if c, err := compare(v, a.min); err == nil && c < 0 {
+		a.min = v
+	}
+	if c, err := compare(v, a.max); err == nil && c > 0 {
+		a.max = v
+	}
+}
+
+// aggregate materializes a grouped/aggregated result.
+func (db *DB) aggregate(s *selectStmt, bindings []binding, matched [][][]Value, ec *execCtx) (*ResultSet, error) {
+	for _, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sqldb: SELECT * cannot be combined with aggregates")
+		}
+	}
+	// Resolve group-by columns.
+	type colPos struct{ bi, ci int }
+	groupPos := make([]colPos, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		bi, ci, err := resolveCol(bindings, g)
+		if err != nil {
+			return nil, err
+		}
+		groupPos[i] = colPos{bi, ci}
+	}
+	type group struct {
+		firstRows [][]Value
+		states    []aggState
+	}
+	groups := make(map[string]*group)
+	var orderKeys []string // insertion order for determinism
+	ec.cost.sorted += len(matched)
+	for _, rows := range matched {
+		var kb strings.Builder
+		for _, gp := range groupPos {
+			kb.WriteString(FormatValue(rows[gp.bi][gp.ci]))
+			kb.WriteByte('\x00')
+		}
+		key := kb.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{firstRows: rows, states: make([]aggState, len(s.Items))}
+			groups[key] = g
+			orderKeys = append(orderKeys, key)
+		}
+		for i, it := range s.Items {
+			if it.Agg == aggNone {
+				continue
+			}
+			if it.AggStar {
+				g.states[i].count++
+				continue
+			}
+			bi, ci, err := resolveCol(bindings, it.AggCol)
+			if err != nil {
+				return nil, err
+			}
+			g.states[i].add(rows[bi][ci])
+		}
+	}
+	cols, err := outputColumns(s, bindings)
+	if err != nil {
+		return nil, err
+	}
+	// SQL semantics: an ungrouped aggregate over an empty set still
+	// yields one row (COUNT 0, SUM/AVG/MIN/MAX NULL).
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		groups[""] = &group{firstRows: make([][]Value, len(bindings)), states: make([]aggState, len(s.Items))}
+		orderKeys = append(orderKeys, "")
+	}
+	rs := &ResultSet{Columns: cols, Rows: make([][]Value, 0, len(groups))}
+	for _, key := range orderKeys {
+		g := groups[key]
+		out := make([]Value, 0, len(cols))
+		for i, it := range s.Items {
+			if it.Agg == aggNone {
+				bi, ci, err := resolveCol(bindings, it.Col)
+				if err != nil {
+					return nil, err
+				}
+				if g.firstRows[bi] == nil {
+					out = append(out, nil) // synthetic empty-set group
+					continue
+				}
+				out = append(out, g.firstRows[bi][ci])
+				continue
+			}
+			st := g.states[i]
+			switch it.Agg {
+			case aggCount:
+				out = append(out, st.count)
+			case aggSum:
+				if st.sumInts {
+					out = append(out, int64(st.sum))
+				} else {
+					out = append(out, st.sum)
+				}
+			case aggAvg:
+				if st.count == 0 {
+					out = append(out, nil)
+				} else {
+					out = append(out, st.sum/float64(st.count))
+				}
+			case aggMin:
+				out = append(out, st.min)
+			case aggMax:
+				out = append(out, st.max)
+			}
+		}
+		rs.Rows = append(rs.Rows, out)
+	}
+	return rs, nil
+}
+
+// orderResult sorts the result set by output columns (names or aliases).
+func orderResult(rs *ResultSet, keys []orderKey, ec *execCtx) error {
+	type sortCol struct {
+		idx  int
+		desc bool
+	}
+	scols := make([]sortCol, len(keys))
+	for i, k := range keys {
+		idx := rs.ColIndex(k.Ref.Column)
+		if idx < 0 {
+			return fmt.Errorf("sqldb: ORDER BY column %q is not in the result; project it", k.Ref.Column)
+		}
+		scols[i] = sortCol{idx: idx, desc: k.Desc}
+	}
+	ec.cost.sorted += len(rs.Rows)
+	var sortErr error
+	sort.SliceStable(rs.Rows, func(i, j int) bool {
+		for _, sc := range scols {
+			c, err := compare(rs.Rows[i][sc.idx], rs.Rows[j][sc.idx])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if sc.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+func applyLimit(rs *ResultSet, limit, offset int) {
+	if offset > 0 {
+		if offset >= len(rs.Rows) {
+			rs.Rows = rs.Rows[:0]
+		} else {
+			rs.Rows = rs.Rows[offset:]
+		}
+	}
+	if limit >= 0 && limit < len(rs.Rows) {
+		rs.Rows = rs.Rows[:limit]
+	}
+}
+
+// ---- DML ----
+
+func (db *DB) execInsert(s *insertStmt, ec *execCtx) (ExecResult, error) {
+	tbl, err := db.lookupTable(s.Table)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	row := make([]Value, len(tbl.schema.Columns))
+	for i, col := range s.Cols {
+		ci := tbl.schema.colIndex(col)
+		if ci < 0 {
+			return ExecResult{}, fmt.Errorf("sqldb: table %q has no column %q", s.Table, col)
+		}
+		v, err := operandValue(s.Values[i], nil, nil, ec)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		nv, err := normalize(v)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		if !tbl.schema.Columns[ci].Type.accepts(nv) {
+			return ExecResult{}, fmt.Errorf("sqldb: column %s.%s (%s) rejects %T",
+				s.Table, col, tbl.schema.Columns[ci].Type, nv)
+		}
+		row[ci] = nv
+	}
+	tbl.lock.Lock()
+	defer tbl.lock.Unlock()
+	defer db.chargeCost(ec)
+	if _, err := tbl.insert(row); err != nil {
+		return ExecResult{}, err
+	}
+	ec.cost.written++
+	res := ExecResult{RowsAffected: 1}
+	if tbl.pkCol >= 0 {
+		if id, ok := row[tbl.pkCol].(int64); ok {
+			res.LastInsertID = id
+		}
+	}
+	return res, nil
+}
+
+func (db *DB) execUpdate(s *updateStmt, ec *execCtx) (ExecResult, error) {
+	tbl, err := db.lookupTable(s.Table)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	bindings := []binding{{ref: tableRef{Table: s.Table}, tbl: tbl}}
+	cols := make([]int, len(s.Cols))
+	for i, col := range s.Cols {
+		ci := tbl.schema.colIndex(col)
+		if ci < 0 {
+			return ExecResult{}, fmt.Errorf("sqldb: table %q has no column %q", s.Table, col)
+		}
+		cols[i] = ci
+	}
+	tbl.lock.Lock()
+	defer tbl.lock.Unlock()
+	defer db.chargeCost(ec)
+	ids := candidateRows(s.Where, bindings, bindings[0], ec)
+	rows := make([][]Value, 1)
+	affected := int64(0)
+	for _, id := range ids {
+		rows[0] = tbl.rows[id]
+		if rows[0] == nil {
+			continue
+		}
+		if s.Where != nil {
+			ok, err := evalBool(s.Where, bindings, rows, ec)
+			if err != nil {
+				return ExecResult{}, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		newVals := make([]Value, len(s.Vals))
+		for i, op := range s.Vals {
+			v, err := operandValue(op, bindings, rows, ec)
+			if err != nil {
+				return ExecResult{}, err
+			}
+			nv, err := normalize(v)
+			if err != nil {
+				return ExecResult{}, err
+			}
+			if !tbl.schema.Columns[cols[i]].Type.accepts(nv) {
+				return ExecResult{}, fmt.Errorf("sqldb: column %s.%s (%s) rejects %T",
+					s.Table, s.Cols[i], tbl.schema.Columns[cols[i]].Type, nv)
+			}
+			newVals[i] = nv
+		}
+		if err := tbl.updateRow(id, cols, newVals); err != nil {
+			return ExecResult{}, err
+		}
+		ec.cost.written++
+		affected++
+	}
+	return ExecResult{RowsAffected: affected}, nil
+}
+
+func (db *DB) execDelete(s *deleteStmt, ec *execCtx) (ExecResult, error) {
+	tbl, err := db.lookupTable(s.Table)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	bindings := []binding{{ref: tableRef{Table: s.Table}, tbl: tbl}}
+	tbl.lock.Lock()
+	defer tbl.lock.Unlock()
+	defer db.chargeCost(ec)
+	ids := candidateRows(s.Where, bindings, bindings[0], ec)
+	rows := make([][]Value, 1)
+	affected := int64(0)
+	for _, id := range ids {
+		rows[0] = tbl.rows[id]
+		if rows[0] == nil {
+			continue
+		}
+		if s.Where != nil {
+			ok, err := evalBool(s.Where, bindings, rows, ec)
+			if err != nil {
+				return ExecResult{}, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		tbl.deleteRow(id)
+		ec.cost.written++
+		affected++
+	}
+	return ExecResult{RowsAffected: affected}, nil
+}
+
+// lockTables read- or write-locks every distinct table among the
+// bindings in name order (a canonical order prevents deadlock between
+// concurrent multi-table statements) and returns the unlock function.
+func (db *DB) lockTables(bindings []binding, write bool) func() {
+	uniq := make(map[string]*table, len(bindings))
+	for _, b := range bindings {
+		uniq[b.tbl.schema.Table] = b.tbl
+	}
+	names := make([]string, 0, len(uniq))
+	for n := range uniq {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if write {
+			uniq[n].lock.Lock()
+		} else {
+			uniq[n].lock.RLock()
+		}
+	}
+	return func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			if write {
+				uniq[names[i]].lock.Unlock()
+			} else {
+				uniq[names[i]].lock.RUnlock()
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sqlTokenKind discriminates SQL lexer output.
+type sqlTokenKind int
+
+const (
+	tokIdent sqlTokenKind = iota + 1 // identifiers and keywords
+	tokNumber
+	tokString
+	tokPunct // , ( ) * . = != <> < <= > >= ?
+	tokEnd
+)
+
+type sqlToken struct {
+	kind sqlTokenKind
+	text string // identifiers uppercased for keyword matching? no: raw text
+	pos  int
+}
+
+// sqlLexer produces tokens from a SQL string.
+type sqlLexer struct {
+	src    string
+	pos    int
+	tokens []sqlToken
+}
+
+func lexSQL(src string) ([]sqlToken, error) {
+	l := &sqlLexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEnd {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *sqlLexer) next() (sqlToken, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return sqlToken{kind: tokEnd, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.pos++
+		}
+		return sqlToken{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return sqlToken{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		var sb strings.Builder
+		l.pos++
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return sqlToken{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return sqlToken{}, fmt.Errorf("sqldb: unterminated string at byte %d in %q", start, l.src)
+	case c == '<' || c == '>' || c == '!':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || c == '<' && l.src[l.pos] == '>') {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if text == "!" {
+			return sqlToken{}, fmt.Errorf("sqldb: stray '!' at byte %d in %q", start, l.src)
+		}
+		return sqlToken{kind: tokPunct, text: text, pos: start}, nil
+	case c == '=' || c == ',' || c == '(' || c == ')' || c == '*' || c == '.' || c == '?':
+		l.pos++
+		return sqlToken{kind: tokPunct, text: string(c), pos: start}, nil
+	default:
+		return sqlToken{}, fmt.Errorf("sqldb: unexpected character %q at byte %d in %q", c, start, l.src)
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z'
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || '0' <= c && c <= '9'
+}
+
+// keywordEqual compares an identifier token against a keyword,
+// case-insensitively.
+func keywordEqual(tok sqlToken, kw string) bool {
+	return tok.kind == tokIdent && strings.EqualFold(tok.text, kw)
+}

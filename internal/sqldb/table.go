@@ -1,0 +1,175 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// table is the storage for one relation: a row arena plus primary-key and
+// secondary hash indexes, guarded by one reader/writer table lock.
+//
+// The lock is the point of the reproduction: SELECTs hold it shared for
+// their whole (cost-model-padded) duration, DML holds it exclusively, so
+// a write on a popular table queues behind readers just as the paper's
+// TPC-W admin-response page queues on MySQL's table lock.
+type table struct {
+	schema Schema
+	pkCol  int // position of the primary key column, or -1
+
+	lock sync.RWMutex // the table lock; held by the executor
+
+	rows     [][]Value // rowID -> row; nil means deleted
+	live     int
+	pk       map[int64]int // pk value -> rowID
+	indexes  map[string]*hashIndex
+	nextAuto int64
+}
+
+// hashIndex is a secondary equality index.
+type hashIndex struct {
+	col int
+	m   map[Value][]int
+}
+
+func newTable(s Schema) *table {
+	t := &table{
+		schema:  s,
+		pkCol:   -1,
+		indexes: make(map[string]*hashIndex, len(s.Indexes)),
+	}
+	if s.PrimaryKey != "" {
+		t.pkCol = s.colIndex(s.PrimaryKey)
+		t.pk = make(map[int64]int)
+	}
+	for _, name := range s.Indexes {
+		t.indexes[name] = &hashIndex{col: s.colIndex(name), m: make(map[Value][]int)}
+	}
+	return t
+}
+
+// insert adds a row (already normalized and type-checked), returning the
+// rowID and the stored row. Caller holds the write lock.
+func (t *table) insert(row []Value) (int, error) {
+	if t.pkCol >= 0 {
+		if row[t.pkCol] == nil {
+			t.nextAuto++
+			row[t.pkCol] = t.nextAuto
+		}
+		key, ok := row[t.pkCol].(int64)
+		if !ok {
+			return 0, fmt.Errorf("sqldb: table %q: primary key must be an integer", t.schema.Table)
+		}
+		if _, dup := t.pk[key]; dup {
+			return 0, fmt.Errorf("sqldb: table %q: duplicate primary key %d", t.schema.Table, key)
+		}
+		if key > t.nextAuto {
+			t.nextAuto = key
+		}
+		t.pk[key] = len(t.rows)
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, row)
+	t.live++
+	for _, idx := range t.indexes {
+		v := row[idx.col]
+		idx.m[v] = append(idx.m[v], id)
+	}
+	return id, nil
+}
+
+// deleteRow tombstones rowID. Caller holds the write lock.
+func (t *table) deleteRow(id int) {
+	row := t.rows[id]
+	if row == nil {
+		return
+	}
+	if t.pkCol >= 0 {
+		if key, ok := row[t.pkCol].(int64); ok {
+			delete(t.pk, key)
+		}
+	}
+	for _, idx := range t.indexes {
+		idx.remove(row[idx.col], id)
+	}
+	t.rows[id] = nil
+	t.live--
+}
+
+// updateRow replaces columns of rowID with newValues at positions cols.
+// Caller holds the write lock.
+func (t *table) updateRow(id int, cols []int, newValues []Value) error {
+	row := t.rows[id]
+	if row == nil {
+		return fmt.Errorf("sqldb: update of deleted row %d", id)
+	}
+	for i, col := range cols {
+		old := row[col]
+		nv := newValues[i]
+		if col == t.pkCol {
+			newKey, ok := nv.(int64)
+			if !ok {
+				return fmt.Errorf("sqldb: table %q: primary key must be an integer", t.schema.Table)
+			}
+			oldKey := old.(int64)
+			if newKey != oldKey {
+				if _, dup := t.pk[newKey]; dup {
+					return fmt.Errorf("sqldb: table %q: duplicate primary key %d", t.schema.Table, newKey)
+				}
+				delete(t.pk, oldKey)
+				t.pk[newKey] = id
+				if newKey > t.nextAuto {
+					t.nextAuto = newKey
+				}
+			}
+		}
+		if idx, ok := t.indexes[t.schema.Columns[col].Name]; ok && !valuesEqual(old, nv) {
+			idx.remove(old, id)
+			idx.m[nv] = append(idx.m[nv], id)
+		}
+		row[col] = nv
+	}
+	return nil
+}
+
+// lookupPK returns the rowID for a primary key value.
+func (t *table) lookupPK(key int64) (int, bool) {
+	if t.pk == nil {
+		return 0, false
+	}
+	id, ok := t.pk[key]
+	return id, ok
+}
+
+// lookupIndex returns rowIDs matching value on an indexed column name.
+func (t *table) lookupIndex(col string, v Value) ([]int, bool) {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	return idx.m[v], true
+}
+
+// hasIndex reports whether col is the primary key or a secondary index.
+func (t *table) hasIndex(col string) bool {
+	if t.pkCol >= 0 && t.schema.Columns[t.pkCol].Name == col {
+		return true
+	}
+	_, ok := t.indexes[col]
+	return ok
+}
+
+func (idx *hashIndex) remove(v Value, id int) {
+	ids := idx.m[v]
+	for i, got := range ids {
+		if got == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(idx.m, v)
+	} else {
+		idx.m[v] = ids
+	}
+}

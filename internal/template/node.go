@@ -1,0 +1,200 @@
+package template
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node is one parsed template element.
+type node interface {
+	render(st *renderState, ctx *Context, sb *strings.Builder) error
+}
+
+// renderState carries per-render machinery: the owning set (for includes)
+// and the block-override chain built by {% extends %}.
+type renderState struct {
+	set *Set
+	// overrides[i] holds the blocks of the i-th template in the
+	// inheritance chain, most-derived first. A {% block %} renders the
+	// first override found, falling back to its own body.
+	overrides []map[string]nodeList
+	depth     int // include/extends nesting guard
+}
+
+const maxRenderDepth = 16
+
+type nodeList []node
+
+func (l nodeList) render(st *renderState, ctx *Context, sb *strings.Builder) error {
+	for _, n := range l {
+		if err := n.render(st, ctx, sb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// textNode is literal template text.
+type textNode string
+
+func (t textNode) render(_ *renderState, _ *Context, sb *strings.Builder) error {
+	sb.WriteString(string(t))
+	return nil
+}
+
+// varNode is {{ expression }}. Output is HTML-escaped unless the value is
+// Safe (e.g. passed through the safe filter).
+type varNode struct {
+	e    expr
+	line int
+}
+
+func (v varNode) render(_ *renderState, ctx *Context, sb *strings.Builder) error {
+	val, err := v.e.eval(ctx)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", v.line, err)
+	}
+	if s, ok := val.(Safe); ok {
+		sb.WriteString(string(s))
+		return nil
+	}
+	sb.WriteString(HTMLEscape(Stringify(val)))
+	return nil
+}
+
+// ifBranch is one arm of {% if %} / {% elif %}.
+type ifBranch struct {
+	cond expr
+	body nodeList
+}
+
+type ifNode struct {
+	branches []ifBranch
+	elseBody nodeList
+}
+
+func (n ifNode) render(st *renderState, ctx *Context, sb *strings.Builder) error {
+	for _, br := range n.branches {
+		v, err := br.cond.eval(ctx)
+		if err != nil {
+			return err
+		}
+		if Truth(v) {
+			return br.body.render(st, ctx, sb)
+		}
+	}
+	return n.elseBody.render(st, ctx, sb)
+}
+
+// forNode is {% for x in xs %} ... {% empty %} ... {% endfor %}, with the
+// standard forloop context variables.
+type forNode struct {
+	vars     []string // one var, or two for key,value unpacking
+	iterable expr
+	reversed bool
+	body     nodeList
+	empty    nodeList
+}
+
+func (n forNode) render(st *renderState, ctx *Context, sb *strings.Builder) error {
+	src, err := n.iterable.eval(ctx)
+	if err != nil {
+		return err
+	}
+	var items []any
+	if err := iterate(src, func(_ int, e any) error {
+		items = append(items, e)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return n.empty.render(st, ctx, sb)
+	}
+	if n.reversed {
+		for i, j := 0, len(items)-1; i < j; i, j = i+1, j-1 {
+			items[i], items[j] = items[j], items[i]
+		}
+	}
+	parentLoop, _ := ctx.Lookup("forloop")
+	ctx.Push()
+	defer ctx.Pop()
+	total := len(items)
+	for i, item := range items {
+		if len(n.vars) == 2 {
+			// Unpack {key,value} pairs (map iteration) or 2-element slices.
+			ctx.Set(n.vars[0], resolveAttr(item, "key"))
+			ctx.Set(n.vars[1], resolveAttr(item, "value"))
+		} else {
+			ctx.Set(n.vars[0], item)
+		}
+		ctx.Set("forloop", map[string]any{
+			"counter":    i + 1,
+			"counter0":   i,
+			"revcounter": total - i,
+			"first":      i == 0,
+			"last":       i == total-1,
+			"parentloop": parentLoop,
+		})
+		if err := n.body.render(st, ctx, sb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withNode is {% with name=expr %} or {% with expr as name %}.
+type withNode struct {
+	name string
+	val  expr
+	body nodeList
+}
+
+func (n withNode) render(st *renderState, ctx *Context, sb *strings.Builder) error {
+	v, err := n.val.eval(ctx)
+	if err != nil {
+		return err
+	}
+	ctx.Push()
+	defer ctx.Pop()
+	ctx.Set(n.name, v)
+	return n.body.render(st, ctx, sb)
+}
+
+// includeNode is {% include "name" %}; the name may be an expression.
+type includeNode struct {
+	name expr
+}
+
+func (n includeNode) render(st *renderState, ctx *Context, sb *strings.Builder) error {
+	v, err := n.name.eval(ctx)
+	if err != nil {
+		return err
+	}
+	name := Stringify(v)
+	tmpl, err := st.set.Get(name)
+	if err != nil {
+		return fmt.Errorf("include: %w", err)
+	}
+	if st.depth >= maxRenderDepth {
+		return fmt.Errorf("template: include depth exceeds %d (cycle?)", maxRenderDepth)
+	}
+	sub := &renderState{set: st.set, depth: st.depth + 1}
+	return tmpl.renderInto(sub, ctx, sb)
+}
+
+// blockNode is {% block name %}...{% endblock %}. With inheritance the
+// most-derived template's override wins.
+type blockNode struct {
+	name string
+	body nodeList
+}
+
+func (n blockNode) render(st *renderState, ctx *Context, sb *strings.Builder) error {
+	for _, ov := range st.overrides {
+		if body, ok := ov[n.name]; ok {
+			return body.render(st, ctx, sb)
+		}
+	}
+	return n.body.render(st, ctx, sb)
+}

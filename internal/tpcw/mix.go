@@ -1,0 +1,77 @@
+package tpcw
+
+import "math/rand"
+
+// BrowsingMix is the TPC-W "browsing mix" page frequency distribution
+// (WIPSb), the workload used throughout the paper's evaluation. Weights
+// are percentages and sum to 100.00.
+var BrowsingMix = []PageWeight{
+	{PageHome, 29.00},
+	{PageNewProducts, 11.00},
+	{PageBestSellers, 11.00},
+	{PageProductDetail, 21.00},
+	{PageSearchRequest, 12.00},
+	{PageExecuteSearch, 11.00},
+	{PageShoppingCart, 2.00},
+	{PageCustomerReg, 0.82},
+	{PageBuyRequest, 0.75},
+	{PageBuyConfirm, 0.69},
+	{PageOrderInquiry, 0.30},
+	{PageOrderDisplay, 0.25},
+	{PageAdminRequest, 0.10},
+	{PageAdminResponse, 0.09},
+}
+
+// PageWeight is one entry of a page mix.
+type PageWeight struct {
+	Page   string
+	Weight float64
+}
+
+// Mix draws pages from a weighted distribution.
+type Mix struct {
+	pages  []string
+	cum    []float64
+	total  float64
+	weight map[string]float64
+}
+
+// NewMix builds a sampler over weights. It panics on an empty or
+// non-positive mix — a static configuration error.
+func NewMix(weights []PageWeight) *Mix {
+	if len(weights) == 0 {
+		panic("tpcw: empty page mix")
+	}
+	m := &Mix{weight: make(map[string]float64, len(weights))}
+	for _, w := range weights {
+		if w.Weight <= 0 {
+			panic("tpcw: non-positive mix weight for " + w.Page)
+		}
+		m.total += w.Weight
+		m.pages = append(m.pages, w.Page)
+		m.cum = append(m.cum, m.total)
+		m.weight[w.Page] = w.Weight
+	}
+	return m
+}
+
+// Pick draws one page using rng.
+func (m *Mix) Pick(rng *rand.Rand) string {
+	x := rng.Float64() * m.total
+	for i, c := range m.cum {
+		if x < c {
+			return m.pages[i]
+		}
+	}
+	return m.pages[len(m.pages)-1]
+}
+
+// Weight reports a page's weight (0 when absent).
+func (m *Mix) Weight(page string) float64 { return m.weight[page] }
+
+// Pages lists the mix's pages in declaration order.
+func (m *Mix) Pages() []string {
+	out := make([]string, len(m.pages))
+	copy(out, m.pages)
+	return out
+}

@@ -1,0 +1,316 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stagedweb/internal/sqldb"
+)
+
+// PopulateConfig scales the TPC-W database. The paper's database (one
+// million books, 2.88 million customers, 2.59 million orders) is scaled
+// down by a constant factor; the paper itself observes that database size
+// does not change which queries are fast (indexed) and which are slow
+// (scans), so the factor preserves the evaluation's structure.
+type PopulateConfig struct {
+	Items     int // default 10000
+	Customers int // default 2880
+	Orders    int // default 2592
+	Seed      int64
+}
+
+func (c *PopulateConfig) fillDefaults() {
+	if c.Items <= 0 {
+		c.Items = 10000
+	}
+	if c.Customers <= 0 {
+		c.Customers = 2880
+	}
+	if c.Orders <= 0 {
+		c.Orders = 2592
+	}
+	if c.Seed == 0 {
+		c.Seed = 20090629 // DSN'09 conference date
+	}
+}
+
+// Counts reports the populated row counts.
+type Counts struct {
+	Items      int
+	Authors    int
+	Customers  int
+	Addresses  int
+	Countries  int
+	Orders     int
+	OrderLines int
+	CCXacts    int
+}
+
+// baseDate anchors all generated timestamps so population is fully
+// deterministic.
+var baseDate = time.Date(2008, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// Populate fills db (whose tables must already exist) with a
+// deterministic TPC-W dataset and returns the row counts.
+func Populate(db *sqldb.DB, cfg PopulateConfig) (Counts, error) {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := db.Connect()
+	defer c.Close()
+
+	var counts Counts
+	if err := populateCountries(c, &counts); err != nil {
+		return counts, err
+	}
+	if err := populateAuthors(c, rng, cfg, &counts); err != nil {
+		return counts, err
+	}
+	if err := populateItems(c, rng, cfg, &counts); err != nil {
+		return counts, err
+	}
+	if err := populateAddresses(c, rng, cfg, &counts); err != nil {
+		return counts, err
+	}
+	if err := populateCustomers(c, rng, cfg, &counts); err != nil {
+		return counts, err
+	}
+	if err := populateOrders(c, rng, cfg, &counts); err != nil {
+		return counts, err
+	}
+	return counts, nil
+}
+
+var countryNames = []string{
+	"United States", "United Kingdom", "Canada", "Germany", "France",
+	"Japan", "Netherlands", "Italy", "Switzerland", "Australia", "Algeria",
+	"Argentina", "Armenia", "Austria", "Azerbaijan", "Bahamas", "Bahrain",
+	"Bangladesh", "Barbados", "Belarus", "Belgium", "Bermuda", "Bolivia",
+	"Botswana", "Brazil", "Bulgaria", "Cayman Islands", "Chad", "Chile",
+	"China", "Christmas Island", "Colombia", "Croatia", "Cuba", "Cyprus",
+	"Czech Republic", "Denmark", "Dominican Republic", "Eastern Caribbean",
+	"Ecuador", "Egypt", "El Salvador", "Estonia", "Ethiopia",
+	"Falkland Islands", "Faroe Islands", "Fiji", "Finland", "Gaza",
+	"Gibraltar", "Greece", "Guam", "Hong Kong", "Hungary", "Iceland",
+	"India", "Indonesia", "Iran", "Iraq", "Ireland", "Israel", "Jamaica",
+	"Jordan", "Kazakhstan", "Kuwait", "Lebanon", "Luxembourg", "Malaysia",
+	"Mexico", "Mauritius", "New Zealand", "Norway", "Pakistan",
+	"Philippines", "Poland", "Portugal", "Romania", "Russia",
+	"Saudi Arabia", "Singapore", "Slovakia", "South Africa", "South Korea",
+	"Spain", "Sudan", "Sweden", "Taiwan", "Thailand", "Trinidad",
+	"Turkey", "Venezuela", "Zambia",
+}
+
+func populateCountries(c *sqldb.Conn, counts *Counts) error {
+	for i, name := range countryNames {
+		if _, err := c.Exec("INSERT INTO country (co_id, co_name) VALUES (?, ?)", i+1, name); err != nil {
+			return fmt.Errorf("tpcw: country %d: %w", i+1, err)
+		}
+	}
+	counts.Countries = len(countryNames)
+	return nil
+}
+
+var firstNames = []string{
+	"James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+	"Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+}
+
+var titleWords = []string{
+	"THE", "SECRET", "LOST", "COMPLETE", "MODERN", "ANCIENT", "HIDDEN",
+	"PRACTICAL", "SILENT", "GOLDEN", "BROKEN", "ETERNAL", "GARDEN",
+	"JOURNEY", "SHADOW", "RIVER", "MOUNTAIN", "WINTER", "SUMMER", "CITY",
+	"HOUSE", "ROAD", "STORY", "ART", "SCIENCE", "HISTORY", "GUIDE",
+	"WORLD", "NIGHT", "MORNING", "EMPIRE", "ISLAND", "LETTERS", "DREAMS",
+}
+
+func authorCount(cfg PopulateConfig) int {
+	n := cfg.Items / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func populateAuthors(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts) error {
+	n := authorCount(cfg)
+	for i := 1; i <= n; i++ {
+		if _, err := c.Exec(
+			"INSERT INTO author (a_id, a_fname, a_lname, a_bio) VALUES (?, ?, ?, ?)",
+			i,
+			firstNames[rng.Intn(len(firstNames))],
+			lastNames[rng.Intn(len(lastNames))],
+			randomWords(rng, 20),
+		); err != nil {
+			return fmt.Errorf("tpcw: author %d: %w", i, err)
+		}
+	}
+	counts.Authors = n
+	return nil
+}
+
+func populateItems(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts) error {
+	authors := authorCount(cfg)
+	for i := 1; i <= cfg.Items; i++ {
+		srp := 1 + rng.Float64()*99
+		cost := srp * (0.5 + rng.Float64()*0.5)
+		pub := baseDate.AddDate(0, 0, -rng.Intn(3650))
+		if _, err := c.Exec(
+			`INSERT INTO item (i_id, i_title, i_a_id, i_pub_date, i_subject, i_desc,
+			 i_thumbnail, i_image, i_srp, i_cost, i_avail, i_stock,
+			 i_related1, i_related2, i_related3, i_related4, i_related5)
+			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			i,
+			randomTitle(rng, i),
+			1+rng.Intn(authors),
+			pub,
+			Subjects[rng.Intn(len(Subjects))],
+			randomWords(rng, 30),
+			fmt.Sprintf("/img/thumb_%d.gif", i%100),
+			fmt.Sprintf("/img/image_%d.gif", i%100),
+			round2(srp),
+			round2(cost),
+			pub.AddDate(0, 0, rng.Intn(30)),
+			10+rng.Intn(20),
+			related(rng, cfg.Items), related(rng, cfg.Items), related(rng, cfg.Items),
+			related(rng, cfg.Items), related(rng, cfg.Items),
+		); err != nil {
+			return fmt.Errorf("tpcw: item %d: %w", i, err)
+		}
+	}
+	counts.Items = cfg.Items
+	return nil
+}
+
+func populateAddresses(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts) error {
+	n := cfg.Customers * 2
+	for i := 1; i <= n; i++ {
+		if _, err := c.Exec(
+			"INSERT INTO address (addr_id, addr_street1, addr_city, addr_state, addr_zip, addr_co_id) VALUES (?, ?, ?, ?, ?, ?)",
+			i,
+			fmt.Sprintf("%d %s St", 1+rng.Intn(999), titleWords[rng.Intn(len(titleWords))]),
+			lastNames[rng.Intn(len(lastNames))]+"ville",
+			"ST",
+			fmt.Sprintf("%05d", rng.Intn(100000)),
+			1+rng.Intn(len(countryNames)),
+		); err != nil {
+			return fmt.Errorf("tpcw: address %d: %w", i, err)
+		}
+	}
+	counts.Addresses = n
+	return nil
+}
+
+func populateCustomers(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts) error {
+	for i := 1; i <= cfg.Customers; i++ {
+		if _, err := c.Exec(
+			`INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, c_lname, c_email,
+			 c_since, c_discount, c_addr_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			i,
+			Uname(i),
+			fmt.Sprintf("pw%d", i),
+			firstNames[rng.Intn(len(firstNames))],
+			lastNames[rng.Intn(len(lastNames))],
+			fmt.Sprintf("%s@example.com", Uname(i)),
+			baseDate.AddDate(0, 0, -rng.Intn(730)),
+			round2(rng.Float64()*0.5),
+			1+rng.Intn(cfg.Customers*2),
+		); err != nil {
+			return fmt.Errorf("tpcw: customer %d: %w", i, err)
+		}
+	}
+	counts.Customers = cfg.Customers
+	return nil
+}
+
+func populateOrders(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts) error {
+	olID := 0
+	for o := 1; o <= cfg.Orders; o++ {
+		cust := 1 + rng.Intn(cfg.Customers)
+		date := baseDate.AddDate(0, 0, -rng.Intn(60))
+		nLines := 1 + rng.Intn(5)
+		subTotal := 0.0
+		for l := 0; l < nLines; l++ {
+			olID++
+			qty := 1 + rng.Intn(3)
+			if _, err := c.Exec(
+				"INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount, ol_comments) VALUES (?, ?, ?, ?, ?, ?)",
+				olID, o, 1+rng.Intn(cfg.Items), qty, round2(rng.Float64()*0.1), randomWords(rng, 5),
+			); err != nil {
+				return fmt.Errorf("tpcw: order line %d: %w", olID, err)
+			}
+			subTotal += float64(qty) * (1 + rng.Float64()*99)
+		}
+		total := round2(subTotal * 1.0825)
+		if _, err := c.Exec(
+			`INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_total, o_ship_type,
+			 o_ship_date, o_bill_addr_id, o_ship_addr_id, o_status)
+			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			o, cust, date, round2(subTotal), total,
+			shipTypes[rng.Intn(len(shipTypes))],
+			date.AddDate(0, 0, 1+rng.Intn(7)),
+			1+rng.Intn(cfg.Customers*2),
+			1+rng.Intn(cfg.Customers*2),
+			orderStatus[rng.Intn(len(orderStatus))],
+		); err != nil {
+			return fmt.Errorf("tpcw: order %d: %w", o, err)
+		}
+		if _, err := c.Exec(
+			"INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expire, cx_xact_amt, cx_xact_date, cx_co_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+			o, ccTypes[rng.Intn(len(ccTypes))],
+			fmt.Sprintf("%016d", rng.Int63n(1e15)),
+			firstNames[rng.Intn(len(firstNames))]+" "+lastNames[rng.Intn(len(lastNames))],
+			date.AddDate(2, 0, 0), total, date, 1+rng.Intn(len(countryNames)),
+		); err != nil {
+			return fmt.Errorf("tpcw: cc_xact %d: %w", o, err)
+		}
+	}
+	counts.Orders = cfg.Orders
+	counts.OrderLines = olID
+	counts.CCXacts = cfg.Orders
+	return nil
+}
+
+var (
+	shipTypes   = []string{"AIR", "UPS", "FEDEX", "SHIP", "COURIER", "MAIL"}
+	orderStatus = []string{"PROCESSING", "SHIPPED", "PENDING", "DENIED"}
+	ccTypes     = []string{"VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"}
+)
+
+// Uname returns the deterministic username for a customer id, so the
+// workload generator can log in without scanning.
+func Uname(cID int) string { return fmt.Sprintf("user%d", cID) }
+
+func randomTitle(rng *rand.Rand, id int) string {
+	n := 2 + rng.Intn(3)
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += titleWords[rng.Intn(len(titleWords))]
+	}
+	return fmt.Sprintf("%s #%d", s, id)
+}
+
+func randomWords(rng *rand.Rand, n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += titleWords[rng.Intn(len(titleWords))]
+	}
+	return s
+}
+
+func related(rng *rand.Rand, items int) int { return 1 + rng.Intn(items) }
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -1,0 +1,47 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Static asset sizes, loosely following the TPC-W image specification:
+// item thumbnails are small, item images larger, plus the shared banner
+// and footer graphics on every page.
+const (
+	thumbBytes  = 1536
+	imageBytes  = 8192
+	bannerBytes = 4096
+	footerBytes = 1024
+
+	// imageBuckets bounds the number of distinct generated images; item
+	// rows reference /img/thumb_<id mod imageBuckets>.gif.
+	imageBuckets = 100
+)
+
+// StaticAssets generates the deterministic static file set served by the
+// bookstore: banner, footer, and the thumbnail/image buckets referenced
+// by item rows.
+func StaticAssets() map[string][]byte {
+	assets := make(map[string][]byte, imageBuckets*2+2)
+	assets["/img/banner.gif"] = fakeGIF(0xBAAA, bannerBytes)
+	assets["/img/footer.gif"] = fakeGIF(0xF007, footerBytes)
+	for i := 0; i < imageBuckets; i++ {
+		assets[fmt.Sprintf("/img/thumb_%d.gif", i)] = fakeGIF(int64(i), thumbBytes)
+		assets[fmt.Sprintf("/img/image_%d.gif", i)] = fakeGIF(int64(1000+i), imageBytes)
+	}
+	return assets
+}
+
+// fakeGIF produces a deterministic pseudo-image: a GIF89a signature
+// followed by seeded pseudo-random bytes. Clients only measure transfer
+// size, so content beyond the magic number is immaterial.
+func fakeGIF(seed int64, size int) []byte {
+	buf := make([]byte, size)
+	copy(buf, "GIF89a")
+	rng := rand.New(rand.NewSource(seed))
+	for i := 6; i < size; i++ {
+		buf[i] = byte(rng.Intn(256))
+	}
+	return buf
+}

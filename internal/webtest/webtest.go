@@ -1,0 +1,172 @@
+// Package webtest provides a minimal HTTP client and a configurable
+// in-memory application used by server tests, examples, and the workload
+// generator's own tests.
+//
+// The client is deliberately independent of net/http so that tests
+// exercise the repository's wire implementation end to end.
+package webtest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"stagedweb/internal/httpwire"
+	"stagedweb/internal/server"
+	"stagedweb/internal/template"
+)
+
+// App is a small server.App for tests and examples.
+type App struct {
+	set      *template.Set
+	handlers map[string]server.HandlerFunc
+	statics  map[string]staticFile
+}
+
+type staticFile struct {
+	body []byte
+	ct   string
+}
+
+var _ server.App = (*App)(nil)
+
+// NewApp returns an empty application.
+func NewApp() *App {
+	return &App{
+		set:      template.NewSet(),
+		handlers: map[string]server.HandlerFunc{},
+		statics:  map[string]staticFile{},
+	}
+}
+
+// AddPage registers a dynamic page handler.
+func (a *App) AddPage(path string, h server.HandlerFunc) *App {
+	a.handlers[path] = h
+	return a
+}
+
+// AddTemplate registers a template source.
+func (a *App) AddTemplate(name, src string) *App {
+	a.set.Add(name, src)
+	return a
+}
+
+// AddStatic registers a static asset.
+func (a *App) AddStatic(path string, body []byte, contentType string) *App {
+	a.statics[path] = staticFile{body: body, ct: contentType}
+	return a
+}
+
+// Handler implements server.App.
+func (a *App) Handler(path string) (server.HandlerFunc, bool) {
+	h, ok := a.handlers[path]
+	return h, ok
+}
+
+// Static implements server.App.
+func (a *App) Static(path string) ([]byte, string, bool) {
+	f, ok := a.statics[path]
+	return f.body, f.ct, ok
+}
+
+// Templates implements server.App.
+func (a *App) Templates() *template.Set { return a.set }
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Status int
+	Header httpwire.Header
+	Body   []byte
+}
+
+// Client is a single-connection HTTP client (optionally keep-alive).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// Dial connects to addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() { _ = c.conn.Close() }
+
+// Do sends one GET request and reads the full response. keepAlive
+// controls the Connection header.
+func (c *Client) Do(path string, keepAlive bool) (*Response, error) {
+	connHdr := "close"
+	if keepAlive {
+		connHdr = "keep-alive"
+	}
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: test\r\nUser-Agent: webtest\r\nConnection: %s\r\n\r\n", path, connHdr)
+	if _, err := io.WriteString(c.conn, req); err != nil {
+		return nil, err
+	}
+	return ReadResponse(c.br)
+}
+
+// Get performs a one-shot GET with Connection: close on a fresh
+// connection.
+func Get(addr, path string) (*Response, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Do(path, false)
+}
+
+// ReadResponse parses an HTTP/1.1 response with a Content-Length body.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	statusLine, err := br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	statusLine = strings.TrimRight(statusLine, "\r\n")
+	parts := strings.SplitN(statusLine, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("webtest: malformed status line %q", statusLine)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("webtest: bad status in %q", statusLine)
+	}
+	hdr, err := httpwire.ReadHeaders(br)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Status: status, Header: hdr}
+	cl := hdr.Get("Content-Length")
+	if cl == "" {
+		return nil, fmt.Errorf("webtest: response without Content-Length")
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("webtest: bad Content-Length %q", cl)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+// Listen opens a loopback listener on an ephemeral port.
+func Listen() (net.Listener, string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return l, l.Addr().String(), nil
+}

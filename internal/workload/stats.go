@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stagedweb/internal/metrics"
+)
+
+// Stats collects client-side measurements: per-page WIRT histograms and
+// completion counts. Recording can be gated to the measurement window —
+// the paper excludes the five-minute ramp-up and cool-down.
+type Stats struct {
+	recording atomic.Bool
+
+	mu     sync.Mutex
+	pages  map[string]*metrics.Histogram
+	counts map[string]*int64
+	errs   atomic.Int64
+}
+
+func newStats() *Stats {
+	s := &Stats{
+		pages:  make(map[string]*metrics.Histogram, 16),
+		counts: make(map[string]*int64, 16),
+	}
+	s.recording.Store(true)
+	return s
+}
+
+// SetRecording gates measurement (true during the measurement window).
+func (s *Stats) SetRecording(on bool) { s.recording.Store(on) }
+
+// Reset clears all measurements (start of the measurement window).
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = make(map[string]*metrics.Histogram, 16)
+	s.counts = make(map[string]*int64, 16)
+	s.errs.Store(0)
+}
+
+func (s *Stats) record(page string, wirt time.Duration) {
+	if !s.recording.Load() {
+		return
+	}
+	s.histogram(page).Observe(wirt)
+	atomic.AddInt64(s.counter(page), 1)
+}
+
+func (s *Stats) recordError(page string) {
+	if !s.recording.Load() {
+		return
+	}
+	s.errs.Add(1)
+}
+
+func (s *Stats) histogram(page string) *metrics.Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.pages[page]
+	if !ok {
+		h = &metrics.Histogram{}
+		s.pages[page] = h
+	}
+	return h
+}
+
+func (s *Stats) counter(page string) *int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counts[page]
+	if !ok {
+		c = new(int64)
+		s.counts[page] = c
+	}
+	return c
+}
+
+// Errors reports the number of failed interactions.
+func (s *Stats) Errors() int64 { return s.errs.Load() }
+
+// PageResult is one page's client-side summary.
+type PageResult struct {
+	Page  string
+	Count int64
+	Mean  time.Duration // wall time; divide through the timescale for paper seconds
+	P90   time.Duration
+	Max   time.Duration
+}
+
+// Pages returns per-page summaries sorted by page name.
+func (s *Stats) Pages() []PageResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PageResult, 0, len(s.pages))
+	for page, h := range s.pages {
+		snap := h.Snapshot()
+		out = append(out, PageResult{
+			Page:  page,
+			Count: snap.Count,
+			Mean:  snap.Mean,
+			P90:   snap.P90,
+			Max:   snap.Max,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
+}
+
+// Page returns one page's summary (zero value when unseen).
+func (s *Stats) Page(page string) PageResult {
+	s.mu.Lock()
+	h, ok := s.pages[page]
+	s.mu.Unlock()
+	if !ok {
+		return PageResult{Page: page}
+	}
+	snap := h.Snapshot()
+	return PageResult{Page: page, Count: snap.Count, Mean: snap.Mean, P90: snap.P90, Max: snap.Max}
+}
+
+// TotalInteractions sums completed page interactions.
+func (s *Stats) TotalInteractions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, c := range s.counts {
+		total += atomic.LoadInt64(c)
+	}
+	return total
+}

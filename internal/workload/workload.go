@@ -1,0 +1,350 @@
+// Package workload implements the TPC-W remote browser emulator (RBE):
+// closed-loop emulated browsers (EBs) that walk the bookstore according
+// to the browsing-mix page frequencies, wait a uniformly distributed
+// think time of 0.7–7 s (paper time) between interactions, fetch the
+// images embedded in each page, and measure the web interaction response
+// time (WIRT) at the client side — exactly how the paper's evaluation
+// measures Table 3.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/httpwire"
+	"stagedweb/internal/tpcw"
+	"stagedweb/internal/webtest"
+)
+
+// Config configures the browser fleet.
+type Config struct {
+	// Addr is the server address ("127.0.0.1:port").
+	Addr string
+	// EBs is the number of emulated browsers (the paper uses 400).
+	EBs int
+	// Mix is the page distribution; nil selects the browsing mix.
+	Mix *tpcw.Mix
+	// Scale compresses think times and reported response times.
+	Scale clock.Timescale
+	// ThinkMin/ThinkMax bound the think time in paper time; zero values
+	// take the TPC-W standard 0.7 s and 7 s.
+	ThinkMin, ThinkMax time.Duration
+	// ThinkExponential selects the TPC-W specification's think-time
+	// distribution: negative-exponential with mean ThinkMean, truncated
+	// below at ThinkMin and capped at ten times the mean. The default
+	// (false) draws uniformly from [ThinkMin, ThinkMax] — the paper's
+	// literal "0.7 to 7 seconds".
+	ThinkExponential bool
+	// ThinkMean is the exponential distribution's mean (default 7 s).
+	ThinkMean time.Duration
+	// Customers and Items are the population bounds for generated
+	// request parameters.
+	Customers, Items int
+	// FetchImages controls whether EBs download images referenced by
+	// each page (TPC-W includes them in the interaction).
+	FetchImages bool
+	// MaxImages caps the embedded images fetched per page.
+	MaxImages int
+	// Seed makes the fleet deterministic.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.EBs <= 0 {
+		c.EBs = 1
+	}
+	if c.Mix == nil {
+		c.Mix = tpcw.NewMix(tpcw.BrowsingMix)
+	}
+	if c.Scale == 0 {
+		c.Scale = clock.RealTime
+	}
+	if c.ThinkMin <= 0 {
+		c.ThinkMin = 700 * time.Millisecond
+	}
+	if c.ThinkMax <= 0 {
+		c.ThinkMax = 7 * time.Second
+	}
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 7 * time.Second
+	}
+	if c.Customers <= 0 {
+		c.Customers = 1
+	}
+	if c.Items <= 0 {
+		c.Items = 1
+	}
+	if c.MaxImages <= 0 {
+		c.MaxImages = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Generator runs the EB fleet.
+type Generator struct {
+	cfg   Config
+	stats *Stats
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// New builds an unstarted generator.
+func New(cfg Config) *Generator {
+	cfg.fillDefaults()
+	return &Generator{cfg: cfg, stats: newStats(), stop: make(chan struct{})}
+}
+
+// Stats exposes the client-side measurements.
+func (g *Generator) Stats() *Stats { return g.stats }
+
+// Start launches the EB goroutines.
+func (g *Generator) Start() {
+	g.wg.Add(g.cfg.EBs)
+	for i := 0; i < g.cfg.EBs; i++ {
+		eb := &browser{
+			cfg:   g.cfg,
+			stats: g.stats,
+			stop:  g.stop,
+			rng:   rand.New(rand.NewSource(g.cfg.Seed + int64(i)*7919)),
+			cID:   i%g.cfg.Customers + 1,
+		}
+		go func() {
+			defer g.wg.Done()
+			eb.run()
+		}()
+	}
+}
+
+// Stop signals every EB and waits for them to finish their in-flight
+// interaction.
+func (g *Generator) Stop() {
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// browser is one emulated browser with its session state.
+type browser struct {
+	cfg   Config
+	stats *Stats
+	stop  chan struct{}
+	rng   *rand.Rand
+
+	cID  int // this EB's customer identity
+	scID int // current shopping cart, 0 if none
+}
+
+func (b *browser) run() {
+	for {
+		select {
+		case <-b.stop:
+			return
+		default:
+		}
+		page := b.cfg.Mix.Pick(b.rng)
+		b.interact(page)
+		b.think()
+	}
+}
+
+// think sleeps the configured think-time distribution scaled,
+// interruptibly.
+func (b *browser) think() {
+	var d time.Duration
+	if b.cfg.ThinkExponential {
+		// TPC-W clause 5.3.2.2: negative-exponential think time.
+		d = time.Duration(b.rng.ExpFloat64() * float64(b.cfg.ThinkMean))
+		if d < b.cfg.ThinkMin {
+			d = b.cfg.ThinkMin
+		}
+		if cap := 10 * b.cfg.ThinkMean; d > cap {
+			d = cap
+		}
+	} else {
+		span := b.cfg.ThinkMax - b.cfg.ThinkMin
+		d = b.cfg.ThinkMin + time.Duration(b.rng.Int63n(int64(span)+1))
+	}
+	wall := b.cfg.Scale.Wall(d)
+	select {
+	case <-b.stop:
+	case <-time.After(wall):
+	}
+}
+
+// interact performs one web interaction: the page plus its embedded
+// images, all on one keep-alive connection (as a browser would), measured
+// as one WIRT. The connection closes at the end of the interaction so the
+// server does not hold resources across the think time.
+func (b *browser) interact(page string) {
+	url := b.buildURL(page)
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", b.cfg.Addr, 10*time.Second)
+	if err != nil {
+		b.stats.recordError(page)
+		return
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+
+	body, status, err := get(conn, br, url)
+	if err != nil {
+		b.stats.recordError(page)
+		return
+	}
+	if b.cfg.FetchImages {
+		for _, img := range extractImages(body, b.cfg.MaxImages) {
+			if _, _, err := get(conn, br, img); err != nil {
+				b.stats.recordError(img)
+				return
+			}
+		}
+	}
+	wirt := time.Since(start)
+	if status >= 200 && status < 400 {
+		b.stats.record(page, wirt)
+		b.updateSession(page, body)
+	} else {
+		b.stats.recordError(page)
+	}
+}
+
+// get fetches one URL over an established keep-alive connection.
+func get(conn net.Conn, br *bufio.Reader, path string) ([]byte, int, error) {
+	req := "GET " + path + " HTTP/1.1\r\nHost: tpcw\r\nUser-Agent: tpcw-eb\r\nConnection: keep-alive\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return nil, 0, err
+	}
+	resp, err := webtest.ReadResponse(br)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Body, resp.Status, nil
+}
+
+// searchWords are the terms EBs search for; common title words so
+// searches return results.
+var searchWords = []string{
+	"THE", "SECRET", "LOST", "GOLDEN", "RIVER", "CITY", "HISTORY",
+	"SCIENCE", "JOURNEY", "NIGHT", "GUIDE", "WORLD",
+}
+
+// buildURL assembles the query parameters each interaction needs,
+// maintaining light session coherence (customer identity, cart id).
+func (b *browser) buildURL(page string) string {
+	q := map[string]string{}
+	switch page {
+	case tpcw.PageHome:
+		q["c_id"] = itoa(b.cID)
+	case tpcw.PageProductDetail:
+		q["i_id"] = itoa(1 + b.rng.Intn(b.cfg.Items))
+	case tpcw.PageNewProducts, tpcw.PageBestSellers:
+		q["subject"] = tpcw.Subjects[b.rng.Intn(len(tpcw.Subjects))]
+	case tpcw.PageExecuteSearch:
+		q["field"] = []string{"title", "author", "subject"}[b.rng.Intn(3)]
+		if q["field"] == "subject" {
+			q["terms"] = tpcw.Subjects[b.rng.Intn(len(tpcw.Subjects))]
+		} else {
+			q["terms"] = searchWords[b.rng.Intn(len(searchWords))]
+		}
+	case tpcw.PageShoppingCart:
+		q["i_id"] = itoa(1 + b.rng.Intn(b.cfg.Items))
+		q["qty"] = itoa(1 + b.rng.Intn(3))
+		if b.scID > 0 {
+			q["sc_id"] = itoa(b.scID)
+		}
+	case tpcw.PageCustomerReg, tpcw.PageBuyRequest:
+		if b.scID > 0 {
+			q["sc_id"] = itoa(b.scID)
+		}
+		if page == tpcw.PageBuyRequest {
+			q["uname"] = tpcw.Uname(b.cID)
+			q["passwd"] = "pw" + itoa(b.cID)
+		}
+	case tpcw.PageBuyConfirm:
+		if b.scID > 0 {
+			q["sc_id"] = itoa(b.scID)
+		}
+		q["c_id"] = itoa(b.cID)
+	case tpcw.PageOrderDisplay:
+		q["uname"] = tpcw.Uname(b.cID)
+		q["passwd"] = "pw" + itoa(b.cID)
+	case tpcw.PageAdminRequest, tpcw.PageAdminResponse:
+		q["i_id"] = itoa(1 + b.rng.Intn(b.cfg.Items))
+		if page == tpcw.PageAdminResponse {
+			q["cost"] = fmt.Sprintf("%d.99", 1+b.rng.Intn(99))
+		}
+	}
+	if len(q) == 0 {
+		return page
+	}
+	return page + "?" + httpwire.EncodeQuery(q)
+}
+
+// updateSession extracts the shopping cart id from cart-bearing pages and
+// clears it after purchase.
+func (b *browser) updateSession(page string, body []byte) {
+	switch page {
+	case tpcw.PageShoppingCart:
+		if id := extractInt(body, "sc_id="); id > 0 {
+			b.scID = id
+		}
+	case tpcw.PageBuyConfirm:
+		b.scID = 0
+	}
+}
+
+// extractImages finds image references (src="...") in an HTML body.
+func extractImages(body []byte, maxImages int) []string {
+	const marker = `src="`
+	var out []string
+	seen := map[string]bool{}
+	s := string(body)
+	for len(out) < maxImages {
+		i := strings.Index(s, marker)
+		if i < 0 {
+			break
+		}
+		s = s[i+len(marker):]
+		j := strings.IndexByte(s, '"')
+		if j < 0 {
+			break
+		}
+		img := s[:j]
+		s = s[j:]
+		if img == "" || seen[img] {
+			continue
+		}
+		seen[img] = true
+		out = append(out, img)
+	}
+	return out
+}
+
+// extractInt finds the first "<marker><digits>" occurrence in body.
+func extractInt(body []byte, marker string) int {
+	s := string(body)
+	i := strings.Index(s, marker)
+	if i < 0 {
+		return 0
+	}
+	s = s[i+len(marker):]
+	n := 0
+	found := false
+	for k := 0; k < len(s) && s[k] >= '0' && s[k] <= '9'; k++ {
+		n = n*10 + int(s[k]-'0')
+		found = true
+	}
+	if !found {
+		return 0
+	}
+	return n
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
