@@ -8,6 +8,7 @@
 //	poolserv -mode staged   -addr :8080
 //	poolserv -mode baseline -addr :8080 -workers 80
 //	poolserv -mode staged -items 10000 -scale 100 -stats 2s
+//	poolserv -mode staged -noreserve        # t_reserve controller ablated
 package main
 
 import (
@@ -45,6 +46,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 80, "baseline worker/connection count")
 		general   = fs.Int("general", 64, "staged general dynamic workers")
 		lengthy   = fs.Int("lengthy", 16, "staged lengthy dynamic workers")
+		noReserve = fs.Bool("noreserve", false, "staged: disable the t_reserve controller (ablation)")
 		statsEach = fs.Duration("stats", 0, "print server stats every interval (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +90,10 @@ func run(args []string) error {
 		if *statsEach > 0 {
 			go func() {
 				for range time.Tick(*statsEach) {
-					fmt.Printf("queue=%d served=%d\n", srv.QueueLen(), srv.Served())
+					for _, st := range srv.Graph().Stats() {
+						fmt.Printf("  %s\n", st)
+					}
+					fmt.Printf("served=%d\n", srv.Served())
 				}
 			}()
 		}
@@ -97,7 +102,8 @@ func run(args []string) error {
 		srv, err := core.New(core.Config{
 			App: app, DB: db,
 			GeneralWorkers: *general, LengthyWorkers: *lengthy,
-			Scale: ts, Cost: server.DefaultWorkCost(),
+			NoReserve: *noReserve,
+			Scale:     ts, Cost: server.DefaultWorkCost(),
 		})
 		if err != nil {
 			return err
@@ -106,8 +112,12 @@ func run(args []string) error {
 		if *statsEach > 0 {
 			go func() {
 				for range time.Tick(*statsEach) {
-					fmt.Printf("queues=%v tspare=%d treserve=%d served=%d\n",
-						srv.QueueLens(), srv.Spare(), srv.Reserve(), srv.Served())
+					for _, st := range srv.Graph().Stats() {
+						fmt.Printf("  %s\n", st)
+					}
+					g, le := srv.DispatchCounts()
+					fmt.Printf("tspare=%d treserve=%d dispatched{general:%d lengthy:%d} served=%d\n",
+						srv.Spare(), srv.Reserve(), g, le, srv.Served())
 				}
 			}()
 		}

@@ -5,18 +5,20 @@
 // The paper's contribution — a multithreaded web server whose requests
 // are served by different threads in five thread pools, with database
 // connections bound only to data-generation workers — lives in
-// internal/core. The thread-per-request baseline it is compared against
-// lives in internal/server. Every substrate the evaluation depends on is
-// implemented from scratch in this module: a Django-style template
-// engine (internal/template), an embedded relational database with table
-// locks and a latency cost model (internal/sqldb), an HTTP/1.1 wire
-// implementation with two-phase header parsing (internal/httpwire), the
-// TPC-W bookstore and its browsing-mix workload (internal/tpcw,
-// internal/workload), and the experiment harness that regenerates the
-// paper's tables and figures (internal/harness).
+// internal/core, expressed as a graph over the generic stage runtime
+// (internal/stage) and the shared connection transport (internal/server).
+// The thread-per-request baseline it is compared against lives in
+// internal/server as a one-stage graph over the same two layers. Every
+// substrate the evaluation depends on is implemented from scratch in
+// this module: a Django-style template engine (internal/template), an
+// embedded relational database with table locks and a latency cost model
+// (internal/sqldb), an HTTP/1.1 wire implementation with two-phase
+// header parsing (internal/httpwire), the TPC-W bookstore and its
+// browsing-mix workload (internal/tpcw, internal/workload), and the
+// experiment harness that regenerates the paper's tables and figures
+// (internal/harness).
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory
-// and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The root-level bench_test.go regenerates each table and figure as a Go
-// benchmark.
+// See README.md for the architecture, a walkthrough, design notes, and
+// how to run the experiments. The root-level bench_test.go regenerates
+// each table and figure as a Go benchmark.
 package stagedweb

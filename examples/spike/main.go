@@ -157,5 +157,12 @@ func run() error {
 			return err
 		}
 	}
+
+	fmt.Println("\n-- final stage-graph snapshot --")
+	for _, st := range srv.Graph().Stats() {
+		fmt.Printf("  %s\n", st)
+	}
+	general, lengthy := srv.DispatchCounts()
+	fmt.Printf("dispatch decisions: general=%d lengthy=%d\n", general, lengthy)
 	return nil
 }

@@ -1,0 +1,3 @@
+module stagedweb
+
+go 1.24.0

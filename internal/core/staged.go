@@ -9,17 +9,18 @@
 //	                           -> general dynamic requests  -> template
 //	                           -> lengthy dynamic requests  ->  rendering
 //
-// Database connections are bound only to the dynamic-request workers, so
-// they are never idle while templates render or static files are served.
-// Dynamic requests are classified quick/lengthy by tracked mean
-// data-generation time (sched.Classifier, 2 s cutoff), dispatched per
-// Table 1, and protected from head-of-line blocking by the t_reserve
-// feedback controller (sched.ReserveController, updated once per paper
-// second).
+// It is expressed as a stage.Graph over the generic stage runtime; the
+// connection mechanics (accept loop, buffered conns, two-phase parsing,
+// replies, cost charging) come from the shared server.Transport. Database
+// connections are bound only to the dynamic-request workers, so they are
+// never idle while templates render or static files are served. Dynamic
+// requests are classified quick/lengthy by tracked mean data-generation
+// time (sched.Classifier, 2 s cutoff), dispatched per Table 1, and
+// protected from head-of-line blocking by the t_reserve feedback
+// controller (sched.ReserveController, updated once per paper second).
 package core
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -33,9 +34,22 @@ import (
 	"stagedweb/internal/sched"
 	"stagedweb/internal/server"
 	"stagedweb/internal/sqldb"
+	"stagedweb/internal/stage"
 )
 
-// Config configures the staged server.
+// Stage names, which key QueueLens and Graph lookups.
+const (
+	StageHeader  = "header"
+	StageStatic  = "static"
+	StageGeneral = "general"
+	StageLengthy = "lengthy"
+	StageRender  = "render"
+)
+
+// Config configures the staged server. Topology — pool sizes, queue
+// bounds, the classifier cutoff, and the reserve policy — is pure
+// configuration: harness variants (pool-size sweeps, the no-reserve
+// ablation) need no new server code.
 type Config struct {
 	// App is the application to serve.
 	App server.App
@@ -60,6 +74,11 @@ type Config struct {
 	// MinReserve is the configured minimum t_reserve (default 20, the
 	// value used in the paper's Table 2).
 	MinReserve int
+	// NoReserve disables the t_reserve feedback controller entirely (the
+	// ablation variant): t_reserve is pinned to zero and lengthy requests
+	// enter the general pool whenever it has any spare worker, so quick
+	// pages lose their protection.
+	NoReserve bool
 	// ControllerInterval is the t_reserve update period in paper time
 	// (default 1 s, per the paper).
 	ControllerInterval time.Duration
@@ -122,23 +141,15 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// connCtx is a client connection moving through the pipeline.
-type connCtx struct {
-	conn     net.Conn
-	br       *bufio.Reader
-	bw       *bufio.Writer
-	acquired time.Time // when the current request started processing
-}
-
 // staticTask is a request classified static by a header-parsing worker.
 type staticTask struct {
-	cc   *connCtx
+	c    *server.Conn
 	line httpwire.RequestLine
 }
 
 // dynTask is a fully header-parsed dynamic request.
 type dynTask struct {
-	cc  *connCtx
+	c   *server.Conn
 	req *httpwire.Request
 	key string
 }
@@ -146,7 +157,7 @@ type dynTask struct {
 // renderTask is an unrendered template plus its data, queued for the
 // rendering pool.
 type renderTask struct {
-	cc     *connCtx
+	c      *server.Conn
 	req    *httpwire.Request
 	key    string
 	result *server.Result
@@ -155,30 +166,27 @@ type renderTask struct {
 // Server is the staged (modified) web server.
 type Server struct {
 	cfg Config
+	tr  *server.Transport
 
-	headerQ  *pool.Queue[*connCtx]
-	staticQ  *pool.Queue[*staticTask]
-	generalQ *pool.Queue[*dynTask]
-	lengthyQ *pool.Queue[*dynTask]
-	renderQ  *pool.Queue[*renderTask]
-
-	headerP  *pool.Pool[*connCtx]
-	staticP  *pool.Pool[*staticTask]
-	generalP *pool.Pool[*dynTask]
-	lengthyP *pool.Pool[*dynTask]
-	renderP  *pool.Pool[*renderTask]
+	graph   *stage.Graph
+	header  *stage.Stage[*server.Conn]
+	static  *stage.Stage[*staticTask]
+	general *stage.Stage[*dynTask]
+	lengthy *stage.Stage[*dynTask]
+	render  *stage.Stage[*renderTask]
 
 	dispatcher *sched.Dispatcher
 	controller *sched.Controller
 
+	// Per-target dispatch decision counts, fed by the dispatcher hook.
+	dispatchedGeneral metrics.Counter
+	dispatchedLengthy metrics.Counter
+
 	mu       sync.Mutex
 	listener net.Listener
 	stopped  bool
+	stopOnce sync.Once
 	conns    []*sqldb.Conn
-
-	accepted metrics.Counter
-	served   metrics.Counter
-	shed     metrics.Counter // keep-alive re-enqueues dropped on full queue
 }
 
 // New validates the configuration and builds the staged server.
@@ -191,24 +199,38 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.fillDefaults()
 	s := &Server{cfg: cfg}
-
-	s.headerQ = pool.NewQueue[*connCtx](cfg.QueueCap)
-	s.staticQ = pool.NewQueue[*staticTask](cfg.QueueCap)
-	s.generalQ = pool.NewQueue[*dynTask](cfg.QueueCap)
-	s.lengthyQ = pool.NewQueue[*dynTask](cfg.QueueCap)
-	s.renderQ = pool.NewQueue[*renderTask](cfg.QueueCap)
+	s.tr = server.NewTransport(server.TransportConfig{
+		IdleTimeout: cfg.IdleTimeout,
+		Clock:       cfg.Clock,
+		Scale:       cfg.Scale,
+		Cost:        cfg.Cost,
+		OnComplete:  cfg.OnComplete,
+	})
 
 	cls := sched.NewClassifier(cfg.Cutoff)
-	rc := sched.NewReserveController(cfg.MinReserve)
-	// Keep the controller in its stable region: reserving more than 3/4
-	// of the general pool would let the grow rule run away (see
-	// sched.NewReserveController).
-	if maxR := cfg.GeneralWorkers * 3 / 4; maxR > cfg.MinReserve {
-		rc.SetMax(maxR)
+	var rc *sched.ReserveController
+	if cfg.NoReserve {
+		// t_reserve pinned at zero: Table 1 degenerates to "lengthy goes
+		// to the general pool whenever it has a spare worker".
+		rc = sched.NewReserveController(0)
+	} else {
+		rc = sched.NewReserveController(cfg.MinReserve)
+		// Keep the controller in its stable region: reserving more than
+		// 3/4 of the general pool would let the grow rule run away (see
+		// sched.NewReserveController).
+		if maxR := cfg.GeneralWorkers * 3 / 4; maxR > cfg.MinReserve {
+			rc.SetMax(maxR)
+		}
 	}
 
-	s.headerP = pool.New("header-parsing", cfg.HeaderWorkers, s.headerQ, s.headerWork)
-	s.staticP = pool.New("static", cfg.StaticWorkers, s.staticQ, s.staticWork)
+	s.header = stage.New(stage.Config[*server.Conn]{
+		Name: StageHeader, Workers: cfg.HeaderWorkers, QueueCap: cfg.QueueCap,
+		Work: s.headerWork,
+	})
+	s.static = stage.New(stage.Config[*staticTask]{
+		Name: StageStatic, Workers: cfg.StaticWorkers, QueueCap: cfg.QueueCap,
+		Work: s.staticWork,
+	})
 
 	// Database connections are created for dynamic workers only.
 	generalConns := pool.NewQueue[*sqldb.Conn](cfg.GeneralWorkers)
@@ -223,20 +245,39 @@ func New(cfg Config) (*Server, error) {
 		s.conns = append(s.conns, c)
 		_ = lengthyConns.Put(c)
 	}
-	s.generalP = pool.New("general-dynamic", cfg.GeneralWorkers, s.generalQ, func(t *dynTask) {
-		dbc, _ := generalConns.Get()
-		s.dynamicWork(t, dbc)
-		_, _ = generalConns.TryPut(dbc)
+	s.general = stage.New(stage.Config[*dynTask]{
+		Name: StageGeneral, Workers: cfg.GeneralWorkers, QueueCap: cfg.QueueCap,
+		Work: func(t *dynTask) {
+			dbc, _ := generalConns.Get()
+			s.dynamicWork(t, dbc)
+			_, _ = generalConns.TryPut(dbc)
+		},
 	})
-	s.lengthyP = pool.New("lengthy-dynamic", cfg.LengthyWorkers, s.lengthyQ, func(t *dynTask) {
-		dbc, _ := lengthyConns.Get()
-		s.dynamicWork(t, dbc)
-		_, _ = lengthyConns.TryPut(dbc)
+	s.lengthy = stage.New(stage.Config[*dynTask]{
+		Name: StageLengthy, Workers: cfg.LengthyWorkers, QueueCap: cfg.QueueCap,
+		Work: func(t *dynTask) {
+			dbc, _ := lengthyConns.Get()
+			s.dynamicWork(t, dbc)
+			_, _ = lengthyConns.TryPut(dbc)
+		},
 	})
-	s.renderP = pool.New("template-rendering", cfg.RenderWorkers, s.renderQ, s.renderWork)
+	s.render = stage.New(stage.Config[*renderTask]{
+		Name: StageRender, Workers: cfg.RenderWorkers, QueueCap: cfg.QueueCap,
+		Work: s.renderWork,
+	})
+
+	// Stop drains in flow order: header first, render last.
+	s.graph = stage.NewGraph().Add(s.header, s.static, s.general, s.lengthy, s.render)
 
 	// t_spare is the general pool's live spare-worker count.
-	s.dispatcher = sched.NewDispatcher(cls, rc, s.generalP.Spare)
+	s.dispatcher = sched.NewDispatcher(cls, rc, s.general.Spare)
+	s.dispatcher.SetHook(func(_ string, target sched.Target) {
+		if target == sched.Lengthy {
+			s.dispatchedLengthy.Inc()
+		} else {
+			s.dispatchedGeneral.Inc()
+		}
+	})
 	return s, nil
 }
 
@@ -250,42 +291,27 @@ func (s *Server) Serve(l net.Listener) error {
 		return nil
 	}
 	s.listener = l
-	s.headerP.Start()
-	s.staticP.Start()
-	s.generalP.Start()
-	s.lengthyP.Start()
-	s.renderP.Start()
-	s.controller = sched.StartController(
-		s.cfg.Clock,
-		s.cfg.Scale.Wall(s.cfg.ControllerInterval),
-		s.dispatcher.ReserveController(),
-		s.generalP.Spare,
-	)
-	s.mu.Unlock()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		s.accepted.Inc()
-		cc := &connCtx{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
-		if err := s.headerQ.Put(cc); err != nil {
-			_ = conn.Close()
-			return nil // shutting down
-		}
+	s.graph.Start()
+	if !s.cfg.NoReserve {
+		s.controller = sched.StartController(
+			s.cfg.Clock,
+			s.cfg.Scale.Wall(s.cfg.ControllerInterval),
+			s.dispatcher.ReserveController(),
+			s.general.Spare,
+		)
 	}
+	s.mu.Unlock()
+	return s.tr.Accept(l, func(c *server.Conn) error { return s.header.Submit(c) })
 }
 
 // Stop shuts the pipeline down in flow order, draining each stage. It is
-// safe to call before, during, or after Serve.
+// safe to call before, during, or after Serve, and is idempotent.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	s.stopped = true
 	l := s.listener
 	ctl := s.controller
+	s.controller = nil
 	s.mu.Unlock()
 	if l != nil {
 		_ = l.Close()
@@ -293,14 +319,12 @@ func (s *Server) Stop() {
 	if ctl != nil {
 		ctl.Stop()
 	}
-	s.headerP.Stop()
-	s.staticP.Stop()
-	s.generalP.Stop()
-	s.lengthyP.Stop()
-	s.renderP.Stop()
-	for _, c := range s.conns {
-		c.Close()
-	}
+	s.stopOnce.Do(func() {
+		s.graph.Stop()
+		for _, c := range s.conns {
+			c.Close()
+		}
+	})
 }
 
 // ---- pipeline stages ----
@@ -308,92 +332,60 @@ func (s *Server) Stop() {
 // headerWork is the header-parsing pool: phase-one parse, static/dynamic
 // classification, and (for dynamics) the full header+query parse plus the
 // Table 1 dispatch decision.
-func (s *Server) headerWork(cc *connCtx) {
-	cc.acquired = time.Now()
-	// Bound the wait for the request line so an idle keep-alive client
-	// cannot pin a header-parsing worker.
-	_ = cc.conn.SetReadDeadline(cc.acquired.Add(s.cfg.IdleTimeout))
-	line, err := httpwire.ReadRequestLine(cc.br)
+func (s *Server) headerWork(c *server.Conn) {
+	line, err := c.ReadRequestLine()
 	if err != nil {
 		// EOF between keep-alive requests is normal connection teardown.
-		_ = cc.conn.Close()
+		c.Close()
 		return
 	}
-	_ = cc.conn.SetReadDeadline(time.Time{})
 	if line.IsStatic() {
 		// Static requests carry their unparsed header tail to the static
 		// pool; "this is not an issue for static requests, so we let the
 		// threads which actually serve those static requests parse their
 		// headers" (Section 3.2).
-		if err := s.staticQ.Put(&staticTask{cc: cc, line: line}); err != nil {
-			_ = cc.conn.Close()
+		if s.static.Submit(&staticTask{c: c, line: line}) != nil {
+			c.Close()
 		}
 		return
 	}
 	// Dynamic: parse everything here so a thread with an open database
 	// connection never spends time on anything but generating data.
-	req, err := httpwire.FinishRequest(cc.br, line)
+	req, err := c.FinishRequest(line)
 	if err != nil {
-		_ = httpwire.WriteError(cc.bw, httpwire.StatusBadRequest, "bad request")
-		_ = cc.conn.Close()
+		_ = c.WriteError(httpwire.StatusBadRequest, "bad request")
+		c.Close()
 		return
 	}
-	task := &dynTask{cc: cc, req: req, key: line.Path}
-	var putErr error
-	switch s.dispatcher.Choose(task.key) {
-	case sched.Lengthy:
-		putErr = s.lengthyQ.Put(task)
-	default:
-		putErr = s.generalQ.Put(task)
+	task := &dynTask{c: c, req: req, key: line.Path}
+	target := s.general
+	if s.dispatcher.Choose(task.key) == sched.Lengthy {
+		target = s.lengthy
 	}
-	if putErr != nil {
-		_ = cc.conn.Close()
+	if target.Submit(task) != nil {
+		c.Close()
 	}
 }
 
 // staticWork parses the header tail and serves the file.
 func (s *Server) staticWork(t *staticTask) {
-	cc := t.cc
-	hdr, err := httpwire.ReadHeaders(cc.br)
+	hdr, err := t.c.ReadHeaders()
 	if err != nil {
-		_ = cc.conn.Close()
+		t.c.Close()
 		return
 	}
 	req := &httpwire.Request{Line: t.line, Header: hdr}
-	keep := req.KeepAlive()
-	body, ct, ok := s.cfg.App.Static(t.line.Path)
-	status := httpwire.StatusOK
-	if !ok {
-		status = httpwire.StatusNotFound
-		body, ct = []byte("not found"), "text/plain; charset=utf-8"
-		keep = false
-	} else {
-		s.charge(s.cfg.Cost.Static(len(body)))
-	}
-	resp := &httpwire.Response{Status: status, ContentType: ct, Body: body, KeepAlive: keep}
-	if err := resp.Write(cc.bw); err != nil {
-		_ = cc.conn.Close()
-		return
-	}
-	s.complete(server.CompletionEvent{
-		Page:       t.line.Path,
-		Class:      server.ClassStatic,
-		Status:     status,
-		Done:       time.Now(),
-		ServerTime: time.Since(cc.acquired),
-	})
-	s.recycle(cc, keep)
+	s.recycle(t.c, s.tr.ServeStatic(t.c, s.cfg.App, t.line.Path, req.KeepAlive()))
 }
 
 // dynamicWork runs the page handler on a worker that owns a database
 // connection, measures data-generation time, and hands deferred results
 // to the rendering pool.
 func (s *Server) dynamicWork(t *dynTask, dbc *sqldb.Conn) {
-	cc := t.cc
-	keep := t.req.KeepAlive()
 	handler, ok := s.cfg.App.Handler(t.req.Line.Path)
 	if !ok {
-		s.directReply(t, httpwire.StatusNotFound, []byte("not found"), "text/plain; charset=utf-8", false)
+		s.recycle(t.c, s.tr.DirectReply(t.c, t.key, s.classOf(t.key),
+			httpwire.StatusNotFound, []byte("not found"), "text/plain; charset=utf-8", false))
 		return
 	}
 	start := time.Now()
@@ -404,7 +396,8 @@ func (s *Server) dynamicWork(t *dynTask, dbc *sqldb.Conn) {
 		DB:     dbc,
 	})
 	if err != nil {
-		s.directReply(t, httpwire.StatusInternalServerError, []byte("internal error"), "text/plain; charset=utf-8", false)
+		s.recycle(t.c, s.tr.DirectReply(t.c, t.key, s.classOf(t.key),
+			httpwire.StatusInternalServerError, []byte("internal error"), "text/plain; charset=utf-8", false))
 		return
 	}
 
@@ -413,124 +406,55 @@ func (s *Server) dynamicWork(t *dynTask, dbc *sqldb.Conn) {
 		// through when its unrendered template is placed in the template
 		// rendering queue" — an accurate database-time figure because
 		// rendering happens elsewhere.
-		rt := &renderTask{cc: cc, req: t.req, key: t.key, result: res}
-		putErr := s.renderQ.Put(rt)
+		rt := &renderTask{c: t.c, req: t.req, key: t.key, result: res}
+		putErr := s.render.Submit(rt)
 		s.dispatcher.Classifier().Record(t.key, s.cfg.Scale.Paper(time.Since(start)))
 		if putErr != nil {
-			_ = cc.conn.Close()
+			t.c.Close()
 		}
 		return
 	}
 
 	// Backward compatibility (Section 3.1): a handler that returns an
 	// already-rendered string is served directly by the dynamic worker —
-	// the scheduling benefit is lost for such pages, as the paper notes.
+	// the scheduling benefit is lost for such pages, as the paper notes,
+	// and the render cost is charged here on the connection-holding
+	// worker.
 	s.dispatcher.Classifier().Record(t.key, s.cfg.Scale.Paper(time.Since(start)))
-	body, ct, status, rerr := server.RenderResult(s.cfg.App, res)
-	if rerr != nil {
-		s.directReply(t, httpwire.StatusInternalServerError, []byte("render error"), "text/plain; charset=utf-8", false)
-		return
-	}
-	if res.Body != "" {
-		// A pre-rendered page did its rendering inside the handler, on
-		// this connection-holding worker; charge it here.
-		s.charge(s.cfg.Cost.Render(len(body)))
-	}
-	resp := server.BuildResponse(res, body, ct, status, keep)
-	if err := resp.Write(cc.bw); err != nil {
-		_ = cc.conn.Close()
-		return
-	}
-	s.complete(server.CompletionEvent{
-		Page:       t.key,
-		Class:      s.classOf(t.key),
-		Status:     status,
-		Done:       time.Now(),
-		ServerTime: time.Since(cc.acquired),
-	})
-	s.recycle(cc, keep)
+	s.recycle(t.c, s.tr.FinishDynamic(t.c, s.cfg.App, t.key, s.classOf(t.key), res, t.req.KeepAlive()))
 }
 
-// renderWork renders the deferred template, measures the output size (the
-// response writer sets the exact Content-Length), and transmits.
+// renderWork renders the deferred template on a worker with no database
+// connection, charges the render cost there, and transmits.
 func (s *Server) renderWork(t *renderTask) {
-	cc := t.cc
-	keep := t.req.KeepAlive()
-	body, ct, status, err := server.RenderResult(s.cfg.App, t.result)
-	if err != nil {
-		_ = httpwire.WriteError(cc.bw, httpwire.StatusInternalServerError, "render error")
-		_ = cc.conn.Close()
-		return
-	}
-	s.charge(s.cfg.Cost.Render(len(body)))
-	resp := server.BuildResponse(t.result, body, ct, status, keep)
-	if err := resp.Write(cc.bw); err != nil {
-		_ = cc.conn.Close()
-		return
-	}
-	s.complete(server.CompletionEvent{
-		Page:       t.key,
-		Class:      s.classOf(t.key),
-		Status:     status,
-		Done:       time.Now(),
-		ServerTime: time.Since(cc.acquired),
-	})
-	s.recycle(cc, keep)
-}
-
-// directReply sends a terminal plain response from a dynamic worker.
-func (s *Server) directReply(t *dynTask, status int, body []byte, ct string, keep bool) {
-	cc := t.cc
-	resp := &httpwire.Response{Status: status, ContentType: ct, Body: body, KeepAlive: keep}
-	if err := resp.Write(cc.bw); err != nil {
-		_ = cc.conn.Close()
-		return
-	}
-	s.complete(server.CompletionEvent{
-		Page:       t.key,
-		Class:      s.classOf(t.key),
-		Status:     status,
-		Done:       time.Now(),
-		ServerTime: time.Since(cc.acquired),
-	})
-	s.recycle(cc, keep)
+	s.recycle(t.c, s.tr.FinishDynamic(t.c, s.cfg.App, t.key, s.classOf(t.key), t.result, t.req.KeepAlive()))
 }
 
 // recycle parks a keep-alive connection until its next request's first
 // byte arrives, then re-enqueues it to the header-parsing pool; non-keep-
-// alive connections close. The park goroutine plays the role of the OS
-// readiness notification (select/poll in CherryPy's listener): header
-// workers must never camp on idle sockets, or a handful of keep-alive
-// clients would pin the whole pool.
-func (s *Server) recycle(cc *connCtx, keep bool) {
+// alive (or failed) connections close. The park goroutine plays the role
+// of the OS readiness notification (select/poll in CherryPy's listener):
+// header workers must never camp on idle sockets, or a handful of
+// keep-alive clients would pin the whole pool.
+func (s *Server) recycle(c *server.Conn, keep bool) {
 	if !keep {
-		_ = cc.conn.Close()
+		c.Close()
 		return
 	}
-	go s.awaitNextRequest(cc)
+	go s.awaitNextRequest(c)
 }
 
 // awaitNextRequest blocks until the connection has readable data (the
-// next pipelined request), then hands it back to the header queue. EOF,
-// timeout, or a full/closed queue close the connection.
-func (s *Server) awaitNextRequest(cc *connCtx) {
-	_ = cc.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-	if _, err := cc.br.Peek(1); err != nil {
-		_ = cc.conn.Close()
+// next pipelined request), then hands it back to the header stage. EOF,
+// timeout, or a full/closed queue close the connection; full-queue drops
+// are counted as shed on the header stage.
+func (s *Server) awaitNextRequest(c *server.Conn) {
+	if c.AwaitReadable() != nil {
+		c.Close()
 		return
 	}
-	_ = cc.conn.SetReadDeadline(time.Time{})
-	ok, err := s.headerQ.TryPut(cc)
-	if err != nil || !ok {
-		s.shed.Inc()
-		_ = cc.conn.Close()
-	}
-}
-
-// charge sleeps a paper-time work cost through the timescale.
-func (s *Server) charge(paperCost time.Duration) {
-	if paperCost > 0 {
-		s.cfg.Clock.Sleep(s.cfg.Scale.Wall(paperCost))
+	if s.header.Offer(c) != nil {
+		c.Close()
 	}
 }
 
@@ -541,35 +465,23 @@ func (s *Server) classOf(key string) server.Class {
 	return server.ClassQuick
 }
 
-func (s *Server) complete(ev server.CompletionEvent) {
-	s.served.Inc()
-	if s.cfg.OnComplete != nil {
-		s.cfg.OnComplete(ev)
-	}
-}
-
 // ---- introspection for the harness and experiments ----
+
+// Graph exposes the stage graph for uniform stats snapshots.
+func (s *Server) Graph() *stage.Graph { return s.graph }
 
 // QueueLens reports the current length of every stage queue, keyed by
 // stage name. The general and lengthy entries are Figures 8(a) and 8(b).
-func (s *Server) QueueLens() map[string]int {
-	return map[string]int{
-		"header":  s.headerQ.Len(),
-		"static":  s.staticQ.Len(),
-		"general": s.generalQ.Len(),
-		"lengthy": s.lengthyQ.Len(),
-		"render":  s.renderQ.Len(),
-	}
-}
+func (s *Server) QueueLens() map[string]int { return s.graph.Depths() }
 
 // GeneralQueueLen reports the general dynamic queue length (Figure 8a).
-func (s *Server) GeneralQueueLen() int { return s.generalQ.Len() }
+func (s *Server) GeneralQueueLen() int { return s.general.Depth() }
 
 // LengthyQueueLen reports the lengthy dynamic queue length (Figure 8b).
-func (s *Server) LengthyQueueLen() int { return s.lengthyQ.Len() }
+func (s *Server) LengthyQueueLen() int { return s.lengthy.Depth() }
 
 // Spare reports the general pool's current spare workers (t_spare).
-func (s *Server) Spare() int { return s.generalP.Spare() }
+func (s *Server) Spare() int { return s.general.Spare() }
 
 // Reserve reports the controller's current t_reserve.
 func (s *Server) Reserve() int { return s.dispatcher.ReserveController().Reserve() }
@@ -577,11 +489,17 @@ func (s *Server) Reserve() int { return s.dispatcher.ReserveController().Reserve
 // Classifier exposes the page classifier (for diagnostics and tests).
 func (s *Server) Classifier() *sched.Classifier { return s.dispatcher.Classifier() }
 
+// DispatchCounts reports Table 1 decisions by target pool, fed by the
+// dispatcher hook.
+func (s *Server) DispatchCounts() (general, lengthy int64) {
+	return s.dispatchedGeneral.Value(), s.dispatchedLengthy.Value()
+}
+
 // Served reports the number of completed requests.
-func (s *Server) Served() int64 { return s.served.Value() }
+func (s *Server) Served() int64 { return s.tr.Served() }
 
 // Shed reports keep-alive connections dropped due to a full header queue.
-func (s *Server) Shed() int64 { return s.shed.Value() }
+func (s *Server) Shed() int64 { return s.header.ShedCount() }
 
 // String describes the server's pool configuration.
 func (s *Server) String() string {

@@ -28,6 +28,10 @@ const (
 	Unmodified ServerKind = iota + 1
 	// Modified is the staged multi-pool server (the paper's proposal).
 	Modified
+	// ModifiedNoReserve is the staged server with the t_reserve feedback
+	// controller ablated (reserve pinned to zero) — a topology variant
+	// instantiated purely from configuration, no new server code.
+	ModifiedNoReserve
 )
 
 func (k ServerKind) String() string {
@@ -36,10 +40,15 @@ func (k ServerKind) String() string {
 		return "unmodified"
 	case Modified:
 		return "modified"
+	case ModifiedNoReserve:
+		return "modified-noreserve"
 	default:
 		return "unknown"
 	}
 }
+
+// Staged reports whether the kind is a staged-server variant.
+func (k ServerKind) Staged() bool { return k == Modified || k == ModifiedNoReserve }
 
 // Config describes one experimental run. All durations are paper time.
 type Config struct {
@@ -76,7 +85,7 @@ type Config struct {
 // default population, and the paper's pool sizes — compressed through the
 // given timescale (100 ⇒ the hour-long experiment takes 36 s).
 func PaperConfig(kind ServerKind, scale clock.Timescale) Config {
-	// Calibration notes (DESIGN.md section 5, EXPERIMENTS.md):
+	// Calibration notes (README.md, "Design notes" and "Experiments"):
 	//   - scans cost ~0.2 ms/row so the three slow pages land at 2.5-4 s
 	//     of intrinsic data-generation time (over the 2 s cutoff, under
 	//     the paper's 11-21 s loaded response times);
@@ -267,8 +276,8 @@ func Run(cfg Config) (*Result, error) {
 		samplers   []*metrics.Sampler
 	)
 	clk := clock.Real{}
-	switch cfg.Kind {
-	case Unmodified:
+	switch {
+	case cfg.Kind == Unmodified:
 		srv, err := server.NewBaseline(server.BaselineConfig{
 			App:        app,
 			DB:         db,
@@ -286,7 +295,7 @@ func Run(cfg Config) (*Result, error) {
 		res.QueueSingle = metrics.NewSeries(measureStart, second, metrics.AggLast)
 		samplers = append(samplers, metrics.StartSampler(clk, second,
 			func() float64 { return float64(srv.QueueLen()) }, res.QueueSingle))
-	case Modified:
+	case cfg.Kind.Staged():
 		srv, err := core.New(core.Config{
 			App:            app,
 			DB:             db,
@@ -296,6 +305,7 @@ func Run(cfg Config) (*Result, error) {
 			LengthyWorkers: cfg.LengthyWorkers,
 			RenderWorkers:  cfg.RenderWorkers,
 			MinReserve:     cfg.MinReserve,
+			NoReserve:      cfg.Kind == ModifiedNoReserve,
 			Cutoff:         cfg.Cutoff,
 			Clock:          clock.Precise{},
 			Scale:          cfg.Scale,

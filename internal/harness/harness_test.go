@@ -24,7 +24,14 @@ func testConfig(kind ServerKind) Config {
 	cfg.Populate = tpcw.PopulateConfig{Items: 1200, Customers: 300, Orders: 260}
 	// 1200 rows at 4 ms/row -> 4.8 s paper scans, well over the 2 s
 	// cutoff and heavy enough that slow-page demand exceeds the
-	// baseline's 40-connection budget (the paper's "heavy load").
+	// baseline's 26-connection budget (the paper's "heavy load").
+	//
+	// The override matters: QuickConfig's 1.5 ms/row puts the scan pages
+	// at 1.2-1.9 s of intrinsic data-generation time — just UNDER the
+	// cutoff — so they only classified lengthy when database lock
+	// contention inflated the measurement, and the quick-page protection
+	// flapped with scheduler noise.
+	cfg.Cost.PerRowScanned = 4 * time.Millisecond
 	return cfg
 }
 
@@ -33,6 +40,10 @@ func testConfig(kind ServerKind) Config {
 func TestExperimentShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead (5-20x) swamps the paper-time " +
+			"calibration; run without -race for the experiment shapes")
 	}
 	unmod, err := Run(testConfig(Unmodified))
 	if err != nil {
@@ -236,5 +247,37 @@ func TestPaperAndQuickConfigs(t *testing.T) {
 	}
 	if q.Cost == (sqldb.CostModel{}) {
 		t.Fatal("quick config has zero cost model")
+	}
+}
+
+// TestNoReserveVariant exercises the topology variant instantiated purely
+// from configuration: the staged server with the t_reserve controller
+// ablated. The reserve series must stay pinned at zero while the run
+// still completes work through the staged pipeline.
+func TestNoReserveVariant(t *testing.T) {
+	cfg := QuickConfig(ModifiedNoReserve, clock.Timescale(400))
+	cfg.EBs = 20
+	cfg.RampUp = 5 * time.Second
+	cfg.Measure = 30 * time.Second
+	cfg.CoolDown = 5 * time.Second
+	cfg.Populate = tpcw.PopulateConfig{Items: 200, Customers: 60, Orders: 50}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != ModifiedNoReserve || res.Kind.String() != "modified-noreserve" {
+		t.Fatalf("kind = %v (%s)", res.Kind, res.Kind)
+	}
+	if !res.Kind.Staged() {
+		t.Fatal("ModifiedNoReserve not staged")
+	}
+	if res.TotalInteractions == 0 {
+		t.Fatal("no interactions completed")
+	}
+	if res.QueueGeneral == nil || res.QueueLengthy == nil || res.ReserveSeries == nil {
+		t.Fatal("staged series missing")
+	}
+	if max := SeriesMax(res.ReserveSeries); max != 0 {
+		t.Fatalf("t_reserve moved (max %v) with the controller ablated", max)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that this build runs under the race detector,
+// whose 5-20x slowdown swamps the paper-time calibration that the
+// end-to-end experiment shapes depend on.
+const raceEnabled = true

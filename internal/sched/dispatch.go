@@ -31,7 +31,12 @@ type Dispatcher struct {
 	cls   *Classifier
 	rc    *ReserveController
 	spare func() int // live spare-thread count of the general pool
+	hook  Hook
 }
+
+// Hook observes every dispatch decision — servers hang per-target
+// counters and diagnostics off it.
+type Hook func(key string, target Target)
 
 // NewDispatcher wires the classifier, reserve controller, and the general
 // pool's spare-count source.
@@ -42,8 +47,20 @@ func NewDispatcher(cls *Classifier, rc *ReserveController, spare func() int) *Di
 	return &Dispatcher{cls: cls, rc: rc, spare: spare}
 }
 
+// SetHook registers fn to observe every decision. It must be called
+// before dispatching begins; the field is read without synchronization.
+func (d *Dispatcher) SetHook(fn Hook) { d.hook = fn }
+
 // Choose picks the pool for a dynamic request identified by its page key.
 func (d *Dispatcher) Choose(key string) Target {
+	t := d.choose(key)
+	if d.hook != nil {
+		d.hook(key, t)
+	}
+	return t
+}
+
+func (d *Dispatcher) choose(key string) Target {
 	if !d.cls.Lengthy(key) {
 		return General
 	}

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -10,9 +9,9 @@ import (
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/httpwire"
-	"stagedweb/internal/metrics"
 	"stagedweb/internal/pool"
 	"stagedweb/internal/sqldb"
+	"stagedweb/internal/stage"
 )
 
 // BaselineConfig configures the thread-per-request server.
@@ -43,21 +42,21 @@ type BaselineConfig struct {
 }
 
 // Baseline is the unmodified thread-per-request server (Figure 4 of the
-// paper): a single listener feeding a single synchronized queue drained
-// by a single pool of workers, each of which parses, queries, renders,
-// and writes an entire request while holding its database connection.
+// paper), expressed as a one-stage graph: a single listener feeding a
+// single bounded queue drained by a single pool of workers, each of
+// which parses, queries, renders, and writes an entire request while
+// holding its database connection.
 type Baseline struct {
-	cfg   BaselineConfig
-	queue *pool.Queue[net.Conn]
-	pool  *pool.Pool[net.Conn]
+	cfg     BaselineConfig
+	tr      *Transport
+	graph   *stage.Graph
+	workers *stage.Stage[*Conn]
 
 	mu       sync.Mutex
 	listener net.Listener
 	stopped  bool
+	stopOnce sync.Once
 	conns    []*sqldb.Conn
-
-	accepted metrics.Counter
-	served   metrics.Counter
 }
 
 // NewBaseline validates the configuration and builds the server.
@@ -74,17 +73,14 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 4096
 	}
-	if cfg.IdleTimeout <= 0 {
-		cfg.IdleTimeout = 10 * time.Second
-	}
-	if cfg.Clock == nil {
-		cfg.Clock = clock.Real{}
-	}
-	if cfg.Scale == 0 {
-		cfg.Scale = clock.RealTime
-	}
 	s := &Baseline{cfg: cfg}
-	s.queue = pool.NewQueue[net.Conn](cfg.QueueCap)
+	s.tr = NewTransport(TransportConfig{
+		IdleTimeout: cfg.IdleTimeout,
+		Clock:       cfg.Clock,
+		Scale:       cfg.Scale,
+		Cost:        cfg.Cost,
+		OnComplete:  cfg.OnComplete,
+	})
 
 	// Each worker owns a dedicated database connection for its lifetime.
 	workerConns := pool.NewQueue[*sqldb.Conn](cfg.Workers)
@@ -95,14 +91,20 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 			return nil, fmt.Errorf("server: seeding worker connections: %w", err)
 		}
 	}
-	s.pool = pool.New("baseline", cfg.Workers, s.queue, func(conn net.Conn) {
-		// Bind a connection to this goroutine for the duration of the
-		// request; workers outnumber neither conns nor vice versa, so
-		// this never blocks.
-		dbc, _ := workerConns.Get()
-		s.serveConn(conn, dbc)
-		_, _ = workerConns.TryPut(dbc)
+	s.workers = stage.New(stage.Config[*Conn]{
+		Name:     "baseline",
+		Workers:  cfg.Workers,
+		QueueCap: cfg.QueueCap,
+		Work: func(c *Conn) {
+			// Bind a connection to this goroutine for the duration of the
+			// request; workers outnumber neither conns nor vice versa, so
+			// this never blocks.
+			dbc, _ := workerConns.Get()
+			s.serveConn(c, dbc)
+			_, _ = workerConns.TryPut(dbc)
+		},
 	})
+	s.graph = stage.NewGraph().Add(s.workers)
 	return s, nil
 }
 
@@ -116,26 +118,13 @@ func (s *Baseline) Serve(l net.Listener) error {
 		return nil
 	}
 	s.listener = l
-	s.pool.Start()
+	s.graph.Start()
 	s.mu.Unlock()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		s.accepted.Inc()
-		if err := s.queue.Put(conn); err != nil {
-			_ = conn.Close()
-			return nil // queue closed: shutting down
-		}
-	}
+	return s.tr.Accept(l, func(c *Conn) error { return s.workers.Submit(c) })
 }
 
 // Stop closes the listener and drains the worker pool. It is safe to
-// call before, during, or after Serve.
+// call before, during, or after Serve, and is idempotent.
 func (s *Baseline) Stop() {
 	s.mu.Lock()
 	s.stopped = true
@@ -144,58 +133,41 @@ func (s *Baseline) Stop() {
 	if l != nil {
 		_ = l.Close()
 	}
-	s.pool.Stop()
-	for _, c := range s.conns {
-		c.Close()
-	}
-}
-
-// charge sleeps a paper-time work cost through the timescale.
-func (s *Baseline) charge(paperCost time.Duration) {
-	if paperCost > 0 {
-		s.cfg.Clock.Sleep(s.cfg.Scale.Wall(paperCost))
-	}
+	s.stopOnce.Do(func() {
+		s.graph.Stop()
+		for _, c := range s.conns {
+			c.Close()
+		}
+	})
 }
 
 // QueueLen reports the single request queue's length — the series plotted
 // in Figure 7.
-func (s *Baseline) QueueLen() int { return s.queue.Len() }
+func (s *Baseline) QueueLen() int { return s.workers.Depth() }
 
 // Served reports the number of completed requests.
-func (s *Baseline) Served() int64 { return s.served.Value() }
+func (s *Baseline) Served() int64 { return s.tr.Served() }
+
+// Graph exposes the (one-stage) graph for stats snapshots.
+func (s *Baseline) Graph() *stage.Graph { return s.graph }
 
 // serveConn handles every request on one connection (keep-alive loop),
 // all on the same worker with the same database connection.
-func (s *Baseline) serveConn(conn net.Conn, dbc *sqldb.Conn) {
-	defer func() { _ = conn.Close() }()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+func (s *Baseline) serveConn(c *Conn, dbc *sqldb.Conn) {
+	defer c.Close()
 	for {
-		start := time.Now()
-		_ = conn.SetReadDeadline(start.Add(s.cfg.IdleTimeout))
-		req, err := httpwire.ReadRequest(br)
+		req, err := c.ReadRequest()
 		if err != nil {
 			// EOF/timeout/reset between requests is the normal end of a
-			// keep-alive session; anything mid-request gets a 400.
+			// keep-alive session.
 			return
 		}
-		_ = conn.SetReadDeadline(time.Time{})
 		keep := req.KeepAlive()
-		ev := CompletionEvent{Page: req.Line.Path, Done: start}
 
 		if req.Line.IsStatic() {
-			body, ct, ok := s.cfg.App.Static(req.Line.Path)
-			if !ok {
-				s.finish(bw, conn, ev, httpwire.StatusNotFound, nil, "text/plain; charset=utf-8", false, start, ClassStatic)
-				return
-			}
 			// The worker serves the file itself — holding its database
 			// connection idle the whole time.
-			s.charge(s.cfg.Cost.Static(len(body)))
-			if !s.finish(bw, conn, ev, httpwire.StatusOK, body, ct, keep, start, ClassStatic) {
-				return
-			}
-			if !keep {
+			if !s.tr.ServeStatic(c, s.cfg.App, req.Line.Path, keep) {
 				return
 			}
 			continue
@@ -203,59 +175,24 @@ func (s *Baseline) serveConn(conn net.Conn, dbc *sqldb.Conn) {
 
 		handler, ok := s.cfg.App.Handler(req.Line.Path)
 		if !ok {
-			s.finish(bw, conn, ev, httpwire.StatusNotFound, []byte("not found"), "text/plain; charset=utf-8", false, start, ClassQuick)
-			return
+			if !s.tr.DirectReply(c, req.Line.Path, ClassQuick, httpwire.StatusNotFound, []byte("not found"), plainText, false) {
+				return
+			}
+			continue
 		}
 		res, err := handler(&Request{Path: req.Line.Path, Query: req.Query, Header: req.Header, DB: dbc})
 		if err != nil {
-			s.finish(bw, conn, ev, httpwire.StatusInternalServerError, []byte("internal error"), "text/plain; charset=utf-8", false, start, ClassQuick)
-			return
+			if !s.tr.DirectReply(c, req.Line.Path, ClassQuick, httpwire.StatusInternalServerError, []byte("internal error"), plainText, false) {
+				return
+			}
+			continue
 		}
 		// Thread-per-request: the same worker renders the template while
 		// still holding its database connection — the inefficiency the
-		// paper removes.
-		body, ct, status, err := RenderResult(s.cfg.App, res)
-		if err != nil {
-			s.finish(bw, conn, ev, httpwire.StatusInternalServerError, []byte("render error"), "text/plain; charset=utf-8", false, start, ClassQuick)
-			return
-		}
-		if res.Deferred() {
-			s.charge(s.cfg.Cost.Render(len(body)))
-		}
-		resp := BuildResponse(res, body, ct, status, keep)
-		if err := resp.Write(bw); err != nil {
-			return
-		}
-		ev.Status = status
-		ev.ServerTime = time.Since(start)
-		ev.Done = time.Now()
-		ev.Class = ClassQuick // harness reclassifies dynamics by page key
-		s.served.Inc()
-		if s.cfg.OnComplete != nil {
-			s.cfg.OnComplete(ev)
-		}
-		if !keep {
+		// paper removes. The class is ClassQuick throughout; the harness
+		// reclassifies dynamics by page key.
+		if !s.tr.FinishDynamic(c, s.cfg.App, req.Line.Path, ClassQuick, res, keep) {
 			return
 		}
 	}
-}
-
-// finish writes a simple response and fires the completion event. It
-// reports false when the connection should close.
-func (s *Baseline) finish(bw *bufio.Writer, conn net.Conn, ev CompletionEvent,
-	status int, body []byte, ct string, keep bool, start time.Time, class Class) bool {
-	resp := &httpwire.Response{Status: status, ContentType: ct, Body: body, KeepAlive: keep}
-	if err := resp.Write(bw); err != nil {
-		return false
-	}
-	ev.Status = status
-	ev.Class = class
-	ev.ServerTime = time.Since(start)
-	ev.Done = time.Now()
-	s.served.Inc()
-	if s.cfg.OnComplete != nil {
-		s.cfg.OnComplete(ev)
-	}
-	_ = conn // connection closing is the caller's decision
-	return true
 }

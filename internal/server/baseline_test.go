@@ -13,9 +13,22 @@ import (
 	"stagedweb/internal/webtest"
 )
 
+// baselineEnv is a running baseline server plus its database.
+type baselineEnv struct {
+	srv  *server.Baseline
+	addr string
+	db   *sqldb.DB
+}
+
 // startBaseline boots a baseline server around app and returns its
-// address and a stopper.
+// address.
 func startBaseline(t *testing.T, app *webtest.App, workers int, onComplete func(server.CompletionEvent)) string {
+	return startBaselineEnv(t, app, workers, onComplete).addr
+}
+
+// startBaselineEnv boots a baseline server and returns the full
+// environment for tests that inspect server or database state.
+func startBaselineEnv(t *testing.T, app *webtest.App, workers int, onComplete func(server.CompletionEvent)) *baselineEnv {
 	t.Helper()
 	db := sqldb.Open(sqldb.Options{})
 	db.MustCreateTable(sqldb.Schema{
@@ -50,7 +63,7 @@ func startBaseline(t *testing.T, app *webtest.App, workers int, onComplete func(
 			t.Errorf("Serve: %v", err)
 		}
 	})
-	return addr
+	return &baselineEnv{srv: s, addr: addr, db: db}
 }
 
 func testApp() *webtest.App {
@@ -251,4 +264,62 @@ func TestBaselineConfigValidation(t *testing.T) {
 			t.Errorf("%s accepted", name)
 		}
 	}
+}
+
+// TestBaselineGracefulShutdown stops the server with requests in flight
+// and asserts — via the stage graph's stats and the database's open-
+// connection gauge — that the queue drained, no workers stayed busy, and
+// every database connection was released.
+func TestBaselineGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	app := testApp()
+	app.AddPage("/blocked", func(r *server.Request) (*server.Result, error) {
+		<-release
+		return &server.Result{Body: "<html>late</html>"}, nil
+	})
+	env := startBaselineEnv(t, app, 3, nil)
+
+	const inFlight = 6 // 3 occupy workers, 3 wait in the accept queue
+	results := make(chan error, inFlight)
+	for i := 0; i < inFlight; i++ {
+		go func() {
+			resp, err := webtest.Get(env.addr, "/blocked")
+			if err == nil && resp.Status != 200 {
+				err = fmt.Errorf("status %d", resp.Status)
+			}
+			results <- err
+		}()
+	}
+	if !webtest.WaitUntil(5*time.Second, func() bool {
+		st := env.srv.Graph().Stats()[0]
+		return st.Busy == 3 && st.Depth >= 1
+	}) {
+		t.Fatal("worker pool never saturated")
+	}
+
+	// Release the handlers while Stop is draining.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	env.srv.Stop()
+
+	for i := 0; i < inFlight; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("in-flight request dropped during shutdown: %v", err)
+		}
+	}
+	for _, st := range env.srv.Graph().Stats() {
+		if !st.Closed || st.Busy != 0 || st.Depth != 0 {
+			t.Errorf("stage %s not drained: %+v", st.Name, st)
+		}
+	}
+	if n := env.db.OpenConns(); n != 0 {
+		t.Errorf("database connections leaked: %d still open", n)
+	}
+	if got := env.srv.Served(); got < inFlight {
+		t.Errorf("Served = %d, want >= %d", got, inFlight)
+	}
+	// Stop is idempotent.
+	env.srv.Stop()
 }

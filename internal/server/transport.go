@@ -1,0 +1,281 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/httpwire"
+	"stagedweb/internal/metrics"
+)
+
+// plainText is the content type of the transport's terse error bodies.
+const plainText = "text/plain; charset=utf-8"
+
+// TransportConfig configures the connection layer shared by both server
+// variants.
+type TransportConfig struct {
+	// IdleTimeout bounds how long the transport waits for the next
+	// request's bytes on a connection (wall time), like CherryPy's socket
+	// timeout. Defaults to 10 s.
+	IdleTimeout time.Duration
+	// Clock and Scale drive cost-model sleeps and convert paper time to
+	// wall time. Defaults: real clock, real time.
+	Clock clock.Clock
+	Scale clock.Timescale
+	// Cost models render/static worker time (paper time); the zero value
+	// charges nothing.
+	Cost WorkCost
+	// OnComplete, when set, receives a CompletionEvent per request.
+	OnComplete func(CompletionEvent)
+}
+
+// Transport is the connection layer both server variants share: the
+// accept loop, buffered connection lifecycle (with bufio readers and
+// writers recycled through sync.Pools), two-phase httpwire parsing,
+// reply writing, paper-time cost charging, and completion events.
+//
+// The variants differ only in *which worker runs which step*; everything
+// about moving bytes and accounting for them lives here.
+type Transport struct {
+	idleTimeout time.Duration
+	clk         clock.Clock
+	scale       clock.Timescale
+	cost        WorkCost
+	onComplete  func(CompletionEvent)
+
+	accepted metrics.Counter
+	served   metrics.Counter
+}
+
+// NewTransport fills defaults and builds the transport.
+func NewTransport(cfg TransportConfig) *Transport {
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = clock.RealTime
+	}
+	return &Transport{
+		idleTimeout: cfg.IdleTimeout,
+		clk:         cfg.Clock,
+		scale:       cfg.Scale,
+		cost:        cfg.Cost,
+		onComplete:  cfg.OnComplete,
+	}
+}
+
+// bufio buffers are recycled across connections: accept-heavy workloads
+// (closed connections, shed keep-alives) would otherwise allocate a
+// reader, a writer, and two 4 KiB buffers per connection.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReader(nil) }}
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriter(nil) }}
+)
+
+// Conn is a client connection moving through a server. It carries the
+// buffered reader/writer pair and the acquisition time of the request
+// currently being processed.
+type Conn struct {
+	t  *Transport
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	// Acquired is when the current request started processing; server-
+	// side response times are measured from it.
+	Acquired time.Time
+
+	closed atomic.Bool
+}
+
+// NewConn wraps nc with pooled buffers. Callers must Close the Conn to
+// return them.
+func (t *Transport) NewConn(nc net.Conn) *Conn {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(nc)
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(nc)
+	return &Conn{t: t, nc: nc, br: br, bw: bw}
+}
+
+// Close closes the network connection and returns the buffers to their
+// pools. Idempotent.
+func (c *Conn) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	_ = c.nc.Close()
+	c.br.Reset(nil)
+	readerPool.Put(c.br)
+	c.br = nil
+	c.bw.Reset(nil)
+	writerPool.Put(c.bw)
+	c.bw = nil
+}
+
+// ReadRequestLine marks the request acquired and reads its first line
+// (phase one of the two-phase parse), bounding the wait by the idle
+// timeout so a silent keep-alive client cannot pin a worker.
+func (c *Conn) ReadRequestLine() (httpwire.RequestLine, error) {
+	c.Acquired = time.Now()
+	_ = c.nc.SetReadDeadline(c.Acquired.Add(c.t.idleTimeout))
+	line, err := httpwire.ReadRequestLine(c.br)
+	if err != nil {
+		return line, err
+	}
+	_ = c.nc.SetReadDeadline(time.Time{})
+	return line, nil
+}
+
+// ReadHeaders reads the header block (phase two).
+func (c *Conn) ReadHeaders() (httpwire.Header, error) {
+	return httpwire.ReadHeaders(c.br)
+}
+
+// FinishRequest completes phase two — headers, query, form body — for a
+// request whose first line has been read.
+func (c *Conn) FinishRequest(line httpwire.RequestLine) (*httpwire.Request, error) {
+	return httpwire.FinishRequest(c.br, line)
+}
+
+// ReadRequest marks the request acquired and performs both parse phases,
+// bounded by the idle timeout — the convenience path for workers that do
+// everything themselves.
+func (c *Conn) ReadRequest() (*httpwire.Request, error) {
+	c.Acquired = time.Now()
+	_ = c.nc.SetReadDeadline(c.Acquired.Add(c.t.idleTimeout))
+	req, err := httpwire.ReadRequest(c.br)
+	if err != nil {
+		return nil, err
+	}
+	_ = c.nc.SetReadDeadline(time.Time{})
+	return req, nil
+}
+
+// AwaitReadable blocks until the connection has readable bytes (the next
+// pipelined request) or the idle timeout passes. It plays the role of
+// the OS readiness notification (select/poll in CherryPy's listener).
+func (c *Conn) AwaitReadable() error {
+	_ = c.nc.SetReadDeadline(time.Now().Add(c.t.idleTimeout))
+	if _, err := c.br.Peek(1); err != nil {
+		return err
+	}
+	_ = c.nc.SetReadDeadline(time.Time{})
+	return nil
+}
+
+// WriteError writes a plain error response without firing a completion
+// event (used for protocol-level failures such as malformed requests).
+func (c *Conn) WriteError(status int, msg string) error {
+	return httpwire.WriteError(c.bw, status, msg)
+}
+
+// Accept runs the accept loop: accept, count, wrap, hand to sink. A sink
+// error means the server is shutting down; the connection is closed and
+// the loop exits cleanly. The returned error is nil after a clean Stop.
+func (t *Transport) Accept(l net.Listener, sink func(*Conn) error) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		t.accepted.Inc()
+		c := t.NewConn(nc)
+		if err := sink(c); err != nil {
+			c.Close()
+			return nil // shutting down
+		}
+	}
+}
+
+// Charge sleeps a paper-time work cost through the timescale.
+func (t *Transport) Charge(paperCost time.Duration) {
+	if paperCost > 0 {
+		t.clk.Sleep(t.scale.Wall(paperCost))
+	}
+}
+
+// Accepted reports connections accepted.
+func (t *Transport) Accepted() int64 { return t.accepted.Value() }
+
+// Served reports completed requests.
+func (t *Transport) Served() int64 { return t.served.Value() }
+
+// complete fires the completion event for a finished request.
+func (t *Transport) complete(page string, class Class, status int, acquired time.Time) {
+	t.served.Inc()
+	if t.onComplete != nil {
+		t.onComplete(CompletionEvent{
+			Page:       page,
+			Class:      class,
+			Status:     status,
+			Done:       time.Now(),
+			ServerTime: time.Since(acquired),
+		})
+	}
+}
+
+// Reply writes resp and fires the completion event. It reports whether
+// the connection is still usable for keep-alive; false means the caller
+// must close it (write failure or a non-keep-alive response).
+func (t *Transport) Reply(c *Conn, page string, class Class, resp *httpwire.Response) bool {
+	if err := resp.Write(c.bw); err != nil {
+		return false
+	}
+	t.complete(page, class, resp.Status, c.Acquired)
+	return resp.KeepAlive
+}
+
+// DirectReply sends a terminal plain response (404s, 500s, direct
+// strings). Same contract as Reply.
+func (t *Transport) DirectReply(c *Conn, page string, class Class, status int, body []byte, contentType string, keep bool) bool {
+	return t.Reply(c, page, class, &httpwire.Response{
+		Status: status, ContentType: contentType, Body: body, KeepAlive: keep,
+	})
+}
+
+// ServeStatic resolves, charges, and serves a static asset (404 on a
+// miss). Same contract as Reply.
+func (t *Transport) ServeStatic(c *Conn, app App, path string, keep bool) bool {
+	body, ct, ok := app.Static(path)
+	status := httpwire.StatusOK
+	if !ok {
+		status, body, ct, keep = httpwire.StatusNotFound, []byte("not found"), plainText, false
+	} else {
+		t.Charge(t.cost.Static(len(body)))
+	}
+	return t.Reply(c, path, ClassStatic, &httpwire.Response{
+		Status: status, ContentType: ct, Body: body, KeepAlive: keep,
+	})
+}
+
+// FinishDynamic materializes a handler result — rendering the template if
+// deferred — charges the render cost on the calling worker, writes the
+// response, and fires the completion event. Which worker calls this is
+// exactly the paper's design space: the baseline calls it on the
+// connection-holding worker, the staged server on the rendering pool (or
+// on the dynamic worker for backward-compatible pre-rendered results).
+// Same contract as Reply.
+func (t *Transport) FinishDynamic(c *Conn, app App, page string, class Class, res *Result, keep bool) bool {
+	body, ct, status, err := RenderResult(app, res)
+	if err != nil {
+		return t.DirectReply(c, page, class, httpwire.StatusInternalServerError, []byte("render error"), plainText, false)
+	}
+	if res.Deferred() || res.Body != "" {
+		// Deferred results render here; pre-rendered bodies were rendered
+		// inside the handler. Either way the render cost lands on the
+		// worker that produced the bytes.
+		t.Charge(t.cost.Render(len(body)))
+	}
+	return t.Reply(c, page, class, BuildResponse(res, body, ct, status, keep))
+}

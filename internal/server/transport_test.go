@@ -1,0 +1,67 @@
+package server_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"stagedweb/internal/server"
+)
+
+func TestTransportConnParseAndClose(t *testing.T) {
+	tr := server.NewTransport(server.TransportConfig{})
+	client, srv := net.Pipe()
+	defer client.Close()
+	c := tr.NewConn(srv)
+
+	go func() {
+		_, _ = client.Write([]byte("GET /page?q=1 HTTP/1.1\r\nHost: x\r\n\r\n"))
+	}()
+	line, err := c.ReadRequestLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Path != "/page" || line.RawQuery != "q=1" {
+		t.Fatalf("line = %+v", line)
+	}
+	if c.Acquired.IsZero() {
+		t.Fatal("Acquired not stamped")
+	}
+	req, err := c.FinishRequest(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Header.Get("Host") != "x" || req.Query["q"] != "1" {
+		t.Fatalf("req = %+v", req)
+	}
+
+	// Close returns the buffers to the pools and is idempotent.
+	c.Close()
+	c.Close()
+}
+
+func TestTransportAwaitReadableTimesOut(t *testing.T) {
+	tr := server.NewTransport(server.TransportConfig{IdleTimeout: 10 * time.Millisecond})
+	client, srv := net.Pipe()
+	defer client.Close()
+	c := tr.NewConn(srv)
+	defer c.Close()
+	if err := c.AwaitReadable(); err == nil {
+		t.Fatal("AwaitReadable returned without data before the idle timeout")
+	}
+}
+
+func TestTransportAwaitReadableSeesData(t *testing.T) {
+	tr := server.NewTransport(server.TransportConfig{IdleTimeout: 5 * time.Second})
+	client, srv := net.Pipe()
+	defer client.Close()
+	c := tr.NewConn(srv)
+	defer c.Close()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		_, _ = client.Write([]byte("G"))
+	}()
+	if err := c.AwaitReadable(); err != nil {
+		t.Fatalf("AwaitReadable: %v", err)
+	}
+}

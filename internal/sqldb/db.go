@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stagedweb/internal/clock"
@@ -38,6 +39,7 @@ type DB struct {
 
 	queries   metrics.Counter // statements executed
 	queryTime metrics.Histogram
+	open      atomic.Int64 // connections currently open (gauge)
 }
 
 // Open creates an empty database.
@@ -173,7 +175,14 @@ type Conn struct {
 }
 
 // Connect opens a new connection.
-func (db *DB) Connect() *Conn { return &Conn{db: db} }
+func (db *DB) Connect() *Conn {
+	db.open.Add(1)
+	return &Conn{db: db}
+}
+
+// OpenConns reports connections opened and not yet closed — the gauge
+// shutdown tests use to prove servers release their connection budget.
+func (db *DB) OpenConns() int64 { return db.open.Load() }
 
 func (c *Conn) enter() error {
 	c.mu.Lock()
@@ -197,8 +206,12 @@ func (c *Conn) exit() {
 // Close closes the connection. Idempotent.
 func (c *Conn) Close() {
 	c.mu.Lock()
+	wasOpen := !c.closed
 	c.closed = true
 	c.mu.Unlock()
+	if wasOpen {
+		c.db.open.Add(-1)
+	}
 }
 
 // Query executes a SELECT and returns the materialized result.

@@ -1,0 +1,185 @@
+// Package stage implements the generic stage-graph runtime both server
+// variants are built on.
+//
+// A Stage couples a bounded pool.Queue with a fixed-size pool.Pool of
+// workers and tracks the per-stage gauges the DSN'09 evaluation reads:
+// queue depth (Figures 7 and 8), busy/spare workers (t_spare), completed
+// items, and shed items. A Graph owns an ordered set of stages, starts
+// them together, drains them in flow order on Stop, and exposes one
+// uniform stats snapshot for harnesses and operational tooling.
+//
+// The paper's fixed five-pool topology (package core) and the
+// thread-per-request baseline (package server) are both expressed as
+// graphs over this runtime; new topology variants are configuration, not
+// new server code.
+package stage
+
+import (
+	"errors"
+	"fmt"
+
+	"stagedweb/internal/metrics"
+	"stagedweb/internal/pool"
+)
+
+// Backpressure selects what Submit does when the stage queue is full.
+type Backpressure int
+
+const (
+	// Block makes Submit wait for queue space — the CherryPy behaviour
+	// the paper models, where the listener blocks on the synchronized
+	// queue.
+	Block Backpressure = iota
+	// Shed makes Submit drop the item when the queue is full (counted in
+	// Stats.Shed). Load-shedding stages use this to bound latency.
+	Shed
+)
+
+// ErrClosed reports a submit to a stopped stage.
+var ErrClosed = errors.New("stage: closed")
+
+// ErrShed reports an item dropped by a Shed-policy stage (or Offer) on a
+// full queue.
+var ErrShed = errors.New("stage: shed on full queue")
+
+// Config describes one stage.
+type Config[T any] struct {
+	// Name identifies the stage in stats and panics. Required.
+	Name string
+	// Workers is the fixed worker count. Required, positive.
+	Workers int
+	// QueueCap bounds the stage queue. Defaults to 4096.
+	QueueCap int
+	// Backpressure selects Submit's full-queue behaviour (default Block).
+	Backpressure Backpressure
+	// Work processes one item on a stage worker. Required.
+	Work func(T)
+}
+
+// Stage is one node of the graph: a bounded queue drained by a fixed
+// worker pool.
+type Stage[T any] struct {
+	name   string
+	policy Backpressure
+	queue  *pool.Queue[T]
+	pool   *pool.Pool[T]
+	shed   metrics.Counter
+}
+
+// New builds an unstarted stage. It panics on an invalid configuration,
+// mirroring pool.New.
+func New[T any](cfg Config[T]) *Stage[T] {
+	if cfg.Name == "" {
+		panic("stage: empty name")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	s := &Stage[T]{
+		name:   cfg.Name,
+		policy: cfg.Backpressure,
+		queue:  pool.NewQueue[T](cfg.QueueCap),
+	}
+	s.pool = pool.New(cfg.Name, cfg.Workers, s.queue, cfg.Work)
+	return s
+}
+
+// Start launches the stage workers. It panics if called twice.
+func (s *Stage[T]) Start() { s.pool.Start() }
+
+// Stop closes the stage queue and waits for the workers to drain it and
+// finish in-flight work. Idempotent.
+func (s *Stage[T]) Stop() { s.pool.Stop() }
+
+// Submit enqueues item following the stage's backpressure policy: Block
+// stages wait for space, Shed stages drop (returning ErrShed) when full.
+// ErrClosed reports a stopped stage.
+func (s *Stage[T]) Submit(item T) error {
+	if s.policy == Shed {
+		return s.Offer(item)
+	}
+	if err := s.queue.Put(item); err != nil {
+		return fmt.Errorf("%w: %s", ErrClosed, s.name)
+	}
+	return nil
+}
+
+// Offer enqueues item without ever blocking, regardless of policy. A full
+// queue sheds the item (counted, ErrShed); a stopped stage reports
+// ErrClosed.
+func (s *Stage[T]) Offer(item T) error {
+	ok, err := s.queue.TryPut(item)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrClosed, s.name)
+	}
+	if !ok {
+		s.shed.Inc()
+		return fmt.Errorf("%w: %s", ErrShed, s.name)
+	}
+	return nil
+}
+
+// Name reports the stage name.
+func (s *Stage[T]) Name() string { return s.name }
+
+// Workers reports the configured worker count.
+func (s *Stage[T]) Workers() int { return s.pool.Size() }
+
+// Busy reports workers currently executing work.
+func (s *Stage[T]) Busy() int { return s.pool.Busy() }
+
+// Spare reports idle workers — the paper's t_spare when read on the
+// general dynamic stage.
+func (s *Stage[T]) Spare() int { return s.pool.Spare() }
+
+// Depth reports the current queue length — the quantity plotted in
+// Figures 7 and 8.
+func (s *Stage[T]) Depth() int { return s.queue.Len() }
+
+// Completed reports items fully processed by this stage.
+func (s *Stage[T]) Completed() int64 { return s.pool.Completed() }
+
+// ShedCount reports items dropped on a full queue.
+func (s *Stage[T]) ShedCount() int64 { return s.shed.Value() }
+
+// Stats is one stage's uniform snapshot.
+type Stats struct {
+	Name      string
+	Workers   int
+	Busy      int
+	Spare     int
+	Depth     int
+	QueueCap  int
+	MaxDepth  int
+	Enqueued  int64
+	Dequeued  int64
+	Completed int64
+	Shed      int64
+	Closed    bool
+}
+
+// Stats snapshots the stage's gauges and counters.
+func (s *Stage[T]) Stats() Stats {
+	qs := s.queue.Stats()
+	return Stats{
+		Name:      s.name,
+		Workers:   s.pool.Size(),
+		Busy:      s.pool.Busy(),
+		Spare:     s.pool.Spare(),
+		Depth:     qs.Len,
+		QueueCap:  qs.Cap,
+		MaxDepth:  qs.MaxLen,
+		Enqueued:  qs.Enqueued,
+		Dequeued:  qs.Dequeued,
+		Completed: s.pool.Completed(),
+		Shed:      s.shed.Value(),
+		Closed:    qs.Closed,
+	}
+}
+
+// String renders a compact one-line view, e.g.
+// "general[workers:21 busy:3 depth:0]".
+func (s Stats) String() string {
+	return fmt.Sprintf("%s[workers:%d busy:%d depth:%d/%d completed:%d shed:%d]",
+		s.Name, s.Workers, s.Busy, s.Depth, s.QueueCap, s.Completed, s.Shed)
+}

@@ -170,3 +170,17 @@ func Listen() (net.Listener, string, error) {
 	}
 	return l, l.Addr().String(), nil
 }
+
+// WaitUntil polls cond every millisecond until it holds or timeout
+// passes, reporting whether it held — the shared wait primitive for
+// tests observing asynchronous server state.
+func WaitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
