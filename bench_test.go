@@ -25,12 +25,13 @@ import (
 	"stagedweb/internal/sqldb"
 	"stagedweb/internal/template"
 	"stagedweb/internal/tpcw"
+	"stagedweb/internal/variant"
 )
 
 // miniConfig is a reduced experiment sized for benchmark iterations
 // (~2 s wall each at scale 200 on a single core).
-func miniConfig(kind harness.ServerKind) harness.Config {
-	cfg := harness.QuickConfig(kind, clock.Timescale(200))
+func miniConfig(variantName string) harness.Config {
+	cfg := harness.QuickConfig(variantName, clock.Timescale(200))
 	cfg.EBs = 60
 	cfg.RampUp = 15 * time.Second
 	cfg.Measure = 2 * time.Minute
@@ -39,9 +40,9 @@ func miniConfig(kind harness.ServerKind) harness.Config {
 	return cfg
 }
 
-func runMini(b *testing.B, kind harness.ServerKind, mutate func(*harness.Config)) *harness.Result {
+func runMini(b *testing.B, variantName string, mutate func(*harness.Config)) *harness.Result {
 	b.Helper()
-	cfg := miniConfig(kind)
+	cfg := miniConfig(variantName)
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -85,8 +86,8 @@ func BenchmarkTable2ReserveController(b *testing.B) {
 
 func BenchmarkTable3ResponseTimes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		unmod := runMini(b, harness.Unmodified, nil)
-		mod := runMini(b, harness.Modified, nil)
+		unmod := runMini(b, variant.Unmodified, nil)
+		mod := runMini(b, variant.Modified, nil)
 		u := unmod.Pages[tpcw.PageHome].MeanPaperSec
 		m := mod.Pages[tpcw.PageHome].MeanPaperSec
 		if m > 0 {
@@ -97,8 +98,8 @@ func BenchmarkTable3ResponseTimes(b *testing.B) {
 
 func BenchmarkTable4Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		unmod := runMini(b, harness.Unmodified, nil)
-		mod := runMini(b, harness.Modified, nil)
+		unmod := runMini(b, variant.Unmodified, nil)
+		mod := runMini(b, variant.Modified, nil)
 		b.ReportMetric(harness.ThroughputGainPercent(unmod, mod), "gain-%")
 		b.ReportMetric(float64(mod.TotalInteractions), "interactions")
 	}
@@ -108,9 +109,9 @@ func BenchmarkTable4Throughput(b *testing.B) {
 
 func BenchmarkFigure7QueueBaseline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		unmod := runMini(b, harness.Unmodified, nil)
-		b.ReportMetric(harness.SeriesMax(unmod.QueueSingle), "queue-max")
-		b.ReportMetric(harness.SeriesMean(unmod.QueueSingle), "queue-mean")
+		unmod := runMini(b, variant.Unmodified, nil)
+		b.ReportMetric(harness.SeriesMax(unmod.Series[variant.ProbeQueueSingle]), "queue-max")
+		b.ReportMetric(harness.SeriesMean(unmod.Series[variant.ProbeQueueSingle]), "queue-mean")
 	}
 }
 
@@ -118,9 +119,9 @@ func BenchmarkFigure7QueueBaseline(b *testing.B) {
 
 func BenchmarkFigure8QueuesStaged(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		mod := runMini(b, harness.Modified, nil)
-		b.ReportMetric(harness.SeriesMax(mod.QueueGeneral), "general-max")
-		b.ReportMetric(harness.SeriesMax(mod.QueueLengthy), "lengthy-max")
+		mod := runMini(b, variant.Modified, nil)
+		b.ReportMetric(harness.SeriesMax(mod.Series[variant.ProbeQueueGeneral]), "general-max")
+		b.ReportMetric(harness.SeriesMax(mod.Series[variant.ProbeQueueLengthy]), "lengthy-max")
 	}
 }
 
@@ -128,10 +129,10 @@ func BenchmarkFigure8QueuesStaged(b *testing.B) {
 
 func BenchmarkFigure9Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		unmod := runMini(b, harness.Unmodified, nil)
-		mod := runMini(b, harness.Modified, nil)
-		b.ReportMetric(harness.SeriesMean(unmod.ThroughputAll), "unmod-per-min")
-		b.ReportMetric(harness.SeriesMean(mod.ThroughputAll), "mod-per-min")
+		unmod := runMini(b, variant.Unmodified, nil)
+		mod := runMini(b, variant.Modified, nil)
+		b.ReportMetric(harness.SeriesMean(unmod.Series[harness.SeriesThroughputAll]), "unmod-per-min")
+		b.ReportMetric(harness.SeriesMean(mod.Series[harness.SeriesThroughputAll]), "mod-per-min")
 	}
 }
 
@@ -139,10 +140,10 @@ func BenchmarkFigure9Throughput(b *testing.B) {
 
 func BenchmarkFigure10PerClass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		mod := runMini(b, harness.Modified, nil)
-		b.ReportMetric(harness.SeriesMean(mod.ThroughputStatic), "static-per-min")
-		b.ReportMetric(harness.SeriesMean(mod.ThroughputQuick), "quick-per-min")
-		b.ReportMetric(harness.SeriesMean(mod.ThroughputLengthy), "lengthy-per-min")
+		mod := runMini(b, variant.Modified, nil)
+		b.ReportMetric(harness.SeriesMean(mod.Series[harness.SeriesThroughputStatic]), "static-per-min")
+		b.ReportMetric(harness.SeriesMean(mod.Series[harness.SeriesThroughputQuick]), "quick-per-min")
+		b.ReportMetric(harness.SeriesMean(mod.Series[harness.SeriesThroughputLengthy]), "lengthy-per-min")
 	}
 }
 
@@ -150,10 +151,10 @@ func BenchmarkFigure10PerClass(b *testing.B) {
 // ModifiedNoReserve topology variant (t_reserve controller ablated) —
 // instantiated purely from harness configuration.
 func BenchmarkAblationNoReserve(b *testing.B) {
-	for _, kind := range []harness.ServerKind{harness.Modified, harness.ModifiedNoReserve} {
-		b.Run(kind.String(), func(b *testing.B) {
+	for _, v := range []string{variant.Modified, variant.ModifiedNoReserve} {
+		b.Run(v, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := runMini(b, kind, nil)
+				res := runMini(b, v, nil)
 				b.ReportMetric(float64(res.TotalInteractions), "interactions")
 				b.ReportMetric(res.Pages[tpcw.PageHome].MeanPaperSec, "home-sec")
 			}
@@ -167,10 +168,10 @@ func BenchmarkAblationNoReserve(b *testing.B) {
 // strategies directly: per-worker connections doing everything
 // (baseline) vs connections bound to dynamic workers only (staged).
 func BenchmarkAblationConnPlacement(b *testing.B) {
-	for _, kind := range []harness.ServerKind{harness.Unmodified, harness.Modified} {
-		b.Run(kind.String(), func(b *testing.B) {
+	for _, v := range []string{variant.Unmodified, variant.Modified} {
+		b.Run(v, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := runMini(b, kind, nil)
+				res := runMini(b, v, nil)
 				b.ReportMetric(float64(res.TotalInteractions), "interactions")
 			}
 		})
@@ -188,7 +189,7 @@ func BenchmarkAblationSinglePool(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := runMini(b, harness.Modified, func(cfg *harness.Config) {
+				res := runMini(b, variant.Modified, func(cfg *harness.Config) {
 					if !split {
 						cfg.Cutoff = time.Hour // nothing classifies lengthy
 					}
@@ -207,7 +208,7 @@ func BenchmarkAblationPoolRatio(b *testing.B) {
 	for _, lengthy := range []int{2, 5, 9, 13} {
 		b.Run(fmt.Sprintf("lengthy-%d-of-%d", lengthy, budget), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := runMini(b, harness.Modified, func(cfg *harness.Config) {
+				res := runMini(b, variant.Modified, func(cfg *harness.Config) {
 					cfg.GeneralWorkers = budget - lengthy
 					cfg.LengthyWorkers = lengthy
 				})
@@ -224,7 +225,7 @@ func BenchmarkAblationCutoff(b *testing.B) {
 	for _, cutoff := range []time.Duration{500 * time.Millisecond, 2 * time.Second, 8 * time.Second} {
 		b.Run(cutoff.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := runMini(b, harness.Modified, func(cfg *harness.Config) {
+				res := runMini(b, variant.Modified, func(cfg *harness.Config) {
 					cfg.Cutoff = cutoff
 				})
 				b.ReportMetric(res.Pages[tpcw.PageHome].MeanPaperSec, "home-sec")
@@ -244,13 +245,13 @@ func BenchmarkAblationDeferredRender(b *testing.B) {
 	// compare normal work cost vs render cost folded into the DB side.
 	b.Run("deferred", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res := runMini(b, harness.Modified, nil)
+			res := runMini(b, variant.Modified, nil)
 			b.ReportMetric(float64(res.TotalInteractions), "interactions")
 		}
 	})
 	b.Run("eager-on-db-worker", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res := runMini(b, harness.Modified, func(cfg *harness.Config) {
+			res := runMini(b, variant.Modified, func(cfg *harness.Config) {
 				// Move the render cost into the per-statement database
 				// charge: the conn-holding worker pays it, as the
 				// unmodified return style would.

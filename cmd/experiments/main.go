@@ -1,78 +1,84 @@
-// Command experiments reproduces the DSN'09 evaluation: it runs the
-// TPC-W browsing mix against the unmodified (thread-per-request) and
-// modified (staged multi-pool) servers and prints the paper's tables and
-// figures.
+// Command experiments reproduces the DSN'09 evaluation: it sweeps the
+// TPC-W browsing mix over registered server variants and prints the
+// paper's tables and figures. Variants come from the internal/variant
+// registry, so a newly registered topology is available here with zero
+// edits (-variants name1,name2,...).
 //
 // Usage:
 //
-//	experiments -exp all                 # everything (two full runs)
+//	experiments -exp all                 # everything (one run per variant)
 //	experiments -exp table3              # response times
 //	experiments -exp table4              # per-page throughput
 //	experiments -exp table2              # t_reserve controller trace
 //	experiments -exp fig7,fig8,fig9,fig10
 //	experiments -scale 100 -ebs 400 -measure 50m   # paper-sized run
 //	experiments -quick                   # reduced run (seconds)
-//	experiments -csv dir                 # also dump figure CSVs
+//	experiments -variants unmodified,modified,modified-noreserve
+//	experiments -set cutoff=3s -set minreserve=15  # variant settings
+//	experiments -ebs-sweep 100,200,300,400         # saturation-knee ramp
+//	experiments -csv dir                 # dump every series as CSV
+//	experiments -json dir                # per-scenario result JSON artifacts
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/harness"
-	"stagedweb/internal/metrics"
 	"stagedweb/internal/sched"
+	"stagedweb/internal/variant"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated)")
-		scale   = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
-		ebs     = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
-		measure = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
-		quick   = fs.Bool("quick", false, "use the reduced quick configuration")
-		csvDir  = fs.String("csv", "", "directory to write figure CSVs into")
-		seed    = fs.Int64("seed", 1, "workload seed")
+		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated)")
+		scale    = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
+		ebs      = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
+		measure  = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
+		quick    = fs.Bool("quick", false, "use the reduced quick configuration")
+		csvDir   = fs.String("csv", "", "directory to write per-series CSVs into")
+		jsonDir  = fs.String("json", "", "directory to write per-scenario result JSON into")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		variants = fs.String("variants", variant.Unmodified+","+variant.Modified,
+			"comma-separated registered variants; the first is the comparison baseline (registered: "+strings.Join(variant.Names(), ", ")+")")
+		ebsSweep = fs.String("ebs-sweep", "", "comma-separated EB levels (e.g. 100,200,300,400): run the saturation ramp across every variant")
+		parallel = fs.Int("parallel", 1, "concurrent sweep runs (>1 trades timing fidelity for wall time)")
+		sets     variant.SettingsFlag
 	)
+	fs.Var(&sets, "set", "variant setting `key=value` (repeatable), e.g. -set cutoff=3s")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	want := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
-	}
-	all := want["all"]
-
-	// Table 2 needs no server runs: replay the paper's t_spare trace
-	// through the reserve controller.
-	if all || want["table2"] {
-		fmt.Println(table2())
-	}
-	needRuns := all || want["table3"] || want["table4"] ||
-		want["fig7"] || want["fig8"] || want["fig9"] || want["fig10"]
-	if !needRuns {
-		return nil
+	overrides := sets.Settings
+	names := splitList(*variants)
+	if len(names) == 0 {
+		return fmt.Errorf("no variants selected")
 	}
 
-	build := func(kind harness.ServerKind) harness.Config {
+	build := func(name string) harness.Config {
 		var cfg harness.Config
 		if *quick {
-			cfg = harness.QuickConfig(kind, clock.Timescale(*scale))
+			cfg = harness.QuickConfig(name, clock.Timescale(*scale))
 		} else {
-			cfg = harness.PaperConfig(kind, clock.Timescale(*scale))
+			cfg = harness.PaperConfig(name, clock.Timescale(*scale))
 		}
 		if *ebs > 0 {
 			cfg.EBs = *ebs
@@ -81,51 +87,239 @@ func run(args []string) error {
 			cfg.Measure = *measure
 		}
 		cfg.Seed = *seed
+		cfg.Set = overrides.Clone()
 		return cfg
 	}
 
-	fmt.Printf("running unmodified server (%d EBs, %v measured, scale %.0fx)...\n",
-		build(harness.Unmodified).EBs, build(harness.Unmodified).Measure, *scale)
-	unmod, err := harness.Run(build(harness.Unmodified))
-	if err != nil {
-		return fmt.Errorf("unmodified run: %w", err)
-	}
-	fmt.Printf("  done in %v wall (%d interactions)\n", unmod.WallDuration.Round(time.Millisecond), unmod.TotalInteractions)
-
-	fmt.Println("running modified server...")
-	mod, err := harness.Run(build(harness.Modified))
-	if err != nil {
-		return fmt.Errorf("modified run: %w", err)
-	}
-	fmt.Printf("  done in %v wall (%d interactions)\n\n", mod.WallDuration.Round(time.Millisecond), mod.TotalInteractions)
-
-	if all || want["table3"] {
-		fmt.Println(harness.Table3(unmod, mod))
-	}
-	if all || want["table4"] {
-		fmt.Println(harness.Table4(unmod, mod))
-	}
-	if all || want["fig7"] {
-		fmt.Println(harness.Figure7(unmod))
-	}
-	if all || want["fig8"] {
-		fmt.Println(harness.Figure8(mod))
-	}
-	if all || want["fig9"] {
-		fmt.Println(harness.Figure9(unmod, mod))
-	}
-	if all || want["fig10"] {
-		fmt.Println(harness.Figure10(unmod, mod))
-	}
-	fmt.Println(harness.Summary(unmod, mod))
-
-	if *csvDir != "" {
-		if err := writeCSVs(*csvDir, unmod, mod); err != nil {
-			return err
+	ctx := context.Background()
+	progress := func(sc harness.Scenario, res *harness.Result, err error) {
+		if err != nil {
+			fmt.Fprintf(out, "  %s failed: %v\n", sc.Name, err)
+			return
 		}
-		fmt.Println("figure CSVs written to", *csvDir)
+		fmt.Fprintf(out, "  %s done in %v wall (%d interactions)\n",
+			sc.Name, res.WallDuration.Round(time.Millisecond), res.TotalInteractions)
+	}
+	opts := harness.SweepOptions{Parallelism: *parallel, OnResult: progress}
+
+	// The EB ramp is its own mode: variants × load levels, reported as
+	// the saturation-knee table.
+	if *ebsSweep != "" {
+		levels, err := parseInts(*ebsSweep)
+		if err != nil {
+			return fmt.Errorf("-ebs-sweep: %w", err)
+		}
+		return runEBSweep(ctx, out, opts, build, names, levels, *csvDir, *jsonDir)
+	}
+
+	want := map[string]bool{}
+	for _, e := range splitList(*exp) {
+		want[e] = true
+	}
+	all := want["all"]
+
+	// Table 2 needs no server runs: replay the paper's t_spare trace
+	// through the reserve controller.
+	if all || want["table2"] {
+		fmt.Fprintln(out, table2())
+	}
+	needRuns := all || want["table3"] || want["table4"] ||
+		want["fig7"] || want["fig8"] || want["fig9"] || want["fig10"]
+	if !needRuns {
+		return nil
+	}
+
+	scenarios := make([]harness.Scenario, 0, len(names))
+	for _, name := range names {
+		scenarios = append(scenarios, harness.Scenario{Name: name, Config: build(name)})
+	}
+	fmt.Fprintf(out, "running %d variant(s) (%d EBs, %v measured, scale %.0fx)...\n",
+		len(scenarios), scenarios[0].Config.EBs, scenarios[0].Config.Measure, *scale)
+	// A failed cell must not discard the completed ones: render whatever
+	// ran, emit its artifacts, and surface the error at the end.
+	sw, sweepErr := harness.SweepWith(ctx, opts, scenarios)
+	fmt.Fprintln(out)
+
+	// Tables and figures compare the first two variants; further
+	// variants still run, land in the report, and emit artifacts.
+	if base, test := sw.Result(names[0]), resultAt(sw, names, 1); base != nil && test != nil {
+		if all || want["table3"] {
+			fmt.Fprintln(out, harness.Table3(base, test))
+		}
+		if all || want["table4"] {
+			fmt.Fprintln(out, harness.Table4(base, test))
+		}
+		if all || want["fig7"] {
+			fmt.Fprintln(out, harness.Figure7(base))
+		}
+		if all || want["fig8"] {
+			fmt.Fprintln(out, harness.Figure8(test))
+		}
+		if all || want["fig9"] {
+			fmt.Fprintln(out, harness.Figure9(base, test))
+		}
+		if all || want["fig10"] {
+			fmt.Fprintln(out, harness.Figure10(base, test))
+		}
+	} else if len(names) < 2 {
+		fmt.Fprintln(out, "(tables and figures compare two variants; pass -variants base,test to render them)")
+	}
+	fmt.Fprintln(out, sw.Report())
+	return errors.Join(sweepErr, writeArtifacts(out, *csvDir, *jsonDir, sw))
+}
+
+// resultAt returns the i-th selected variant's result, nil when fewer
+// variants were selected or that cell failed.
+func resultAt(sw *harness.SweepResult, names []string, i int) *harness.Result {
+	if i >= len(names) {
+		return nil
+	}
+	return sw.Result(names[i])
+}
+
+// runEBSweep runs every variant at every EB level and prints the
+// saturation-knee table, with throughput gain of the second variant over
+// the first at each level.
+func runEBSweep(ctx context.Context, out io.Writer, opts harness.SweepOptions,
+	build func(string) harness.Config, names []string, levels []int, csvDir, jsonDir string) error {
+	var scenarios []harness.Scenario
+	for _, name := range names {
+		for _, level := range levels {
+			cfg := build(name).With(func(c *harness.Config) { c.EBs = level })
+			scenarios = append(scenarios, harness.Scenario{
+				Name:   fmt.Sprintf("%s/ebs=%d", name, level),
+				Config: cfg,
+			})
+		}
+	}
+	fmt.Fprintf(out, "EB ramp: %d variant(s) x %d load levels...\n", len(names), len(levels))
+	// Keep partial results on a failed cell; the table prints "-" for it
+	// and the error surfaces after the artifacts are written.
+	sw, sweepErr := harness.SweepWith(ctx, opts, scenarios)
+
+	fmt.Fprintf(out, "\nEB ramp (interactions per measurement window; the knee is where gains flatten)\n")
+	fmt.Fprintf(out, "%6s", "ebs")
+	for _, name := range names {
+		fmt.Fprintf(out, " %18s", name)
+	}
+	if len(names) >= 2 {
+		fmt.Fprintf(out, " %8s", "gain")
+	}
+	fmt.Fprintln(out)
+	for _, level := range levels {
+		fmt.Fprintf(out, "%6d", level)
+		for _, name := range names {
+			res := sw.Result(fmt.Sprintf("%s/ebs=%d", name, level))
+			if res == nil {
+				fmt.Fprintf(out, " %18s", "-")
+				continue
+			}
+			fmt.Fprintf(out, " %18d", res.TotalInteractions)
+		}
+		if len(names) >= 2 {
+			fmt.Fprintf(out, " %+7.1f%%", sw.GainPercent(
+				fmt.Sprintf("%s/ebs=%d", names[0], level),
+				fmt.Sprintf("%s/ebs=%d", names[1], level)))
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out)
+	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
+}
+
+// writeArtifacts emits per-scenario JSON results and per-series CSVs,
+// named after scenario and series — no per-variant file lists.
+func writeArtifacts(out io.Writer, csvDir, jsonDir string, sw *harness.SweepResult) error {
+	for _, r := range sw.Runs {
+		if r.Result == nil {
+			continue
+		}
+		base := sanitize(r.Scenario.Name)
+		if jsonDir != "" {
+			if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+				return err
+			}
+			if err := writeFile(filepath.Join(jsonDir, base+".json"), func(f *os.File) error {
+				return harness.WriteJSON(f, r.Result)
+			}); err != nil {
+				return err
+			}
+		}
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			seriesNames := make([]string, 0, len(r.Result.Series))
+			for name := range r.Result.Series {
+				seriesNames = append(seriesNames, name)
+			}
+			sort.Strings(seriesNames)
+			for _, name := range seriesNames {
+				s := r.Result.Series[name]
+				if err := writeFile(filepath.Join(csvDir, base+"_"+sanitize(name)+".csv"), func(f *os.File) error {
+					return harness.WriteCSV(f, s)
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if jsonDir != "" {
+		fmt.Fprintln(out, "result JSON written to", jsonDir)
+	}
+	if csvDir != "" {
+		fmt.Fprintln(out, "series CSVs written to", csvDir)
 	}
 	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sanitize maps scenario and series names onto filesystem-safe tokens.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad level %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no levels")
+	}
+	return out, nil
 }
 
 // table2 replays the paper's Table 2 t_spare trace through the
@@ -140,41 +334,4 @@ func table2() string {
 	}
 	treserve = append(treserve, rc.Reserve())
 	return harness.Table2(tspare, treserve)
-}
-
-func writeCSVs(dir string, unmod, mod *harness.Result) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	series := map[string]*metrics.Series{
-		"fig7_queue_unmodified.csv": unmod.QueueSingle,
-		"fig8a_queue_general.csv":   mod.QueueGeneral,
-		"fig8b_queue_lengthy.csv":   mod.QueueLengthy,
-		"fig9_throughput_unmod.csv": unmod.ThroughputAll,
-		"fig9_throughput_mod.csv":   mod.ThroughputAll,
-		"fig10a_static_unmod.csv":   unmod.ThroughputStatic,
-		"fig10a_static_mod.csv":     mod.ThroughputStatic,
-		"fig10b_dynamic_unmod.csv":  unmod.ThroughputDynamic,
-		"fig10b_dynamic_mod.csv":    mod.ThroughputDynamic,
-		"fig10c_quick_unmod.csv":    unmod.ThroughputQuick,
-		"fig10c_quick_mod.csv":      mod.ThroughputQuick,
-		"fig10d_lengthy_unmod.csv":  unmod.ThroughputLengthy,
-		"fig10d_lengthy_mod.csv":    mod.ThroughputLengthy,
-		"treserve_modified.csv":     mod.ReserveSeries,
-	}
-	for name, s := range series {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		err = harness.WriteCSV(f, s)
-		cerr := f.Close()
-		if err != nil {
-			return err
-		}
-		if cerr != nil {
-			return cerr
-		}
-	}
-	return nil
 }

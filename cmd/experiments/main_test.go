@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stagedweb/internal/harness"
+)
+
+// TestExperimentsSmoke drives the public experiment API end to end:
+// a quick table3 run over both default variants, with CSV and JSON
+// artifact writing.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead swamps the paper-time calibration; " +
+			"run without -race for the experiment smoke")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	args := []string{
+		"-quick", "-exp", "table3", "-scale", "400",
+		"-ebs", "40", "-measure", "90s",
+		"-csv", dir, "-json", dir,
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	out := buf.String()
+
+	// Table output.
+	for _, want := range []string{"Table 3", "TPC-W home", "speedup", "sweep report"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+
+	// JSON artifacts: one per scenario, valid, with named series.
+	for _, name := range []string{"unmodified", "modified"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("JSON artifact missing: %v", err)
+		}
+		var res struct {
+			Variant string                     `json:"variant"`
+			Series  map[string]json.RawMessage `json:"series"`
+			Total   int64                      `json:"total_interactions"`
+		}
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("%s.json invalid: %v", name, err)
+		}
+		if res.Variant != name {
+			t.Errorf("%s.json variant = %q", name, res.Variant)
+		}
+		if _, ok := res.Series[harness.SeriesThroughputAll]; !ok {
+			t.Errorf("%s.json misses %s series", name, harness.SeriesThroughputAll)
+		}
+		if res.Total == 0 {
+			t.Errorf("%s.json reports zero interactions", name)
+		}
+	}
+
+	// CSV artifacts: per scenario × series, with the CSV header.
+	csvs, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil || len(csvs) == 0 {
+		t.Fatalf("no CSV artifacts written (err=%v)", err)
+	}
+	qcsv := filepath.Join(dir, "unmodified_queue.single.csv")
+	raw, err := os.ReadFile(qcsv)
+	if err != nil {
+		t.Fatalf("queue CSV missing: %v (have %v)", err, csvs)
+	}
+	if !strings.HasPrefix(string(raw), "offset_seconds,value\n") {
+		t.Errorf("CSV header wrong: %q", string(raw)[:40])
+	}
+}
+
+// TestExperimentsEBSweep exercises the saturation-ramp mode: a matrix of
+// variants × EB levels from one CLI invocation, with per-scenario JSON.
+func TestExperimentsEBSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead swamps the paper-time calibration")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	args := []string{
+		"-quick", "-scale", "400", "-measure", "45s",
+		"-ebs-sweep", "10,20", "-json", dir,
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"EB ramp", "ebs", "gain", "unmodified", "modified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{
+		"unmodified_ebs_10", "unmodified_ebs_20", "modified_ebs_10", "modified_ebs_20",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name+".json")); err != nil {
+			t.Errorf("sweep artifact missing: %v", err)
+		}
+	}
+}
+
+func TestExperimentsFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-set", "nonsense"}, &buf); err == nil {
+		t.Error("malformed -set accepted")
+	}
+	if err := run([]string{"-ebs-sweep", "10,frog"}, &buf); err == nil {
+		t.Error("malformed -ebs-sweep accepted")
+	}
+	if err := run([]string{"-variants", " , "}, &buf); err == nil {
+		t.Error("empty -variants accepted")
+	}
+	// Table 2 needs no server runs and must work for any -variants.
+	buf.Reset()
+	if err := run([]string{"-exp", "table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "treserve") {
+		t.Errorf("table2 output wrong:\n%s", buf.String())
+	}
+}

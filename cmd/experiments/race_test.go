@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this build runs under the race detector,
+// whose slowdown swamps the paper-time calibration the end-to-end
+// experiments depend on.
+const raceEnabled = true

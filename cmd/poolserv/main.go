@@ -1,14 +1,18 @@
-// Command poolserv serves the TPC-W bookstore with either server
-// variant. It is the interactive face of the reproduction: start it,
-// point a browser or cmd/tpcwload at it, and watch the queue and
+// Command poolserv serves the TPC-W bookstore with any registered
+// server variant. It is the interactive face of the reproduction: start
+// it, point a browser or cmd/tpcwload at it, and watch the queue and
 // scheduling state.
 //
-// Usage:
+// -mode is a registry lookup (plus the aliases staged/baseline), and
+// variant knobs are generic -set key=value overrides — unknown keys are
+// startup errors, so typos do not pass silently:
 //
 //	poolserv -mode staged   -addr :8080
 //	poolserv -mode baseline -addr :8080 -workers 80
 //	poolserv -mode staged -items 10000 -scale 100 -stats 2s
-//	poolserv -mode staged -noreserve        # t_reserve controller ablated
+//	poolserv -mode modified-noreserve          # t_reserve ablated
+//	poolserv -mode staged -set minreserve=15 -set cutoff=3s
+//	poolserv -mode staged -set general=32 -set lengthy=8 -set queuecap=1024
 package main
 
 import (
@@ -17,14 +21,16 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"stagedweb/internal/clock"
-	"stagedweb/internal/core"
 	"stagedweb/internal/server"
 	"stagedweb/internal/sqldb"
 	"stagedweb/internal/tpcw"
+	"stagedweb/internal/variant"
 )
 
 func main() {
@@ -34,24 +40,63 @@ func main() {
 	}
 }
 
+// modeAliases maps the historical -mode names onto registry names.
+var modeAliases = map[string]string{
+	"staged":   variant.Modified,
+	"baseline": variant.Unmodified,
+}
+
+func collectSettings(fs *flag.FlagSet, workers, general, lengthy *int, noReserve *bool, sets variant.Settings) variant.Settings {
+	// Legacy sizing flags become settings only when explicitly passed,
+	// so a variant that does not understand them ("-mode baseline
+	// -general 32") fails loudly instead of ignoring them. Explicit
+	// -set pairs win over the legacy aliases.
+	settings := variant.Settings{}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workers":
+			settings["workers"] = strconv.Itoa(*workers)
+		case "general":
+			settings["general"] = strconv.Itoa(*general)
+		case "lengthy":
+			settings["lengthy"] = strconv.Itoa(*lengthy)
+		case "noreserve":
+			settings["noreserve"] = strconv.FormatBool(*noReserve)
+		}
+	})
+	return settings.Merge(sets)
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("poolserv", flag.ContinueOnError)
 	var (
-		mode      = fs.String("mode", "staged", "server variant: staged or baseline")
+		mode      = fs.String("mode", "staged", "server variant: a registered name ("+strings.Join(variant.Names(), ", ")+") or the aliases staged/baseline")
 		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
 		items     = fs.Int("items", 10000, "item population")
 		customers = fs.Int("customers", 2880, "customer population")
 		orders    = fs.Int("orders", 2592, "order population")
 		scale     = fs.Float64("scale", 1, "timescale (1 = real time)")
-		workers   = fs.Int("workers", 80, "baseline worker/connection count")
-		general   = fs.Int("general", 64, "staged general dynamic workers")
-		lengthy   = fs.Int("lengthy", 16, "staged lengthy dynamic workers")
-		noReserve = fs.Bool("noreserve", false, "staged: disable the t_reserve controller (ablation)")
+		workers   = fs.Int("workers", 80, "baseline worker/connection count (alias for -set workers=N)")
+		general   = fs.Int("general", 64, "staged general dynamic workers (alias for -set general=N)")
+		lengthy   = fs.Int("lengthy", 16, "staged lengthy dynamic workers (alias for -set lengthy=N)")
+		noReserve = fs.Bool("noreserve", false, "staged: disable the t_reserve controller (alias for -set noreserve=true)")
 		statsEach = fs.Duration("stats", 0, "print server stats every interval (0 = off)")
+		sets      variant.SettingsFlag
 	)
+	fs.Var(&sets, "set", "variant setting `key=value` (repeatable), e.g. -set minreserve=15 -set cutoff=3s")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	name := *mode
+	if alias, ok := modeAliases[name]; ok {
+		name = alias
+	}
+	v, ok := variant.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown mode %q (registered variants: %s)", *mode, strings.Join(variant.Names(), ", "))
+	}
+	settings := collectSettings(fs, workers, general, lengthy, noReserve, sets.Settings)
 
 	ts := clock.Timescale(*scale)
 	db := sqldb.Open(sqldb.Options{Timescale: ts, Cost: sqldb.DefaultCostModel()})
@@ -71,59 +116,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s server on http://%s (try /home, /best_sellers?subject=ARTS)\n", *mode, l.Addr())
+	inst, err := v.Build(variant.Env{
+		App:   app,
+		DB:    db,
+		Scale: ts,
+		Cost:  server.DefaultWorkCost(),
+		Set:   settings,
+	})
+	if err != nil {
+		_ = l.Close()
+		return err
+	}
+	defer inst.Stop()
+	fmt.Printf("%s server on http://%s (try /home, /best_sellers?subject=ARTS)\n", name, l.Addr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
+	go func() { serveErr <- inst.Serve(l) }()
 
-	switch *mode {
-	case "baseline":
-		srv, err := server.NewBaseline(server.BaselineConfig{
-			App: app, DB: db, Workers: *workers,
-			Cost: server.DefaultWorkCost(), Scale: ts,
-		})
-		if err != nil {
-			return err
-		}
-		go func() { serveErr <- srv.Serve(l) }()
-		if *statsEach > 0 {
-			go func() {
-				for range time.Tick(*statsEach) {
-					for _, st := range srv.Graph().Stats() {
-						fmt.Printf("  %s\n", st)
-					}
-					fmt.Printf("served=%d\n", srv.Served())
-				}
-			}()
-		}
-		defer srv.Stop()
-	case "staged":
-		srv, err := core.New(core.Config{
-			App: app, DB: db,
-			GeneralWorkers: *general, LengthyWorkers: *lengthy,
-			NoReserve: *noReserve,
-			Scale:     ts, Cost: server.DefaultWorkCost(),
-		})
-		if err != nil {
-			return err
-		}
-		go func() { serveErr <- srv.Serve(l) }()
-		if *statsEach > 0 {
-			go func() {
-				for range time.Tick(*statsEach) {
-					for _, st := range srv.Graph().Stats() {
-						fmt.Printf("  %s\n", st)
-					}
-					g, le := srv.DispatchCounts()
-					fmt.Printf("tspare=%d treserve=%d dispatched{general:%d lengthy:%d} served=%d\n",
-						srv.Spare(), srv.Reserve(), g, le, srv.Served())
-				}
-			}()
-		}
-		defer srv.Stop()
-	default:
-		return fmt.Errorf("unknown mode %q (want staged or baseline)", *mode)
+	if *statsEach > 0 {
+		stopStats := startStats(inst, *statsEach)
+		defer stopStats()
 	}
 
 	select {
@@ -133,4 +147,35 @@ func run(args []string) error {
 	case err := <-serveErr:
 		return err
 	}
+}
+
+// startStats launches the periodic stats printer — one loop for every
+// variant, built on the uniform Instance surface: graph stage stats plus
+// every probe gauge. The ticker is stopped when the returned function
+// runs, so the goroutine and timer never outlive the server.
+func startStats(inst variant.Instance, every time.Duration) (stop func()) {
+	tk := time.NewTicker(every)
+	done := make(chan struct{})
+	go func() {
+		defer tk.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tk.C:
+				for _, st := range inst.Graph().Stats() {
+					fmt.Printf("  %s\n", st)
+				}
+				var sb strings.Builder
+				for i, p := range inst.Probes() {
+					if i > 0 {
+						sb.WriteByte(' ')
+					}
+					fmt.Fprintf(&sb, "%s=%.0f", p.Name, p.Gauge())
+				}
+				fmt.Println(sb.String())
+			}
+		}
+	}()
+	return func() { close(done) }
 }

@@ -7,6 +7,7 @@ import (
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/metrics"
+	"stagedweb/internal/variant"
 )
 
 // AsciiPlot renders a series as a terminal plot: value on the y axis,
@@ -26,7 +27,10 @@ func AsciiPlotScaled(title, yLabel string, s *metrics.Series, width, height int,
 	if height <= 0 {
 		height = 12
 	}
-	pts := s.Points()
+	var pts []metrics.Point
+	if s != nil {
+		pts = s.Points()
+	}
 	var sb strings.Builder
 	sb.WriteString(title + "\n")
 	if len(pts) == 0 {
@@ -88,47 +92,48 @@ func AsciiPlotScaled(title, yLabel string, s *metrics.Series, width, height int,
 	return sb.String()
 }
 
-// Figure7 renders the baseline's dynamic-request queue length over time.
+// Figure7 renders the baseline's dynamic-request queue length over time,
+// selected from the run's series by probe name.
 func Figure7(unmod *Result) string {
 	return AsciiPlotScaled("Figure 7. Queue length for dynamic requests (unmodified server)",
-		"paper time, queue length in requests", unmod.QueueSingle, 64, 12, unmod.Config.Scale)
+		"paper time, queue length in requests", unmod.Series[variant.ProbeQueueSingle], 64, 12, unmod.Config.Scale)
 }
 
 // Figure8 renders the staged server's general and lengthy queue lengths.
 func Figure8(mod *Result) string {
 	return AsciiPlotScaled("Figure 8(a). General-pool queue length (modified server)",
-		"paper time, queue length in requests", mod.QueueGeneral, 64, 10, mod.Config.Scale) +
+		"paper time, queue length in requests", mod.Series[variant.ProbeQueueGeneral], 64, 10, mod.Config.Scale) +
 		"\n" +
 		AsciiPlotScaled("Figure 8(b). Lengthy-pool queue length (modified server)",
-			"paper time, queue length in requests", mod.QueueLengthy, 64, 10, mod.Config.Scale)
+			"paper time, queue length in requests", mod.Series[variant.ProbeQueueLengthy], 64, 10, mod.Config.Scale)
 }
 
 // Figure9 renders total throughput per paper minute for both servers.
 func Figure9(unmod, mod *Result) string {
-	return AsciiPlotScaled("Figure 9. Throughput, all request types (unmodified server)",
-		"paper time, interactions per minute", unmod.ThroughputAll, 64, 10, unmod.Config.Scale) +
+	return AsciiPlotScaled("Figure 9. Throughput, all request types ("+unmod.Variant+" server)",
+		"paper time, interactions per minute", unmod.Series[SeriesThroughputAll], 64, 10, unmod.Config.Scale) +
 		"\n" +
-		AsciiPlotScaled("Figure 9. Throughput, all request types (modified server)",
-			"paper time, interactions per minute", mod.ThroughputAll, 64, 10, mod.Config.Scale)
+		AsciiPlotScaled("Figure 9. Throughput, all request types ("+mod.Variant+" server)",
+			"paper time, interactions per minute", mod.Series[SeriesThroughputAll], 64, 10, mod.Config.Scale)
 }
 
 // Figure10 renders the four per-class throughput panels for both servers.
 func Figure10(unmod, mod *Result) string {
 	panels := []struct {
-		name         string
-		unmodS, modS *metrics.Series
+		name   string
+		series string
 	}{
-		{"(a) Static Requests", unmod.ThroughputStatic, mod.ThroughputStatic},
-		{"(b) All Dynamic Requests", unmod.ThroughputDynamic, mod.ThroughputDynamic},
-		{"(c) Quick Dynamic Requests", unmod.ThroughputQuick, mod.ThroughputQuick},
-		{"(d) Lengthy Dynamic Requests", unmod.ThroughputLengthy, mod.ThroughputLengthy},
+		{"(a) Static Requests", SeriesThroughputStatic},
+		{"(b) All Dynamic Requests", SeriesThroughputDynamic},
+		{"(c) Quick Dynamic Requests", SeriesThroughputQuick},
+		{"(d) Lengthy Dynamic Requests", SeriesThroughputLengthy},
 	}
 	var sb strings.Builder
 	for _, p := range panels {
-		sb.WriteString(AsciiPlotScaled("Figure 10"+p.name+" (unmodified)",
-			"paper time, interactions per minute", p.unmodS, 64, 8, unmod.Config.Scale))
-		sb.WriteString(AsciiPlotScaled("Figure 10"+p.name+" (modified)",
-			"paper time, interactions per minute", p.modS, 64, 8, mod.Config.Scale))
+		sb.WriteString(AsciiPlotScaled("Figure 10"+p.name+" ("+unmod.Variant+")",
+			"paper time, interactions per minute", unmod.Series[p.series], 64, 8, unmod.Config.Scale))
+		sb.WriteString(AsciiPlotScaled("Figure 10"+p.name+" ("+mod.Variant+")",
+			"paper time, interactions per minute", mod.Series[p.series], 64, 8, mod.Config.Scale))
 		sb.WriteByte('\n')
 	}
 	return sb.String()

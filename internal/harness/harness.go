@@ -1,26 +1,58 @@
 // Package harness runs the paper's experiments end to end: it boots a
-// database and a server variant, drives the TPC-W browsing-mix workload
-// with emulated browsers, applies the ramp-up / measure / cool-down
-// discipline of Section 4.1, and collects every series and table the
-// DSN'09 evaluation reports (Tables 3 and 4, Figures 7–10).
+// database and a registered server variant, drives the TPC-W
+// browsing-mix workload with emulated browsers, applies the ramp-up /
+// measure / cool-down discipline of Section 4.1, and collects every
+// series and table the DSN'09 evaluation reports (Tables 3 and 4,
+// Figures 7–10).
+//
+// Variants are values, not cases: Run looks Config.Variant up in the
+// internal/variant registry, builds it, and samples every probe the
+// instance exports into a named metrics.Series — so a newly registered
+// topology needs zero harness edits. Sweeps over a scenario matrix
+// (variants × load levels × setting mutations) are first-class too; see
+// Scenario and Sweep.
 package harness
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"stagedweb/internal/clock"
-	"stagedweb/internal/core"
 	"stagedweb/internal/metrics"
 	"stagedweb/internal/server"
 	"stagedweb/internal/sqldb"
 	"stagedweb/internal/tpcw"
+	"stagedweb/internal/variant"
 	"stagedweb/internal/webtest"
 	"stagedweb/internal/workload"
 )
 
-// ServerKind selects the server variant under test.
+// Series names the harness computes from completion events, alongside
+// the variant's own probe series (variant.ProbeQueueSingle etc.). The
+// "throughput." prefix is reserved for these.
+const (
+	// SeriesThroughputAll counts all completions per paper minute
+	// (Figure 9).
+	SeriesThroughputAll = "throughput.all"
+	// SeriesThroughputStatic counts static completions (Figure 10a).
+	SeriesThroughputStatic = "throughput.static"
+	// SeriesThroughputDynamic counts dynamic completions (Figure 10b).
+	SeriesThroughputDynamic = "throughput.dynamic"
+	// SeriesThroughputQuick counts quick dynamic completions (Figure 10c).
+	SeriesThroughputQuick = "throughput.quick"
+	// SeriesThroughputLengthy counts lengthy dynamic completions
+	// (Figure 10d).
+	SeriesThroughputLengthy = "throughput.lengthy"
+)
+
+// ServerKind is the legacy closed enum of server variants.
+//
+// Deprecated: name variants by their registry name instead
+// (variant.Unmodified, variant.Modified, ...); the registry is open
+// where this enum is not. Config.Kind still resolves through the
+// registry so old call sites keep working.
 type ServerKind int
 
 const (
@@ -29,19 +61,18 @@ const (
 	// Modified is the staged multi-pool server (the paper's proposal).
 	Modified
 	// ModifiedNoReserve is the staged server with the t_reserve feedback
-	// controller ablated (reserve pinned to zero) — a topology variant
-	// instantiated purely from configuration, no new server code.
+	// controller ablated (reserve pinned to zero).
 	ModifiedNoReserve
 )
 
 func (k ServerKind) String() string {
 	switch k {
 	case Unmodified:
-		return "unmodified"
+		return variant.Unmodified
 	case Modified:
-		return "modified"
+		return variant.Modified
 	case ModifiedNoReserve:
-		return "modified-noreserve"
+		return variant.ModifiedNoReserve
 	default:
 		return "unknown"
 	}
@@ -52,39 +83,107 @@ func (k ServerKind) Staged() bool { return k == Modified || k == ModifiedNoReser
 
 // Config describes one experimental run. All durations are paper time.
 type Config struct {
-	Kind  ServerKind
-	Scale clock.Timescale
+	// Variant is the registered name of the server variant under test
+	// (see internal/variant).
+	Variant string `json:"variant"`
+	// Kind is the deprecated enum selector, consulted only when Variant
+	// is empty.
+	//
+	// Deprecated: set Variant.
+	Kind ServerKind `json:"-"`
+
+	Scale clock.Timescale `json:"scale"`
 
 	// Workload.
-	EBs                       int
-	RampUp, Measure, CoolDown time.Duration
-	FetchImages               bool
+	EBs      int           `json:"ebs"`
+	RampUp   time.Duration `json:"ramp_up_ns"`
+	Measure  time.Duration `json:"measure_ns"`
+	CoolDown time.Duration `json:"cool_down_ns"`
+
+	FetchImages bool `json:"fetch_images"`
 	// ThinkExponential selects TPC-W's negative-exponential think time
 	// (mean 7 s) instead of uniform 0.7–7 s.
-	ThinkExponential bool
-	Seed             int64
+	ThinkExponential bool  `json:"think_exponential"`
+	Seed             int64 `json:"seed"`
 
 	// Database.
-	Populate tpcw.PopulateConfig
-	Cost     sqldb.CostModel
+	Populate tpcw.PopulateConfig `json:"populate"`
+	Cost     sqldb.CostModel     `json:"cost"`
 	// Work models render/static worker time (CPython-calibrated).
-	Work server.WorkCost
+	Work server.WorkCost `json:"work"`
 
+	// Typed sizing knobs, lowered into variant settings as defaults: a
+	// variant applies the keys it understands and ignores the rest.
 	// Baseline sizing: worker count == database connection budget.
-	BaselineWorkers int
+	BaselineWorkers int `json:"baseline_workers,omitempty"`
 	// Staged sizing.
-	HeaderWorkers, StaticWorkers   int
-	GeneralWorkers, LengthyWorkers int
-	RenderWorkers                  int
-	MinReserve                     int
-	Cutoff                         time.Duration
+	HeaderWorkers  int           `json:"header_workers,omitempty"`
+	StaticWorkers  int           `json:"static_workers,omitempty"`
+	GeneralWorkers int           `json:"general_workers,omitempty"`
+	LengthyWorkers int           `json:"lengthy_workers,omitempty"`
+	RenderWorkers  int           `json:"render_workers,omitempty"`
+	MinReserve     int           `json:"min_reserve,omitempty"`
+	Cutoff         time.Duration `json:"cutoff_ns,omitempty"`
+
+	// Set holds explicit variant-setting overrides, layered over the
+	// typed fields above. Unlike the typed fields, a key the variant
+	// does not understand is a build error.
+	Set variant.Settings `json:"set,omitempty"`
 }
 
-// PaperConfig returns the full-paper-scale configuration: 400 EBs, a
-// 50-minute measurement window with 5-minute ramp-up and cool-down, the
-// default population, and the paper's pool sizes — compressed through the
-// given timescale (100 ⇒ the hour-long experiment takes 36 s).
-func PaperConfig(kind ServerKind, scale clock.Timescale) Config {
+// VariantName resolves the variant under test: Variant if set, else the
+// deprecated Kind.
+func (c Config) VariantName() (string, error) {
+	if c.Variant != "" {
+		return c.Variant, nil
+	}
+	if c.Kind != 0 {
+		return c.Kind.String(), nil
+	}
+	return "", fmt.Errorf("harness: config names no variant")
+}
+
+// With returns a copy of the config with the mutations applied. The Set
+// map is cloned (and allocated if nil) first, so scenario mutations can
+// write c.Set freely without aliasing the base config.
+func (c Config) With(muts ...func(*Config)) Config {
+	c.Set = c.Set.Clone()
+	if c.Set == nil {
+		c.Set = variant.Settings{}
+	}
+	for _, mut := range muts {
+		mut(&c)
+	}
+	return c
+}
+
+// settings lowers the typed sizing fields into variant settings.
+func (c Config) settings() variant.Settings {
+	s := variant.Settings{}
+	put := func(key string, v int) {
+		if v > 0 {
+			s[key] = fmt.Sprint(v)
+		}
+	}
+	put("workers", c.BaselineWorkers)
+	put("header", c.HeaderWorkers)
+	put("static", c.StaticWorkers)
+	put("general", c.GeneralWorkers)
+	put("lengthy", c.LengthyWorkers)
+	put("render", c.RenderWorkers)
+	put("minreserve", c.MinReserve)
+	if c.Cutoff > 0 {
+		s["cutoff"] = c.Cutoff.String()
+	}
+	return s
+}
+
+// PaperConfig returns the full-paper-scale configuration for the named
+// variant: 400 EBs, a 50-minute measurement window with 5-minute ramp-up
+// and cool-down, the default population, and the paper's pool sizes —
+// compressed through the given timescale (100 ⇒ the hour-long experiment
+// takes 36 s).
+func PaperConfig(variantName string, scale clock.Timescale) Config {
 	// Calibration notes (README.md, "Design notes" and "Experiments"):
 	//   - scans cost ~0.2 ms/row so the three slow pages land at 2.5-4 s
 	//     of intrinsic data-generation time (over the 2 s cutoff, under
@@ -99,7 +198,7 @@ func PaperConfig(kind ServerKind, scale clock.Timescale) Config {
 	cost := sqldb.DefaultCostModel()
 	cost.PerRowScanned = 200 * time.Microsecond
 	return Config{
-		Kind:             kind,
+		Variant:          variantName,
 		Scale:            scale,
 		EBs:              400,
 		RampUp:           5 * time.Minute,
@@ -130,11 +229,11 @@ func PaperConfig(kind ServerKind, scale clock.Timescale) Config {
 // a smaller population with a proportionally heavier scan cost (so the
 // slow-page class stays seconds-scale), fewer browsers, and a short
 // window. One run takes a few seconds of wall time at scale 200.
-func QuickConfig(kind ServerKind, scale clock.Timescale) Config {
+func QuickConfig(variantName string, scale clock.Timescale) Config {
 	cost := sqldb.DefaultCostModel()
 	cost.PerRowScanned = 1500 * time.Microsecond // 2000 rows -> ~3 s scans
 	return Config{
-		Kind:        kind,
+		Variant:     variantName,
 		Scale:       scale,
 		EBs:         100,
 		RampUp:      30 * time.Second,
@@ -158,50 +257,50 @@ func QuickConfig(kind ServerKind, scale clock.Timescale) Config {
 
 // PageStat is the per-page server+client view for Tables 3 and 4.
 type PageStat struct {
-	Page string
+	Page string `json:"page"`
 	// Count is completed interactions during the measurement window
 	// (Table 4).
-	Count int64
+	Count int64 `json:"count"`
 	// MeanPaperSec is the mean client-side WIRT in paper seconds
 	// (Table 3).
-	MeanPaperSec float64
+	MeanPaperSec float64 `json:"mean_paper_sec"`
 }
 
-// Result is everything one run produces.
+// Result is everything one run produces. WriteJSON serializes it in
+// full (config, tables, series) for artifacts.
 type Result struct {
-	Kind   ServerKind
-	Config Config
+	// Variant is the registered name of the variant that ran.
+	Variant string `json:"variant"`
+	Config  Config `json:"config"`
 
 	// Per-page statistics (Tables 3 and 4), keyed by page path.
-	Pages map[string]PageStat
+	Pages map[string]PageStat `json:"pages"`
 	// TotalInteractions sums page interactions in the window.
-	TotalInteractions int64
+	TotalInteractions int64 `json:"total_interactions"`
 	// Errors is the count of failed client interactions.
-	Errors int64
+	Errors int64 `json:"errors"`
 
-	// Throughput series, one bucket per paper minute (Figures 9, 10).
-	ThroughputAll     *metrics.Series
-	ThroughputStatic  *metrics.Series
-	ThroughputDynamic *metrics.Series
-	ThroughputQuick   *metrics.Series
-	ThroughputLengthy *metrics.Series
-
-	// Queue-length series, one sample per paper second. Baseline runs
-	// fill QueueSingle (Figure 7); staged runs fill QueueGeneral and
-	// QueueLengthy (Figure 8).
-	QueueSingle  *metrics.Series
-	QueueGeneral *metrics.Series
-	QueueLengthy *metrics.Series
-
-	// ReserveSeries tracks t_reserve per paper second (staged only).
-	ReserveSeries *metrics.Series
+	// Series holds every time series of the run, keyed by name: the
+	// harness's throughput series ("throughput.*", one bucket per paper
+	// minute) and one series per variant probe ("queue.*", "sched.*",
+	// ..., sampled once per paper second).
+	Series map[string]*metrics.Series `json:"series"`
 
 	// WallDuration is how long the run took on the host.
-	WallDuration time.Duration
+	WallDuration time.Duration `json:"wall_duration_ns"`
 }
 
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {
+	name, err := cfg.VariantName()
+	if err != nil {
+		return nil, err
+	}
+	v, ok := variant.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown variant %q (registered: %s)",
+			name, strings.Join(variant.Names(), ", "))
+	}
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("harness: timescale must be positive")
 	}
@@ -227,15 +326,22 @@ func Run(cfg Config) (*Result, error) {
 	minute := cfg.Scale.Wall(time.Minute)
 	second := cfg.Scale.Wall(time.Second)
 
+	thrAll := metrics.NewSeries(measureStart, minute, metrics.AggSum)
+	thrStatic := metrics.NewSeries(measureStart, minute, metrics.AggSum)
+	thrDynamic := metrics.NewSeries(measureStart, minute, metrics.AggSum)
+	thrQuick := metrics.NewSeries(measureStart, minute, metrics.AggSum)
+	thrLengthy := metrics.NewSeries(measureStart, minute, metrics.AggSum)
 	res := &Result{
-		Kind:              cfg.Kind,
-		Config:            cfg,
-		Pages:             make(map[string]PageStat, len(tpcw.Pages)),
-		ThroughputAll:     metrics.NewSeries(measureStart, minute, metrics.AggSum),
-		ThroughputStatic:  metrics.NewSeries(measureStart, minute, metrics.AggSum),
-		ThroughputDynamic: metrics.NewSeries(measureStart, minute, metrics.AggSum),
-		ThroughputQuick:   metrics.NewSeries(measureStart, minute, metrics.AggSum),
-		ThroughputLengthy: metrics.NewSeries(measureStart, minute, metrics.AggSum),
+		Variant: name,
+		Config:  cfg,
+		Pages:   make(map[string]PageStat, len(tpcw.Pages)),
+		Series: map[string]*metrics.Series{
+			SeriesThroughputAll:     thrAll,
+			SeriesThroughputStatic:  thrStatic,
+			SeriesThroughputDynamic: thrDynamic,
+			SeriesThroughputQuick:   thrQuick,
+			SeriesThroughputLengthy: thrLengthy,
+		},
 	}
 
 	// Server-side per-page completion counts, gated to the window.
@@ -245,18 +351,18 @@ func Run(cfg Config) (*Result, error) {
 	)
 	measureEnd := measureStart.Add(cfg.Scale.Wall(cfg.Measure))
 	onComplete := func(ev server.CompletionEvent) {
-		res.ThroughputAll.Observe(ev.Done, 1)
+		thrAll.Observe(ev.Done, 1)
 		if ev.Class == server.ClassStatic {
-			res.ThroughputStatic.Observe(ev.Done, 1)
+			thrStatic.Observe(ev.Done, 1)
 			return
 		}
-		res.ThroughputDynamic.Observe(ev.Done, 1)
-		// Classify by the paper's fixed slow-page set so both server
-		// variants bucket identically in Figure 10.
+		thrDynamic.Observe(ev.Done, 1)
+		// Classify by the paper's fixed slow-page set so every variant
+		// buckets identically in Figure 10.
 		if tpcw.SlowPages[ev.Page] {
-			res.ThroughputLengthy.Observe(ev.Done, 1)
+			thrLengthy.Observe(ev.Done, 1)
 		} else {
-			res.ThroughputQuick.Observe(ev.Done, 1)
+			thrQuick.Observe(ev.Done, 1)
 		}
 		if ev.Done.Before(measureStart) || ev.Done.After(measureEnd) {
 			return
@@ -266,70 +372,41 @@ func Run(cfg Config) (*Result, error) {
 		countMu.Unlock()
 	}
 
-	// Boot the server variant.
+	// Boot the variant under test.
 	l, addr, err := webtest.Listen()
 	if err != nil {
 		return nil, err
 	}
-	var (
-		stopServer func()
-		samplers   []*metrics.Sampler
-	)
+	inst, err := v.Build(variant.Env{
+		App:        app,
+		DB:         db,
+		Clock:      clock.Precise{},
+		Scale:      cfg.Scale,
+		Cost:       cfg.Work,
+		OnComplete: onComplete,
+		Set:        cfg.Set,
+		Defaults:   cfg.settings(),
+	})
+	if err != nil {
+		_ = l.Close()
+		return nil, err
+	}
+	// Every probe the instance exports becomes a sampled series, one
+	// sample per paper second.
+	probes := inst.Probes()
+	for _, p := range probes {
+		if _, dup := res.Series[p.Name]; dup {
+			inst.Stop()
+			_ = l.Close()
+			return nil, fmt.Errorf("harness: variant %s probe %q collides with an existing series", name, p.Name)
+		}
+		res.Series[p.Name] = metrics.NewSeries(measureStart, second, metrics.AggLast)
+	}
+	go func() { _ = inst.Serve(l) }()
 	clk := clock.Real{}
-	switch {
-	case cfg.Kind == Unmodified:
-		srv, err := server.NewBaseline(server.BaselineConfig{
-			App:        app,
-			DB:         db,
-			Workers:    cfg.BaselineWorkers,
-			Cost:       cfg.Work,
-			Clock:      clock.Precise{},
-			Scale:      cfg.Scale,
-			OnComplete: onComplete,
-		})
-		if err != nil {
-			return nil, err
-		}
-		go func() { _ = srv.Serve(l) }()
-		stopServer = srv.Stop
-		res.QueueSingle = metrics.NewSeries(measureStart, second, metrics.AggLast)
-		samplers = append(samplers, metrics.StartSampler(clk, second,
-			func() float64 { return float64(srv.QueueLen()) }, res.QueueSingle))
-	case cfg.Kind.Staged():
-		srv, err := core.New(core.Config{
-			App:            app,
-			DB:             db,
-			HeaderWorkers:  cfg.HeaderWorkers,
-			StaticWorkers:  cfg.StaticWorkers,
-			GeneralWorkers: cfg.GeneralWorkers,
-			LengthyWorkers: cfg.LengthyWorkers,
-			RenderWorkers:  cfg.RenderWorkers,
-			MinReserve:     cfg.MinReserve,
-			NoReserve:      cfg.Kind == ModifiedNoReserve,
-			Cutoff:         cfg.Cutoff,
-			Clock:          clock.Precise{},
-			Scale:          cfg.Scale,
-			Cost:           cfg.Work,
-			OnComplete:     onComplete,
-		})
-		if err != nil {
-			return nil, err
-		}
-		go func() { _ = srv.Serve(l) }()
-		stopServer = srv.Stop
-		res.QueueGeneral = metrics.NewSeries(measureStart, second, metrics.AggLast)
-		res.QueueLengthy = metrics.NewSeries(measureStart, second, metrics.AggLast)
-		res.ReserveSeries = metrics.NewSeries(measureStart, second, metrics.AggLast)
-		samplers = append(samplers,
-			metrics.StartSampler(clk, second,
-				func() float64 { return float64(srv.GeneralQueueLen()) }, res.QueueGeneral),
-			metrics.StartSampler(clk, second,
-				func() float64 { return float64(srv.LengthyQueueLen()) }, res.QueueLengthy),
-			metrics.StartSampler(clk, second,
-				func() float64 { return float64(srv.Reserve()) }, res.ReserveSeries),
-		)
-	default:
-		return nil, fmt.Errorf("harness: unknown server kind %d", cfg.Kind)
+	samplers := make([]*metrics.Sampler, 0, len(probes))
+	for _, p := range probes {
+		samplers = append(samplers, metrics.StartSampler(clk, second, p.Gauge, res.Series[p.Name]))
 	}
 
 	// Drive load: ramp-up (not recorded), measure, cool-down.
@@ -357,7 +434,7 @@ func Run(cfg Config) (*Result, error) {
 	for _, s := range samplers {
 		s.Stop()
 	}
-	stopServer()
+	inst.Stop()
 
 	// Assemble per-page stats: client-side WIRT means, server-side
 	// counts.
@@ -377,13 +454,13 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// ThroughputGainPercent computes the headline number: the modified
-// server's total-interaction gain over the unmodified server (the paper
-// reports +31.3%).
-func ThroughputGainPercent(unmod, mod *Result) float64 {
-	if unmod.TotalInteractions == 0 {
+// ThroughputGainPercent computes the headline number between any pair of
+// runs: the test run's total-interaction gain over the base run (the
+// paper reports +31.3% for modified over unmodified).
+func ThroughputGainPercent(base, test *Result) float64 {
+	if base == nil || test == nil || base.TotalInteractions == 0 {
 		return 0
 	}
-	return (float64(mod.TotalInteractions) - float64(unmod.TotalInteractions)) /
-		float64(unmod.TotalInteractions) * 100
+	return (float64(test.TotalInteractions) - float64(base.TotalInteractions)) /
+		float64(base.TotalInteractions) * 100
 }

@@ -10,13 +10,14 @@ import (
 	"stagedweb/internal/metrics"
 	"stagedweb/internal/sqldb"
 	"stagedweb/internal/tpcw"
+	"stagedweb/internal/variant"
 )
 
 // testConfig is a miniature experiment that still exhibits the paper's
 // fast/slow structure: small population with a heavy scan cost, a short
 // measurement window, closed-loop browsers.
-func testConfig(kind ServerKind) Config {
-	cfg := QuickConfig(kind, clock.Timescale(200))
+func testConfig(variantName string) Config {
+	cfg := QuickConfig(variantName, clock.Timescale(200))
 	cfg.EBs = 160
 	cfg.RampUp = 30 * time.Second
 	cfg.Measure = 3 * time.Minute
@@ -45,11 +46,11 @@ func TestExperimentShape(t *testing.T) {
 		t.Skip("race-detector overhead (5-20x) swamps the paper-time " +
 			"calibration; run without -race for the experiment shapes")
 	}
-	unmod, err := Run(testConfig(Unmodified))
+	unmod, err := Run(testConfig(variant.Unmodified))
 	if err != nil {
 		t.Fatal(err)
 	}
-	mod, err := Run(testConfig(Modified))
+	mod, err := Run(testConfig(variant.Modified))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,25 +88,27 @@ func TestExperimentShape(t *testing.T) {
 
 	// Shape 3 (Figures 7/8): the baseline's single queue backs up far
 	// beyond the staged server's general queue, which stays near zero.
-	baseQ := SeriesMax(unmod.QueueSingle)
-	genQ := SeriesMax(mod.QueueGeneral)
+	baseQ := SeriesMax(unmod.Series[variant.ProbeQueueSingle])
+	genQ := SeriesMax(mod.Series[variant.ProbeQueueGeneral])
 	t.Logf("queue max: baseline=%.0f staged-general=%.0f staged-lengthy=%.0f",
-		baseQ, genQ, SeriesMax(mod.QueueLengthy))
+		baseQ, genQ, SeriesMax(mod.Series[variant.ProbeQueueLengthy]))
 	if baseQ <= genQ {
 		t.Errorf("baseline queue (%v) did not exceed staged general queue (%v)", baseQ, genQ)
 	}
 
 	// Shape 4: the staged server pushed lengthy requests into the
 	// lengthy queue rather than the general one.
-	if SeriesMax(mod.QueueLengthy) == 0 {
+	if SeriesMax(mod.Series[variant.ProbeQueueLengthy]) == 0 {
 		t.Error("lengthy queue never used — classification failed")
 	}
 
-	// Bookkeeping sanity.
-	if unmod.QueueSingle == nil || mod.QueueGeneral == nil || mod.QueueLengthy == nil {
+	// Bookkeeping sanity: every probe of each variant became a series.
+	if unmod.Series[variant.ProbeQueueSingle] == nil ||
+		mod.Series[variant.ProbeQueueGeneral] == nil ||
+		mod.Series[variant.ProbeQueueLengthy] == nil {
 		t.Fatal("queue series missing")
 	}
-	if mod.ReserveSeries == nil {
+	if mod.Series[variant.ProbeReserve] == nil {
 		t.Fatal("reserve series missing")
 	}
 	errRate := float64(unmod.Errors+mod.Errors) /
@@ -146,12 +149,44 @@ func TestRunValidation(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("zero config accepted")
 	}
-	cfg := QuickConfig(ServerKind(99), clock.Timescale(1000))
+	cfg := QuickConfig("no-such-variant", clock.Timescale(1000))
 	cfg.EBs = 1
 	cfg.RampUp, cfg.Measure, cfg.CoolDown = 0, time.Second, 0
 	cfg.Populate = tpcw.PopulateConfig{Items: 10, Customers: 2, Orders: 2}
-	if _, err := Run(cfg); err == nil {
-		t.Fatal("unknown server kind accepted")
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "no-such-variant") {
+		t.Fatalf("unknown variant accepted: %v", err)
+	}
+	// Unknown explicit settings are build errors, and the listener leak
+	// path (build failure after Listen) must not wedge the run.
+	cfg = QuickConfig(variant.Modified, clock.Timescale(1000))
+	cfg.Populate = tpcw.PopulateConfig{Items: 10, Customers: 2, Orders: 2}
+	cfg.Set = variant.Settings{"bogus": "1"}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown setting accepted: %v", err)
+	}
+}
+
+// TestServerKindShim exercises the deprecated enum path: a config that
+// names no variant but sets Kind still resolves through the registry.
+func TestServerKindShim(t *testing.T) {
+	if Unmodified.String() != variant.Unmodified || Modified.String() != variant.Modified ||
+		ModifiedNoReserve.String() != variant.ModifiedNoReserve {
+		t.Fatal("kind names diverge from registry names")
+	}
+	if !Modified.Staged() || !ModifiedNoReserve.Staged() || Unmodified.Staged() {
+		t.Fatal("Staged() wrong")
+	}
+	cfg := QuickConfig("", clock.Timescale(400))
+	cfg.Kind = Modified
+	cfg.EBs = 10
+	cfg.RampUp, cfg.Measure, cfg.CoolDown = 2*time.Second, 15*time.Second, 2*time.Second
+	cfg.Populate = tpcw.PopulateConfig{Items: 100, Customers: 30, Orders: 20}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variant != variant.Modified {
+		t.Fatalf("kind did not resolve: %q", res.Variant)
 	}
 }
 
@@ -237,11 +272,11 @@ func TestThroughputGain(t *testing.T) {
 }
 
 func TestPaperAndQuickConfigs(t *testing.T) {
-	p := PaperConfig(Modified, clock.DefaultScale)
+	p := PaperConfig(variant.Modified, clock.DefaultScale)
 	if p.EBs != 400 || p.Measure != 50*time.Minute || p.GeneralWorkers != 4*p.LengthyWorkers {
 		t.Fatalf("paper config wrong: %+v", p)
 	}
-	q := QuickConfig(Unmodified, clock.DefaultScale)
+	q := QuickConfig(variant.Unmodified, clock.DefaultScale)
 	if q.EBs >= p.EBs || q.Measure >= p.Measure {
 		t.Fatal("quick config not smaller than paper config")
 	}
@@ -250,12 +285,33 @@ func TestPaperAndQuickConfigs(t *testing.T) {
 	}
 }
 
-// TestNoReserveVariant exercises the topology variant instantiated purely
-// from configuration: the staged server with the t_reserve controller
+func TestConfigWithClonesSettings(t *testing.T) {
+	base := QuickConfig(variant.Modified, clock.DefaultScale)
+	base.Set = variant.Settings{"general": "8"}
+	derived := base.With(func(c *Config) {
+		c.EBs = 7
+		c.Set["general"] = "4"
+	})
+	if derived.EBs != 7 || derived.Set["general"] != "4" {
+		t.Fatalf("mutation lost: %+v", derived)
+	}
+	if base.Set["general"] != "8" || base.EBs == 7 {
+		t.Fatal("With mutated the base config")
+	}
+	// A nil Set must be allocated so mutations can write it directly.
+	fresh := QuickConfig(variant.Modified, clock.DefaultScale).
+		With(func(c *Config) { c.Set["cutoff"] = "3s" })
+	if fresh.Set["cutoff"] != "3s" {
+		t.Fatalf("nil-Set mutation lost: %v", fresh.Set)
+	}
+}
+
+// TestNoReserveVariant exercises the topology variant registered purely
+// as configuration: the staged server with the t_reserve controller
 // ablated. The reserve series must stay pinned at zero while the run
 // still completes work through the staged pipeline.
 func TestNoReserveVariant(t *testing.T) {
-	cfg := QuickConfig(ModifiedNoReserve, clock.Timescale(400))
+	cfg := QuickConfig(variant.ModifiedNoReserve, clock.Timescale(400))
 	cfg.EBs = 20
 	cfg.RampUp = 5 * time.Second
 	cfg.Measure = 30 * time.Second
@@ -265,19 +321,17 @@ func TestNoReserveVariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Kind != ModifiedNoReserve || res.Kind.String() != "modified-noreserve" {
-		t.Fatalf("kind = %v (%s)", res.Kind, res.Kind)
-	}
-	if !res.Kind.Staged() {
-		t.Fatal("ModifiedNoReserve not staged")
+	if res.Variant != variant.ModifiedNoReserve {
+		t.Fatalf("variant = %q", res.Variant)
 	}
 	if res.TotalInteractions == 0 {
 		t.Fatal("no interactions completed")
 	}
-	if res.QueueGeneral == nil || res.QueueLengthy == nil || res.ReserveSeries == nil {
+	if res.Series[variant.ProbeQueueGeneral] == nil || res.Series[variant.ProbeQueueLengthy] == nil ||
+		res.Series[variant.ProbeReserve] == nil {
 		t.Fatal("staged series missing")
 	}
-	if max := SeriesMax(res.ReserveSeries); max != 0 {
+	if max := SeriesMax(res.Series[variant.ProbeReserve]); max != 0 {
 		t.Fatalf("t_reserve moved (max %v) with the controller ablated", max)
 	}
 }

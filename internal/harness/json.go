@@ -1,0 +1,18 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON serializes a full run result — config, per-page tables,
+// totals, and every named series — as indented JSON, the artifact
+// format cmd/experiments emits per scenario (and CI uploads). Top-level
+// keys: "variant", "config", "pages", "total_interactions", "errors",
+// "series" (name → {width_seconds, agg, points:[{offset_seconds,
+// value}]}), "wall_duration_ns".
+func WriteJSON(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 
@@ -23,6 +24,22 @@ const (
 	// AggMean averages observations within the bucket.
 	AggMean
 )
+
+// String names the aggregation for JSON artifacts and diagnostics.
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggLast:
+		return "last"
+	case AggMax:
+		return "max"
+	case AggMean:
+		return "mean"
+	default:
+		return "unknown"
+	}
+}
 
 // Series is a fixed-interval time series anchored at a start time. It is
 // safe for concurrent use.
@@ -109,6 +126,35 @@ func (s *Series) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.values)
+}
+
+// seriesJSON is the artifact shape of a Series: the start time is
+// deliberately omitted (offsets are relative to the measurement window,
+// which is what the paper's figures plot).
+type seriesJSON struct {
+	WidthSeconds float64     `json:"width_seconds"`
+	Agg          string      `json:"agg"`
+	Points       []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	OffsetSeconds float64 `json:"offset_seconds"`
+	Value         float64 `json:"value"`
+}
+
+// MarshalJSON emits the series' bucket width, aggregation, and points,
+// with offsets in seconds from the series anchor.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	pts := s.Points()
+	out := seriesJSON{
+		WidthSeconds: s.width.Seconds(),
+		Agg:          s.agg.String(),
+		Points:       make([]pointJSON, len(pts)),
+	}
+	for i, p := range pts {
+		out.Points[i] = pointJSON{OffsetSeconds: p.Offset.Seconds(), Value: p.Value}
+	}
+	return json.Marshal(out)
 }
 
 // Sampler periodically reads a gauge-like source into a Series. It powers

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -126,4 +127,41 @@ func TestSamplerStopIdempotentGoroutine(t *testing.T) {
 	s := NewSeries(tsEpoch, time.Second, AggLast)
 	sampler := StartSampler(clk, time.Second, func() float64 { return 1 }, s)
 	sampler.Stop() // must not deadlock
+}
+
+func TestAggString(t *testing.T) {
+	cases := map[Agg]string{AggSum: "sum", AggLast: "last", AggMax: "max", AggMean: "mean", Agg(0): "unknown"}
+	for agg, want := range cases {
+		if got := agg.String(); got != want {
+			t.Errorf("Agg(%d).String() = %q, want %q", agg, got, want)
+		}
+	}
+}
+
+func TestSeriesMarshalJSON(t *testing.T) {
+	s := NewSeries(tsEpoch, 2*time.Second, AggMean)
+	s.Observe(tsEpoch, 4)
+	s.Observe(tsEpoch.Add(time.Second), 8) // same bucket, mean 6
+	s.Observe(tsEpoch.Add(2*time.Second), 1)
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		WidthSeconds float64 `json:"width_seconds"`
+		Agg          string  `json:"agg"`
+		Points       []struct {
+			OffsetSeconds float64 `json:"offset_seconds"`
+			Value         float64 `json:"value"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.WidthSeconds != 2 || decoded.Agg != "mean" || len(decoded.Points) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Points[0].Value != 6 || decoded.Points[1].OffsetSeconds != 2 || decoded.Points[1].Value != 1 {
+		t.Fatalf("points wrong: %+v", decoded.Points)
+	}
 }

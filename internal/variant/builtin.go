@@ -1,0 +1,145 @@
+package variant
+
+import (
+	"fmt"
+	"net"
+
+	"stagedweb/internal/core"
+	"stagedweb/internal/server"
+	"stagedweb/internal/stage"
+)
+
+// Registered names of the built-in variants.
+const (
+	// Unmodified is the baseline thread-per-request server.
+	Unmodified = "unmodified"
+	// Modified is the staged multi-pool server (the paper's proposal).
+	Modified = "modified"
+	// ModifiedNoReserve is the staged server with the t_reserve feedback
+	// controller ablated — derived from Modified purely by settings.
+	ModifiedNoReserve = "modified-noreserve"
+)
+
+// Probe names exported by the built-in variants.
+const (
+	// ProbeQueueSingle is the baseline's single request queue (Figure 7).
+	ProbeQueueSingle = "queue.single"
+	// ProbeQueueGeneral is the staged general dynamic queue (Figure 8a).
+	ProbeQueueGeneral = "queue.general"
+	// ProbeQueueLengthy is the staged lengthy dynamic queue (Figure 8b).
+	ProbeQueueLengthy = "queue.lengthy"
+	// ProbeReserve is the controller's current t_reserve (Table 2).
+	ProbeReserve = "sched.reserve"
+	// ProbeSpare is the general pool's current spare workers (t_spare).
+	ProbeSpare = "sched.spare"
+	// ProbeDispatchGeneral counts Table 1 dispatches to the general pool.
+	ProbeDispatchGeneral = "dispatch.general"
+	// ProbeDispatchLengthy counts Table 1 dispatches to the lengthy pool.
+	ProbeDispatchLengthy = "dispatch.lengthy"
+	// ProbeServed counts completed requests.
+	ProbeServed = "served.total"
+)
+
+func init() {
+	Register(New(Unmodified, buildUnmodified))
+	modified := New(Modified, buildModified)
+	Register(modified)
+	// The ablation topology is pure configuration: the same recipe with
+	// the reserve controller forced off. No new server code.
+	Register(Derive(ModifiedNoReserve, modified, Settings{"noreserve": "true"}))
+}
+
+// instance is the shared Instance implementation for the built-ins.
+type instance struct {
+	serve  func(net.Listener) error
+	stop   func()
+	graph  *stage.Graph
+	probes []Probe
+}
+
+func (i *instance) Serve(l net.Listener) error { return i.serve(l) }
+func (i *instance) Stop()                      { i.stop() }
+func (i *instance) Graph() *stage.Graph        { return i.graph }
+func (i *instance) Probes() []Probe            { return i.probes }
+
+// buildUnmodified constructs the thread-per-request baseline.
+//
+// Settings: workers (pool size == connection budget, default 80),
+// queuecap (accept queue bound).
+func buildUnmodified(env Env) (Instance, error) {
+	d := NewDecoder(env)
+	workers := d.Int("workers", 80)
+	queueCap := d.Int("queuecap", 0)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", Unmodified, err)
+	}
+	srv, err := server.NewBaseline(server.BaselineConfig{
+		App:        env.App,
+		DB:         env.DB,
+		Workers:    workers,
+		QueueCap:   queueCap,
+		Cost:       env.Cost,
+		Clock:      env.Clock,
+		Scale:      env.Scale,
+		OnComplete: env.OnComplete,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &instance{
+		serve: srv.Serve,
+		stop:  srv.Stop,
+		graph: srv.Graph(),
+		probes: []Probe{
+			{ProbeQueueSingle, func() float64 { return float64(srv.QueueLen()) }},
+			{ProbeServed, func() float64 { return float64(srv.Served()) }},
+		},
+	}, nil
+}
+
+// buildModified constructs the staged five-pool server.
+//
+// Settings: header, static, general, lengthy, render (pool sizes),
+// queuecap, minreserve, cutoff (quick/lengthy boundary, paper time),
+// noreserve (ablate the t_reserve controller).
+func buildModified(env Env) (Instance, error) {
+	d := NewDecoder(env)
+	cfg := core.Config{
+		App:            env.App,
+		DB:             env.DB,
+		HeaderWorkers:  d.Int("header", 0),
+		StaticWorkers:  d.Int("static", 0),
+		GeneralWorkers: d.Int("general", 0),
+		LengthyWorkers: d.Int("lengthy", 0),
+		RenderWorkers:  d.Int("render", 0),
+		QueueCap:       d.Int("queuecap", 0),
+		MinReserve:     d.Int("minreserve", 0),
+		Cutoff:         d.Duration("cutoff", 0),
+		NoReserve:      d.Bool("noreserve", false),
+		Clock:          env.Clock,
+		Scale:          env.Scale,
+		Cost:           env.Cost,
+		OnComplete:     env.OnComplete,
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", Modified, err)
+	}
+	srv, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{
+		serve: srv.Serve,
+		stop:  srv.Stop,
+		graph: srv.Graph(),
+		probes: []Probe{
+			{ProbeQueueGeneral, func() float64 { return float64(srv.GeneralQueueLen()) }},
+			{ProbeQueueLengthy, func() float64 { return float64(srv.LengthyQueueLen()) }},
+			{ProbeReserve, func() float64 { return float64(srv.Reserve()) }},
+			{ProbeSpare, func() float64 { return float64(srv.Spare()) }},
+			{ProbeDispatchGeneral, func() float64 { g, _ := srv.DispatchCounts(); return float64(g) }},
+			{ProbeDispatchLengthy, func() float64 { _, le := srv.DispatchCounts(); return float64(le) }},
+			{ProbeServed, func() float64 { return float64(srv.Served()) }},
+		},
+	}, nil
+}

@@ -1,0 +1,158 @@
+package variant
+
+import (
+	"strings"
+	"testing"
+
+	"stagedweb/internal/sqldb"
+	"stagedweb/internal/webtest"
+)
+
+func testEnv(set Settings) Env {
+	return Env{
+		App: webtest.NewApp(),
+		DB:  sqldb.Open(sqldb.Options{}),
+		Set: set,
+	}
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{Unmodified, Modified, ModifiedNoReserve} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("builtin %q not registered", want)
+		}
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() misses %q: %v", want, names)
+		}
+	}
+	if _, ok := Lookup("no-such-variant"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+	if !sortedStrings(names) {
+		t.Errorf("Names() unsorted: %v", names)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, v Variant) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(v)
+	}
+	mustPanic("empty", New("", nil))
+	mustPanic("duplicate", New(Modified, nil))
+}
+
+func TestBuildUnmodified(t *testing.T) {
+	v, _ := Lookup(Unmodified)
+	inst, err := v.Build(testEnv(Settings{"workers": "2"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	if inst.Graph() == nil {
+		t.Fatal("nil graph")
+	}
+	probes := probeNames(inst)
+	if !probes[ProbeQueueSingle] || !probes[ProbeServed] {
+		t.Fatalf("baseline probes wrong: %v", probes)
+	}
+	for _, p := range inst.Probes() {
+		_ = p.Gauge() // gauges must be callable before Serve
+	}
+}
+
+func TestBuildModifiedAndDerived(t *testing.T) {
+	v, _ := Lookup(Modified)
+	inst, err := v.Build(testEnv(Settings{"general": "4", "lengthy": "2", "minreserve": "3", "cutoff": "2s"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+	probes := probeNames(inst)
+	for _, want := range []string{ProbeQueueGeneral, ProbeQueueLengthy, ProbeReserve, ProbeSpare, ProbeServed} {
+		if !probes[want] {
+			t.Errorf("staged probes miss %s: %v", want, probes)
+		}
+	}
+	if got := gauge(inst, ProbeReserve)(); got != 3 {
+		t.Errorf("minreserve setting ignored: t_reserve = %v", got)
+	}
+
+	// The derived ablation pins t_reserve at zero even when the caller
+	// tries to configure a reserve — forced settings win.
+	nv, _ := Lookup(ModifiedNoReserve)
+	ninst, err := nv.Build(testEnv(Settings{"general": "4", "lengthy": "2", "minreserve": "9"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ninst.Stop()
+	if got := gauge(ninst, ProbeReserve)(); got != 0 {
+		t.Errorf("noreserve variant has t_reserve = %v", got)
+	}
+}
+
+func TestBuildRejectsUnknownAndMalformed(t *testing.T) {
+	for _, name := range []string{Unmodified, Modified} {
+		v, _ := Lookup(name)
+		if _, err := v.Build(testEnv(Settings{"bogus": "1"})); err == nil ||
+			!strings.Contains(err.Error(), "bogus") {
+			t.Errorf("%s accepted unknown setting: %v", name, err)
+		}
+	}
+	v, _ := Lookup(Modified)
+	if _, err := v.Build(testEnv(Settings{"cutoff": "fast"})); err == nil {
+		t.Error("malformed duration accepted")
+	}
+	// Defaults the variant does not understand are ignored, not errors.
+	env := testEnv(nil)
+	env.Defaults = Settings{"workers": "4", "header": "2"}
+	u, _ := Lookup(Unmodified)
+	if _, err := u.Build(env); err != nil {
+		t.Errorf("baseline rejected foreign default: %v", err)
+	}
+}
+
+func TestBuildNilAppError(t *testing.T) {
+	v, _ := Lookup(Modified)
+	if _, err := v.Build(Env{}); err == nil {
+		t.Fatal("empty env accepted")
+	}
+}
+
+func probeNames(inst Instance) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range inst.Probes() {
+		out[p.Name] = true
+	}
+	return out
+}
+
+func gauge(inst Instance, name string) func() float64 {
+	for _, p := range inst.Probes() {
+		if p.Name == name {
+			return p.Gauge
+		}
+	}
+	return func() float64 { return -1 }
+}
