@@ -20,6 +20,7 @@ import (
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/harness"
+	"stagedweb/internal/load"
 	"stagedweb/internal/sched"
 	"stagedweb/internal/server"
 	"stagedweb/internal/sqldb"
@@ -144,6 +145,30 @@ func BenchmarkFigure10PerClass(b *testing.B) {
 		b.ReportMetric(harness.SeriesMean(mod.Series[harness.SeriesThroughputStatic]), "static-per-min")
 		b.ReportMetric(harness.SeriesMean(mod.Series[harness.SeriesThroughputQuick]), "quick-per-min")
 		b.ReportMetric(harness.SeriesMean(mod.Series[harness.SeriesThroughputLengthy]), "lengthy-per-min")
+	}
+}
+
+// BenchmarkSpikeProfile pushes a flash crowd (the "spike" load profile:
+// base population plus a burst of extra EBs mid-window) through the
+// baseline and staged servers — the scenario the t_reserve controller
+// exists to survive. Reported per variant: completed interactions
+// through the crowd, the peak offered population the client.active
+// series saw, and the worst per-second client WIRT.
+func BenchmarkSpikeProfile(b *testing.B) {
+	for _, v := range []string{variant.Unmodified, variant.Modified} {
+		b.Run(v, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runMini(b, v, func(cfg *harness.Config) {
+					cfg.Load = load.Spike
+					cfg.LoadSet = variant.Settings{
+						"burst": "120", "at": "45s", "width": "30s",
+					}
+				})
+				b.ReportMetric(float64(res.TotalInteractions), "interactions")
+				b.ReportMetric(harness.SeriesMax(res.Series[load.ProbeActive]), "peak-ebs")
+				b.ReportMetric(harness.SeriesMax(res.Series[load.ProbeWIRT]), "worst-wirt-sec")
+			}
+		})
 	}
 }
 

@@ -11,10 +11,13 @@
 //	experiments -exp table4              # per-page throughput
 //	experiments -exp table2              # t_reserve controller trace
 //	experiments -exp fig7,fig8,fig9,fig10
+//	experiments -exp spike               # flash-crowd comparison across variants
 //	experiments -scale 100 -ebs 400 -measure 50m   # paper-sized run
 //	experiments -quick                   # reduced run (seconds)
 //	experiments -variants unmodified,modified,modified-noreserve
 //	experiments -set cutoff=3s -set minreserve=15  # variant settings
+//	experiments -load spike -load-set burst=300 -load-set at=2m -load-set width=1m
+//	experiments -mix shopping            # TPC-W shopping mix (default browsing)
 //	experiments -ebs-sweep 100,200,300,400         # saturation-knee ramp
 //	experiments -csv dir                 # dump every series as CSV
 //	experiments -json dir                # per-scenario result JSON artifacts
@@ -35,7 +38,9 @@ import (
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/harness"
+	"stagedweb/internal/load"
 	"stagedweb/internal/sched"
+	"stagedweb/internal/tpcw"
 	"stagedweb/internal/variant"
 )
 
@@ -49,7 +54,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated)")
+		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison")
 		scale    = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
 		ebs      = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
 		measure  = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
@@ -59,11 +64,15 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "workload seed")
 		variants = fs.String("variants", variant.Unmodified+","+variant.Modified,
 			"comma-separated registered variants; the first is the comparison baseline (registered: "+strings.Join(variant.Names(), ", ")+")")
+		loadProf = fs.String("load", "", "load profile driving the client side (registered: "+strings.Join(load.Names(), ", ")+"; empty = steady)")
+		mix      = fs.String("mix", "", "TPC-W page mix: "+strings.Join(tpcw.MixNames(), ", ")+" (empty = browsing)")
 		ebsSweep = fs.String("ebs-sweep", "", "comma-separated EB levels (e.g. 100,200,300,400): run the saturation ramp across every variant")
 		parallel = fs.Int("parallel", 1, "concurrent sweep runs (>1 trades timing fidelity for wall time)")
 		sets     variant.SettingsFlag
+		loadSets variant.SettingsFlag
 	)
 	fs.Var(&sets, "set", "variant setting `key=value` (repeatable), e.g. -set cutoff=3s")
+	fs.Var(&loadSets, "load-set", "load-profile setting `key=value` (repeatable), e.g. -load-set burst=300")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +80,12 @@ func run(args []string, out io.Writer) error {
 	names := splitList(*variants)
 	if len(names) == 0 {
 		return fmt.Errorf("no variants selected")
+	}
+	if *loadProf != "" {
+		if _, ok := load.Lookup(*loadProf); !ok {
+			return fmt.Errorf("unknown load profile %q (registered: %s)",
+				*loadProf, strings.Join(load.Names(), ", "))
+		}
 	}
 
 	build := func(name string) harness.Config {
@@ -88,6 +103,9 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Seed = *seed
 		cfg.Set = overrides.Clone()
+		cfg.Load = *loadProf
+		cfg.LoadSet = loadSets.Settings.Clone()
+		cfg.Mix = *mix
 		return cfg
 	}
 
@@ -102,9 +120,19 @@ func run(args []string, out io.Writer) error {
 	}
 	opts := harness.SweepOptions{Parallelism: *parallel, OnResult: progress}
 
+	want := map[string]bool{}
+	for _, e := range splitList(*exp) {
+		want[e] = true
+	}
+	all := want["all"]
+
 	// The EB ramp is its own mode: variants × load levels, reported as
-	// the saturation-knee table.
+	// the saturation-knee table. It cannot be combined with the spike
+	// mode — reject instead of silently dropping one of them.
 	if *ebsSweep != "" {
+		if want["spike"] {
+			return fmt.Errorf("-ebs-sweep and -exp spike are separate modes; run them separately")
+		}
 		levels, err := parseInts(*ebsSweep)
 		if err != nil {
 			return fmt.Errorf("-ebs-sweep: %w", err)
@@ -112,11 +140,20 @@ func run(args []string, out io.Writer) error {
 		return runEBSweep(ctx, out, opts, build, names, levels, *csvDir, *jsonDir)
 	}
 
-	want := map[string]bool{}
-	for _, e := range splitList(*exp) {
-		want[e] = true
+	// The flash-crowd comparison is its own mode (not part of -exp all):
+	// every variant meets the spike profile, and the report reads the
+	// client.* series through the burst. It cannot be combined with the
+	// table/figure experiments or a -load override — reject instead of
+	// silently dropping either.
+	if want["spike"] {
+		if len(want) > 1 {
+			return fmt.Errorf("-exp spike is a standalone mode; run other experiments separately")
+		}
+		if *loadProf != "" {
+			return fmt.Errorf("-exp spike runs the spike profile; drop -load %s (use -load-set to tune the burst)", *loadProf)
+		}
+		return runSpike(ctx, out, opts, build, names, loadSets.Settings, *csvDir, *jsonDir)
 	}
-	all := want["all"]
 
 	// Table 2 needs no server runs: replay the paper's t_spare trace
 	// through the reserve controller.
@@ -175,6 +212,40 @@ func resultAt(sw *harness.SweepResult, names []string, i int) *harness.Result {
 		return nil
 	}
 	return sw.Result(names[i])
+}
+
+// runSpike runs the variant × spike-profile matrix and reports how each
+// topology rode out the flash crowd: completed work, failures, the peak
+// offered population, and the worst per-second client WIRT.
+func runSpike(ctx context.Context, out io.Writer, opts harness.SweepOptions,
+	build func(string) harness.Config, names []string, loadSet variant.Settings,
+	csvDir, jsonDir string) error {
+	scenarios := harness.Matrix(build(""), names,
+		[]harness.LoadSpec{{Profile: load.Spike, Set: loadSet}})
+	fmt.Fprintf(out, "flash crowd: %d variant(s) through the spike profile...\n", len(names))
+	sw, sweepErr := harness.SweepWith(ctx, opts, scenarios)
+
+	fmt.Fprintf(out, "\nspike comparison (client.* series through the burst)\n")
+	fmt.Fprintf(out, "%-28s %13s %8s %9s %12s\n",
+		"variant", "interactions", "errors", "peak-ebs", "worst-wirt")
+	fmt.Fprintln(out, strings.Repeat("-", 74))
+	for _, name := range names {
+		res := sw.Result(name + "/" + load.Spike)
+		if res == nil {
+			fmt.Fprintf(out, "%-28s (failed)\n", name)
+			continue
+		}
+		fmt.Fprintf(out, "%-28s %13d %8d %9.0f %10.2fs\n",
+			name, res.TotalInteractions, res.Errors,
+			harness.SeriesMax(res.Series[load.ProbeActive]),
+			harness.SeriesMax(res.Series[load.ProbeWIRT]))
+	}
+	if len(names) >= 2 {
+		fmt.Fprintf(out, "throughput gain through the crowd: %+.1f%%\n",
+			sw.GainPercent(names[0]+"/"+load.Spike, names[1]+"/"+load.Spike))
+	}
+	fmt.Fprintln(out)
+	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
 }
 
 // runEBSweep runs every variant at every EB level and prints the

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"stagedweb/internal/harness"
+	"stagedweb/internal/load"
 )
 
 // TestExperimentsSmoke drives the public experiment API end to end:
@@ -60,6 +61,13 @@ func TestExperimentsSmoke(t *testing.T) {
 		}
 		if _, ok := res.Series[harness.SeriesThroughputAll]; !ok {
 			t.Errorf("%s.json misses %s series", name, harness.SeriesThroughputAll)
+		}
+		// The steady load driver's client probes land next to the
+		// server's series in every artifact.
+		for _, probe := range []string{load.ProbeActive, load.ProbeOffered, load.ProbeErrors, load.ProbeWIRT} {
+			if _, ok := res.Series[probe]; !ok {
+				t.Errorf("%s.json misses %s series", name, probe)
+			}
 		}
 		if res.Total == 0 {
 			t.Errorf("%s.json reports zero interactions", name)
@@ -114,6 +122,46 @@ func TestExperimentsEBSweep(t *testing.T) {
 	}
 }
 
+// TestExperimentsSpike exercises the flash-crowd mode: variants × the
+// spike profile from one invocation, with the client.* series in the
+// JSON artifacts.
+func TestExperimentsSpike(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead swamps the paper-time calibration")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	args := []string{
+		"-quick", "-exp", "spike", "-scale", "400",
+		"-ebs", "20", "-measure", "90s",
+		"-load-set", "burst=40", "-load-set", "at=45s", "-load-set", "width=30s",
+		"-json", dir,
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"spike comparison", "peak-ebs", "worst-wirt", "gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{"unmodified_spike", "modified_spike"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("spike artifact missing: %v", err)
+		}
+		for _, probe := range []string{load.ProbeActive, load.ProbeWIRT} {
+			if !strings.Contains(string(raw), `"`+probe+`"`) {
+				t.Errorf("%s.json misses %s series", name, probe)
+			}
+		}
+	}
+}
+
 func TestExperimentsFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-set", "nonsense"}, &buf); err == nil {
@@ -124,6 +172,27 @@ func TestExperimentsFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-variants", " , "}, &buf); err == nil {
 		t.Error("empty -variants accepted")
+	}
+	if err := run([]string{"-load", "no-such-profile"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "no-such-profile") {
+		t.Errorf("unknown -load accepted: %v", err)
+	}
+	if err := run([]string{"-load-set", "nonsense"}, &buf); err == nil {
+		t.Error("malformed -load-set accepted")
+	}
+	// -exp spike is standalone: combining it with other experiments or a
+	// -load override must fail loudly, not silently drop either.
+	if err := run([]string{"-exp", "spike,table3"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "standalone") {
+		t.Errorf("-exp spike,table3 accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "spike", "-load", "wave"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "spike profile") {
+		t.Errorf("-exp spike -load wave accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "spike", "-ebs-sweep", "10,20"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "separate modes") {
+		t.Errorf("-exp spike -ebs-sweep accepted: %v", err)
 	}
 	// Table 2 needs no server runs and must work for any -variants.
 	buf.Reset()

@@ -13,10 +13,12 @@
 // this module: a Django-style template engine (internal/template), an
 // embedded relational database with table locks and a latency cost model
 // (internal/sqldb), an HTTP/1.1 wire implementation with two-phase
-// header parsing (internal/httpwire), the TPC-W bookstore and its
-// browsing-mix workload (internal/tpcw, internal/workload), and the
-// experiment harness that regenerates the paper's tables and figures
-// (internal/harness).
+// header parsing (internal/httpwire), the TPC-W bookstore, its page
+// mixes, and a dynamic emulated-browser fleet (internal/tpcw,
+// internal/workload), a load-profile registry that makes offered load —
+// steady state, flash crowds, ramps, diurnal waves, open-loop arrivals —
+// a named first-class value (internal/load), and the experiment harness
+// that regenerates the paper's tables and figures (internal/harness).
 //
 // See README.md for the architecture, a walkthrough, design notes, and
 // how to run the experiments. The root-level bench_test.go regenerates

@@ -1,61 +1,29 @@
-// Spike: a live demonstration of the t_reserve feedback controller
-// (Section 3.3 of the paper) reacting to a traffic spike.
+// Spike: a flash crowd expressed through the load-profile registry.
 //
-// A staged server serves one quick page and one lengthy page. A steady
-// trickle of lengthy requests overflows into the general pool while spare
-// workers are abundant; then a burst of lengthy traffic collapses
-// t_spare, the controller raises t_reserve within a second, and
-// subsequent lengthy requests are confined to the lengthy pool — so a
-// probe of the quick page stays fast through the whole spike. After the
-// burst, t_reserve decays slowly back to its configured minimum.
+// The offered load is data, not code: the "spike" profile holds a base
+// population of emulated browsers and injects a burst of extra EBs for
+// a window mid-run, all configured through the same key=value settings
+// surface the server variants use. The harness runs the baseline and
+// staged servers through the identical crowd and samples the client.*
+// probe series (active EBs, per-second WIRT) next to the server's
+// queue.*/sched.* series — so the plots below show the controller's
+// t_reserve rising with the crowd while the staged server's quick-page
+// WIRT stays flat, with zero bespoke workload code.
 //
 // Run: go run ./examples/spike
 package main
 
 import (
+	"context"
 	"fmt"
-	"net"
 	"os"
-	"sync"
 	"time"
 
 	"stagedweb/internal/clock"
-	"stagedweb/internal/core"
-	"stagedweb/internal/server"
-	"stagedweb/internal/sqldb"
-	"stagedweb/internal/template"
-	"stagedweb/internal/webtest"
+	"stagedweb/internal/harness"
+	"stagedweb/internal/load"
+	"stagedweb/internal/variant"
 )
-
-type spikeApp struct{ set *template.Set }
-
-func (a *spikeApp) Handler(path string) (server.HandlerFunc, bool) {
-	switch path {
-	case "/quick":
-		return func(r *server.Request) (*server.Result, error) {
-			rs, err := r.DB.Query("SELECT v FROM kv WHERE id = 1")
-			if err != nil {
-				return nil, err
-			}
-			return &server.Result{Template: "page.html",
-				Data: map[string]any{"msg": rs.Str(0, "v")}}, nil
-		}, true
-	case "/lengthy":
-		return func(r *server.Request) (*server.Result, error) {
-			// A deliberate table scan: the cost model makes it seconds
-			// of paper time.
-			if _, err := r.DB.Query("SELECT COUNT(*) AS n FROM big WHERE pad LIKE '%x%'"); err != nil {
-				return nil, err
-			}
-			return &server.Result{Template: "page.html",
-				Data: map[string]any{"msg": "scanned"}}, nil
-		}, true
-	}
-	return nil, false
-}
-
-func (a *spikeApp) Static(string) ([]byte, string, bool) { return nil, "", false }
-func (a *spikeApp) Templates() *template.Set             { return a.set }
 
 func main() {
 	if err := run(); err != nil {
@@ -65,104 +33,42 @@ func main() {
 }
 
 func run() error {
-	scale := clock.Timescale(100)
-	db := sqldb.Open(sqldb.Options{
-		Clock:     clock.Precise{},
-		Timescale: scale,
-		Cost:      sqldb.DefaultCostModel(),
-	})
-	db.MustCreateTable(sqldb.Schema{
-		Table:      "kv",
-		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}, {Name: "v", Type: sqldb.String}},
-		PrimaryKey: "id",
-	})
-	db.MustCreateTable(sqldb.Schema{
-		Table:      "big",
-		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}, {Name: "pad", Type: sqldb.String}},
-		PrimaryKey: "id",
-	})
-	seed := db.Connect()
-	if _, err := seed.Exec("INSERT INTO kv (id, v) VALUES (1, 'hello')"); err != nil {
-		return err
-	}
-	for i := 1; i <= 8000; i++ {
-		if _, err := seed.Exec("INSERT INTO big (id, pad) VALUES (?, 'xxxx')", i); err != nil {
-			return err
-		}
-	}
-	seed.Close()
+	base := harness.QuickConfig("", clock.Timescale(200))
+	base.EBs = 40 // base population; the profile scales from it
+	base.RampUp = 20 * time.Second
+	base.Measure = 3 * time.Minute
+	base.CoolDown = 10 * time.Second
 
-	app := &spikeApp{set: template.NewSet()}
-	app.set.Add("page.html", "<html>{{ msg }}</html>")
+	// The crowd: triple the population for 45 paper-seconds, one minute
+	// into the run.
+	crowd := harness.LoadSpec{Profile: load.Spike, Set: variant.Settings{
+		"burst": "80",
+		"at":    "1m",
+		"width": "45s",
+	}}
+	scenarios := harness.Matrix(base,
+		[]string{variant.Unmodified, variant.Modified},
+		[]harness.LoadSpec{crowd})
 
-	srv, err := core.New(core.Config{
-		App: app, DB: db,
-		GeneralWorkers: 16, LengthyWorkers: 4,
-		MinReserve: 4,
-		Scale:      scale,
-		Clock:      clock.Precise{},
-	})
+	fmt.Println("driving a flash crowd through both servers...")
+	sw, err := harness.Sweep(context.Background(), scenarios)
 	if err != nil {
 		return err
 	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	go func() { _ = srv.Serve(l) }()
-	defer srv.Stop()
-	addr := l.Addr().String()
 
-	// Teach the classifier that /lengthy is lengthy.
-	if _, err := webtest.Get(addr, "/lengthy"); err != nil {
-		return err
-	}
-
-	probe := func(label string) error {
-		start := time.Now()
-		resp, err := webtest.Get(addr, "/quick")
-		if err != nil || resp.Status != 200 {
-			return fmt.Errorf("probe failed: %v %v", resp, err)
-		}
-		fmt.Printf("%-22s quick page in %6.2f paper-s   t_spare=%2d t_reserve=%2d lengthy-queue=%d\n",
-			label, scale.PaperSeconds(time.Since(start)), srv.Spare(), srv.Reserve(), srv.LengthyQueueLen())
-		return nil
-	}
-
-	if err := probe("before spike:"); err != nil {
-		return err
-	}
-
-	// The spike: 40 lengthy requests at once.
-	fmt.Println("\n-- spike: 40 lengthy requests --")
-	var wg sync.WaitGroup
-	for i := 0; i < 40; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			_, _ = webtest.Get(addr, "/lengthy")
-		}()
-	}
-	for i := 0; i < 5; i++ {
-		time.Sleep(scale.Wall(2 * time.Second))
-		if err := probe(fmt.Sprintf("t+%d paper-s:", (i+1)*2)); err != nil {
-			return err
+	for _, sc := range scenarios {
+		res := sw.Result(sc.Name)
+		fmt.Printf("\n== %s: %d interactions, %d errors ==\n",
+			sc.Name, res.TotalInteractions, res.Errors)
+		fmt.Print(harness.AsciiPlot("active EBs (client.active)", "EBs",
+			res.Series[load.ProbeActive], 64, 8))
+		fmt.Print(harness.AsciiPlot("per-second client WIRT (client.wirt)", "paper-s",
+			res.Series[load.ProbeWIRT], 64, 8))
+		if s := res.Series[variant.ProbeReserve]; s != nil {
+			fmt.Print(harness.AsciiPlot("t_reserve (sched.reserve)", "workers", s, 64, 8))
 		}
 	}
-	wg.Wait()
-	fmt.Println("\n-- spike over; t_reserve decays --")
-	for i := 0; i < 4; i++ {
-		time.Sleep(scale.Wall(3 * time.Second))
-		if err := probe(fmt.Sprintf("t+%d paper-s:", 10+(i+1)*3)); err != nil {
-			return err
-		}
-	}
-
-	fmt.Println("\n-- final stage-graph snapshot --")
-	for _, st := range srv.Graph().Stats() {
-		fmt.Printf("  %s\n", st)
-	}
-	general, lengthy := srv.DispatchCounts()
-	fmt.Printf("dispatch decisions: general=%d lengthy=%d\n", general, lengthy)
+	fmt.Println()
+	fmt.Print(sw.Report())
 	return nil
 }

@@ -1,16 +1,18 @@
 // Package harness runs the paper's experiments end to end: it boots a
-// database and a registered server variant, drives the TPC-W
-// browsing-mix workload with emulated browsers, applies the ramp-up /
+// database and a registered server variant, drives a registered load
+// profile of emulated browsers against it, applies the ramp-up /
 // measure / cool-down discipline of Section 4.1, and collects every
 // series and table the DSN'09 evaluation reports (Tables 3 and 4,
 // Figures 7–10).
 //
-// Variants are values, not cases: Run looks Config.Variant up in the
-// internal/variant registry, builds it, and samples every probe the
-// instance exports into a named metrics.Series — so a newly registered
-// topology needs zero harness edits. Sweeps over a scenario matrix
-// (variants × load levels × setting mutations) are first-class too; see
-// Scenario and Sweep.
+// Both axes are values, not cases: Run looks Config.Variant up in the
+// internal/variant registry and Config.Load up in the internal/load
+// registry, builds them, and samples every probe each exports into a
+// named metrics.Series (server-side queue.*/sched.*, client-side
+// client.*) — so a newly registered topology or workload shape needs
+// zero harness edits. Sweeps over a scenario matrix (variants × load
+// profiles × setting mutations) are first-class too; see Scenario,
+// Sweep, and Matrix.
 package harness
 
 import (
@@ -20,13 +22,13 @@ import (
 	"time"
 
 	"stagedweb/internal/clock"
+	"stagedweb/internal/load"
 	"stagedweb/internal/metrics"
 	"stagedweb/internal/server"
 	"stagedweb/internal/sqldb"
 	"stagedweb/internal/tpcw"
 	"stagedweb/internal/variant"
 	"stagedweb/internal/webtest"
-	"stagedweb/internal/workload"
 )
 
 // Series names the harness computes from completion events, alongside
@@ -94,7 +96,25 @@ type Config struct {
 
 	Scale clock.Timescale `json:"scale"`
 
-	// Workload.
+	// Workload: the offered load is a registered load profile (see
+	// internal/load), configured like a variant.
+	//
+	// Load is the profile name; empty means "steady" (the paper's fixed
+	// closed-loop population).
+	Load string `json:"load,omitempty"`
+	// LoadSet holds explicit profile settings (-load-set key=value,
+	// scenario mutations); unknown keys are build errors.
+	LoadSet variant.Settings `json:"load_set,omitempty"`
+	// Mix names the TPC-W page mix ("browsing", "shopping",
+	// "ordering"); empty means browsing, the paper's workload.
+	Mix string `json:"mix,omitempty"`
+
+	// EBs is the base population, lowered into the load profile's "ebs"
+	// setting as an advisory default.
+	//
+	// Deprecated: express population through Load/LoadSet; EBs remains
+	// as the steady-state shim and as the base level profiles scale
+	// from.
 	EBs      int           `json:"ebs"`
 	RampUp   time.Duration `json:"ramp_up_ns"`
 	Measure  time.Duration `json:"measure_ns"`
@@ -143,13 +163,26 @@ func (c Config) VariantName() (string, error) {
 	return "", fmt.Errorf("harness: config names no variant")
 }
 
+// LoadName resolves the load profile under test: Load if set, else the
+// steady shim over the deprecated EBs field.
+func (c Config) LoadName() string {
+	if c.Load != "" {
+		return c.Load
+	}
+	return load.Steady
+}
+
 // With returns a copy of the config with the mutations applied. The Set
-// map is cloned (and allocated if nil) first, so scenario mutations can
-// write c.Set freely without aliasing the base config.
+// and LoadSet maps are cloned (and allocated if nil) first, so scenario
+// mutations can write them freely without aliasing the base config.
 func (c Config) With(muts ...func(*Config)) Config {
 	c.Set = c.Set.Clone()
 	if c.Set == nil {
 		c.Set = variant.Settings{}
+	}
+	c.LoadSet = c.LoadSet.Clone()
+	if c.LoadSet == nil {
+		c.LoadSet = variant.Settings{}
 	}
 	for _, mut := range muts {
 		mut(&c)
@@ -174,6 +207,16 @@ func (c Config) settings() variant.Settings {
 	put("minreserve", c.MinReserve)
 	if c.Cutoff > 0 {
 		s["cutoff"] = c.Cutoff.String()
+	}
+	return s
+}
+
+// loadDefaults lowers the deprecated EBs field into advisory profile
+// settings, the same way settings() lowers pool sizes for variants.
+func (c Config) loadDefaults() variant.Settings {
+	s := variant.Settings{}
+	if c.EBs > 0 {
+		s["ebs"] = fmt.Sprint(c.EBs)
 	}
 	return s
 }
@@ -261,6 +304,9 @@ type PageStat struct {
 	// Count is completed interactions during the measurement window
 	// (Table 4).
 	Count int64 `json:"count"`
+	// Errors is failed client interactions attributed to this page
+	// (image failures charge the parent page).
+	Errors int64 `json:"errors"`
 	// MeanPaperSec is the mean client-side WIRT in paper seconds
 	// (Table 3).
 	MeanPaperSec float64 `json:"mean_paper_sec"`
@@ -282,8 +328,9 @@ type Result struct {
 
 	// Series holds every time series of the run, keyed by name: the
 	// harness's throughput series ("throughput.*", one bucket per paper
-	// minute) and one series per variant probe ("queue.*", "sched.*",
-	// ..., sampled once per paper second).
+	// minute) and one series per variant or load-driver probe
+	// ("queue.*", "sched.*", "client.*", ..., sampled once per paper
+	// second).
 	Series map[string]*metrics.Series `json:"series"`
 
 	// WallDuration is how long the run took on the host.
@@ -300,6 +347,16 @@ func Run(cfg Config) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown variant %q (registered: %s)",
 			name, strings.Join(variant.Names(), ", "))
+	}
+	loadName := cfg.LoadName()
+	prof, ok := load.Lookup(loadName)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown load profile %q (registered: %s)",
+			loadName, strings.Join(load.Names(), ", "))
+	}
+	mix, err := tpcw.MixByName(cfg.Mix)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("harness: timescale must be positive")
@@ -391,14 +448,37 @@ func Run(cfg Config) (*Result, error) {
 		_ = l.Close()
 		return nil, err
 	}
-	// Every probe the instance exports becomes a sampled series, one
-	// sample per paper second.
-	probes := inst.Probes()
+
+	// The load profile builds the client-side driver against the
+	// listener's address — harness.Run never constructs a workload
+	// fleet directly.
+	drv, err := prof.Build(load.Env{
+		Addr:             addr,
+		Scale:            cfg.Scale,
+		Mix:              mix,
+		Customers:        counts.Customers,
+		Items:            counts.Items,
+		FetchImages:      cfg.FetchImages,
+		ThinkExponential: cfg.ThinkExponential,
+		Seed:             cfg.Seed,
+		Set:              cfg.LoadSet,
+		Defaults:         cfg.loadDefaults(),
+	})
+	if err != nil {
+		inst.Stop()
+		_ = l.Close()
+		return nil, err
+	}
+
+	// Every probe the variant instance and the load driver export
+	// becomes a sampled series, one sample per paper second.
+	probes := append(inst.Probes(), drv.Probes()...)
 	for _, p := range probes {
 		if _, dup := res.Series[p.Name]; dup {
 			inst.Stop()
 			_ = l.Close()
-			return nil, fmt.Errorf("harness: variant %s probe %q collides with an existing series", name, p.Name)
+			return nil, fmt.Errorf("harness: probe %q of %s/%s collides with an existing series",
+				p.Name, name, loadName)
 		}
 		res.Series[p.Name] = metrics.NewSeries(measureStart, second, metrics.AggLast)
 	}
@@ -410,46 +490,37 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Drive load: ramp-up (not recorded), measure, cool-down.
-	gen := workload.New(workload.Config{
-		Addr:             addr,
-		EBs:              cfg.EBs,
-		Scale:            cfg.Scale,
-		Customers:        counts.Customers,
-		Items:            counts.Items,
-		FetchImages:      cfg.FetchImages,
-		ThinkExponential: cfg.ThinkExponential,
-		Seed:             cfg.Seed,
-	})
-	gen.Stats().SetRecording(false)
-	gen.Start()
+	drv.Stats().SetRecording(false)
+	drv.Start()
 
 	time.Sleep(time.Until(measureStart))
-	gen.Stats().Reset()
-	gen.Stats().SetRecording(true)
+	drv.Stats().Reset()
+	drv.Stats().SetRecording(true)
 	time.Sleep(cfg.Scale.Wall(cfg.Measure))
-	gen.Stats().SetRecording(false)
+	drv.Stats().SetRecording(false)
 	time.Sleep(cfg.Scale.Wall(cfg.CoolDown))
 
-	gen.Stop()
+	drv.Stop()
 	for _, s := range samplers {
 		s.Stop()
 	}
 	inst.Stop()
 
-	// Assemble per-page stats: client-side WIRT means, server-side
-	// counts.
+	// Assemble per-page stats: client-side WIRT means and errors,
+	// server-side counts.
 	countMu.Lock()
 	defer countMu.Unlock()
 	for _, page := range tpcw.Pages {
-		client := gen.Stats().Page(page)
+		client := drv.Stats().Page(page)
 		res.Pages[page] = PageStat{
 			Page:         page,
 			Count:        pageCounts[page],
+			Errors:       client.Errors,
 			MeanPaperSec: cfg.Scale.PaperSeconds(client.Mean),
 		}
 		res.TotalInteractions += pageCounts[page]
 	}
-	res.Errors = gen.Stats().Errors()
+	res.Errors = drv.Stats().Errors()
 	res.WallDuration = time.Since(wallStart)
 	return res, nil
 }

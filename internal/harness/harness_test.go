@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stagedweb/internal/clock"
+	"stagedweb/internal/load"
 	"stagedweb/internal/metrics"
 	"stagedweb/internal/sqldb"
 	"stagedweb/internal/tpcw"
@@ -164,6 +165,72 @@ func TestRunValidation(t *testing.T) {
 	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("unknown setting accepted: %v", err)
 	}
+	// The load-profile axis validates the same way: unknown profile,
+	// unknown mix, unknown profile setting.
+	cfg = QuickConfig(variant.Modified, clock.Timescale(1000))
+	cfg.Load = "no-such-profile"
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "no-such-profile") {
+		t.Fatalf("unknown load profile accepted: %v", err)
+	}
+	cfg = QuickConfig(variant.Modified, clock.Timescale(1000))
+	cfg.Mix = "no-such-mix"
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "no-such-mix") {
+		t.Fatalf("unknown mix accepted: %v", err)
+	}
+	cfg = QuickConfig(variant.Modified, clock.Timescale(1000))
+	cfg.Populate = tpcw.PopulateConfig{Items: 10, Customers: 2, Orders: 2}
+	cfg.Load = load.Spike
+	cfg.LoadSet = variant.Settings{"bogus": "1"}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown load setting accepted: %v", err)
+	}
+}
+
+// TestLoadProfileRun drives a spike profile end to end through Run: the
+// client.* series must appear next to the server's, and the sampled
+// active-EB series must show the burst population.
+func TestLoadProfileRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead distorts the burst window timing")
+	}
+	cfg := QuickConfig(variant.Modified, clock.Timescale(400))
+	cfg.EBs = 10
+	cfg.RampUp = 5 * time.Second
+	cfg.Measure = 40 * time.Second
+	cfg.CoolDown = 5 * time.Second
+	cfg.Populate = tpcw.PopulateConfig{Items: 200, Customers: 60, Orders: 50}
+	cfg.Load = load.Spike
+	cfg.LoadSet = variant.Settings{"burst": "15", "at": "10s", "width": "20s"}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{load.ProbeActive, load.ProbeOffered, load.ProbeErrors, load.ProbeWIRT} {
+		if res.Series[name] == nil {
+			t.Fatalf("client series %q missing (have %v)", name, seriesNames(res))
+		}
+	}
+	if res.Config.Load != load.Spike {
+		t.Fatalf("result config load = %q", res.Config.Load)
+	}
+	// The sampler must see the burst: 10 base + 15 burst EBs.
+	if peak := SeriesMax(res.Series[load.ProbeActive]); peak < 20 {
+		t.Errorf("peak active EBs = %v, want ~25 during the burst", peak)
+	}
+	if res.TotalInteractions == 0 {
+		t.Fatal("no interactions completed")
+	}
+}
+
+func seriesNames(res *Result) []string {
+	names := make([]string, 0, len(res.Series))
+	for name := range res.Series {
+		names = append(names, name)
+	}
+	return names
 }
 
 // TestServerKindShim exercises the deprecated enum path: a config that

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"stagedweb/internal/variant"
 )
 
 // Scenario is one cell of an experiment matrix: a unique label plus the
@@ -23,6 +25,36 @@ type Scenario struct {
 	Name string `json:"name"`
 	// Config is the complete run configuration.
 	Config Config `json:"config"`
+}
+
+// LoadSpec names one load-profile cell of a scenario matrix: a
+// registered profile plus its settings.
+type LoadSpec struct {
+	// Profile is the registered load-profile name (load.Steady,
+	// load.Spike, ...); empty means steady.
+	Profile string
+	// Set holds the profile settings for this cell.
+	Set variant.Settings
+}
+
+// Matrix builds the variant × load-profile scenario grid from a base
+// config: one cell per pair, named "variant/profile". Both registries
+// are open, so any topology can meet any workload shape with no new
+// harness code.
+func Matrix(base Config, variants []string, loads []LoadSpec) []Scenario {
+	out := make([]Scenario, 0, len(variants)*len(loads))
+	for _, v := range variants {
+		for _, ld := range loads {
+			cfg := base.With(func(c *Config) {
+				c.Variant = v
+				c.Kind = 0
+				c.Load = ld.Profile
+				c.LoadSet = ld.Set.Clone()
+			})
+			out = append(out, Scenario{Name: v + "/" + cfg.LoadName(), Config: cfg})
+		}
+	}
+	return out
 }
 
 // SweepRun is one finished (or failed) scenario of a sweep.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"stagedweb/internal/clock"
+	"stagedweb/internal/load"
 	"stagedweb/internal/metrics"
 	"stagedweb/internal/tpcw"
 	"stagedweb/internal/variant"
@@ -70,6 +71,47 @@ func TestSweepMatrix(t *testing.T) {
 		if !strings.Contains(rep, name) {
 			t.Errorf("report misses %q:\n%s", name, rep)
 		}
+	}
+}
+
+// TestMatrix checks the variant × load-profile grid builder: cell
+// naming, per-cell variant/load assignment, and setting isolation.
+func TestMatrix(t *testing.T) {
+	base := sweepConfig(variant.Unmodified)
+	base.LoadSet = variant.Settings{"ebs": "7"}
+	spikeSet := variant.Settings{"burst": "30"}
+	cells := Matrix(base,
+		[]string{variant.Unmodified, variant.Modified},
+		[]LoadSpec{{}, {Profile: load.Spike, Set: spikeSet}})
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	wantNames := []string{
+		"unmodified/steady", "unmodified/spike",
+		"modified/steady", "modified/spike",
+	}
+	for i, c := range cells {
+		if c.Name != wantNames[i] {
+			t.Errorf("cell %d named %q, want %q", i, c.Name, wantNames[i])
+		}
+	}
+	if cells[1].Config.Variant != variant.Unmodified || cells[3].Config.Variant != variant.Modified {
+		t.Error("variants misassigned")
+	}
+	if cells[3].Config.Load != load.Spike || cells[3].Config.LoadSet["burst"] != "30" {
+		t.Errorf("spike cell config wrong: %+v", cells[3].Config)
+	}
+	// The empty LoadSpec lowers to steady with no settings carried over.
+	if cells[0].Config.LoadName() != load.Steady || len(cells[0].Config.LoadSet) != 0 {
+		t.Errorf("steady cell config wrong: %+v", cells[0].Config)
+	}
+	// Mutating a cell's settings must not alias the base or siblings.
+	cells[3].Config.LoadSet["burst"] = "99"
+	if spikeSet["burst"] != "30" || cells[1].Config.LoadSet["burst"] == "99" {
+		t.Error("matrix cells alias their LoadSpec settings")
+	}
+	if base.LoadSet["ebs"] != "7" {
+		t.Error("matrix mutated the base config")
 	}
 }
 

@@ -28,18 +28,22 @@ func Table3(unmod, mod *Result) string {
 }
 
 // Table4 renders the paper's Table 4: completed web interactions per page
-// type during the measurement interval, plus the overall throughput gain.
+// type during the measurement interval, with per-page client-side error
+// counts, plus the overall throughput gain.
 func Table4(unmod, mod *Result) string {
 	var sb strings.Builder
 	sb.WriteString("Table 4. Completed web interactions per page type\n")
-	fmt.Fprintf(&sb, "%-36s %12s %12s\n", "web page name", "unmodified", "modified")
-	sb.WriteString(strings.Repeat("-", 62) + "\n")
+	fmt.Fprintf(&sb, "%-36s %12s %8s %12s %8s\n",
+		"web page name", "unmodified", "errors", "modified", "errors")
+	sb.WriteString(strings.Repeat("-", 80) + "\n")
 	for _, page := range tpcw.Pages {
-		fmt.Fprintf(&sb, "%-36s %12d %12d\n",
-			tpcw.PageTitle(page), unmod.Pages[page].Count, mod.Pages[page].Count)
+		u, m := unmod.Pages[page], mod.Pages[page]
+		fmt.Fprintf(&sb, "%-36s %12d %8d %12d %8d\n",
+			tpcw.PageTitle(page), u.Count, u.Errors, m.Count, m.Errors)
 	}
-	sb.WriteString(strings.Repeat("-", 62) + "\n")
-	fmt.Fprintf(&sb, "%-36s %12d %12d\n", "total", unmod.TotalInteractions, mod.TotalInteractions)
+	sb.WriteString(strings.Repeat("-", 80) + "\n")
+	fmt.Fprintf(&sb, "%-36s %12d %8d %12d %8d\n", "total",
+		unmod.TotalInteractions, unmod.Errors, mod.TotalInteractions, mod.Errors)
 	fmt.Fprintf(&sb, "overall throughput gain: %+.1f%% (paper: +31.3%%)\n",
 		ThroughputGainPercent(unmod, mod))
 	return sb.String()

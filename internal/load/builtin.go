@@ -1,0 +1,211 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"stagedweb/internal/variant"
+	"stagedweb/internal/workload"
+)
+
+// Registered names of the built-in profiles.
+const (
+	// Steady is the paper's workload: a fixed closed-loop population.
+	Steady = "steady"
+	// Step jumps the population from ebs to a new level at a set time.
+	Step = "step"
+	// Ramp grows (or shrinks) the population linearly — the saturation
+	// ramp as a single run instead of an -ebs-sweep matrix.
+	Ramp = "ramp"
+	// Spike is a flash crowd: a base population plus a burst of extra
+	// EBs inside a window.
+	Spike = "spike"
+	// Wave is a compressed diurnal sinusoid around a mean population.
+	Wave = "wave"
+	// OpenLoop replaces the closed population with Poisson session
+	// arrivals: offered load that does not slow down when the server
+	// does.
+	OpenLoop = "open-loop"
+)
+
+// defaultEBs is the base population when neither settings nor the
+// harness's lowered defaults name one.
+const defaultEBs = 100
+
+func init() {
+	Register(New(Steady, buildSteady))
+	Register(New(Step, buildStep))
+	Register(New(Ramp, buildRamp))
+	Register(New(Spike, buildSpike))
+	Register(New(Wave, buildWave))
+	Register(New(OpenLoop, buildOpenLoop))
+}
+
+// baseGen builds the EB fleet every profile drives.
+func baseGen(env Env, ebs int) *workload.Generator {
+	return workload.New(workload.Config{
+		Addr:             env.Addr,
+		EBs:              ebs,
+		Mix:              env.Mix,
+		Scale:            env.Scale,
+		Customers:        env.Customers,
+		Items:            env.Items,
+		FetchImages:      env.FetchImages,
+		ThinkExponential: env.ThinkExponential,
+		Seed:             env.Seed,
+	})
+}
+
+// buildSteady constructs the fixed closed-loop fleet (current paper
+// behavior).
+//
+// Settings: ebs (population).
+func buildSteady(env Env) (Driver, error) {
+	d := variant.NewSettingsDecoder(env.Set, env.Defaults)
+	ebs := d.Int("ebs", defaultEBs)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", Steady, err)
+	}
+	if ebs <= 0 {
+		return nil, fmt.Errorf("%s: ebs must be positive", Steady)
+	}
+	return newDriver(baseGen(env, ebs), env.Scale), nil
+}
+
+// buildStep constructs a population step.
+//
+// Settings: ebs (initial population), to (population after the step),
+// at (paper time of the step since load start, default 1m).
+func buildStep(env Env) (Driver, error) {
+	d := variant.NewSettingsDecoder(env.Set, env.Defaults)
+	ebs := d.Int("ebs", defaultEBs)
+	to := d.Int("to", 2*ebs)
+	at := d.Duration("at", time.Minute)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", Step, err)
+	}
+	if ebs <= 0 || to < 0 {
+		return nil, fmt.Errorf("%s: ebs must be positive and to non-negative", Step)
+	}
+	return Scheduled(env, ebs, func(t time.Duration) int {
+		if t >= at {
+			return to
+		}
+		return ebs
+	})
+}
+
+// buildRamp constructs a linear population ramp.
+//
+// Settings: ebs (start population), to (end population, may be lower),
+// over (ramp duration, default 2m), delay (hold at the start level
+// first, default 0).
+func buildRamp(env Env) (Driver, error) {
+	d := variant.NewSettingsDecoder(env.Set, env.Defaults)
+	from := d.Int("ebs", defaultEBs)
+	to := d.Int("to", 2*from)
+	over := d.Duration("over", 2*time.Minute)
+	delay := d.Duration("delay", 0)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", Ramp, err)
+	}
+	if from <= 0 || to < 0 {
+		return nil, fmt.Errorf("%s: ebs must be positive and to non-negative", Ramp)
+	}
+	if over <= 0 {
+		return nil, fmt.Errorf("%s: over must be positive", Ramp)
+	}
+	return Scheduled(env, from, func(t time.Duration) int {
+		switch {
+		case t <= delay:
+			return from
+		case t >= delay+over:
+			return to
+		default:
+			frac := float64(t-delay) / float64(over)
+			return from + int(math.Round(frac*float64(to-from)))
+		}
+	})
+}
+
+// buildSpike constructs a flash crowd.
+//
+// Settings: ebs (base population), burst (extra EBs during the burst,
+// default 2×ebs), at (burst start in paper time since load start,
+// default 1m), width (burst duration, default 30s).
+func buildSpike(env Env) (Driver, error) {
+	d := variant.NewSettingsDecoder(env.Set, env.Defaults)
+	base := d.Int("ebs", defaultEBs)
+	burst := d.Int("burst", 2*base)
+	at := d.Duration("at", time.Minute)
+	width := d.Duration("width", 30*time.Second)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", Spike, err)
+	}
+	if base <= 0 {
+		return nil, fmt.Errorf("%s: ebs must be positive", Spike)
+	}
+	if burst < 0 || width <= 0 {
+		return nil, fmt.Errorf("%s: burst must be >= 0 and width positive", Spike)
+	}
+	return Scheduled(env, base, func(t time.Duration) int {
+		if t >= at && t < at+width {
+			return base + burst
+		}
+		return base
+	})
+}
+
+// buildWave constructs a compressed diurnal sinusoid.
+//
+// Settings: ebs (mean population), amp (amplitude, default ebs/2),
+// period (one full cycle in paper time, default 2m).
+func buildWave(env Env) (Driver, error) {
+	d := variant.NewSettingsDecoder(env.Set, env.Defaults)
+	mean := d.Int("ebs", defaultEBs)
+	amp := d.Int("amp", mean/2)
+	period := d.Duration("period", 2*time.Minute)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", Wave, err)
+	}
+	if mean <= 0 || amp < 0 {
+		return nil, fmt.Errorf("%s: ebs must be positive and amp non-negative", Wave)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("%s: period must be positive", Wave)
+	}
+	return Scheduled(env, mean, func(t time.Duration) int {
+		phase := 2 * math.Pi * float64(t) / float64(period)
+		n := mean + int(math.Round(float64(amp)*math.Sin(phase)))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	})
+}
+
+// buildOpenLoop constructs Poisson session arrivals.
+//
+// Settings: rate (session arrivals per paper second), session (mean
+// exponential session lifetime in paper time, default 1m).
+func buildOpenLoop(env Env) (Driver, error) {
+	d := variant.NewSettingsDecoder(env.Set, env.Defaults)
+	rate := d.Float("rate", 2)
+	session := d.Duration("session", time.Minute)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", OpenLoop, err)
+	}
+	if rate <= 0 || session <= 0 {
+		return nil, fmt.Errorf("%s: rate and session must be positive", OpenLoop)
+	}
+	// The fleet starts empty; every EB is an arriving session.
+	drv := newDriver(baseGen(env, 0), env.Scale)
+	drv.arrive = &arrivals{
+		rate:    rate,
+		session: session,
+		rng:     rand.New(rand.NewSource(env.Seed*31 + 17)),
+	}
+	return drv, nil
+}

@@ -1,0 +1,112 @@
+package load
+
+import (
+	"math/rand"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/variant"
+	"stagedweb/internal/workload"
+)
+
+// driver is the shared Driver implementation: an EB fleet plus an
+// optional population schedule or open-loop arrival process.
+type driver struct {
+	gen   *workload.Generator
+	scale clock.Timescale
+
+	// schedule maps paper time since Start to a target closed-loop
+	// population; it is evaluated once per paper second. Nil leaves the
+	// fleet fixed.
+	schedule func(time.Duration) int
+	// arrive, when set, is a Poisson session arrival process (schedule
+	// must be nil).
+	arrive *arrivals
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newDriver wraps a generator with an inert controller; builders attach
+// a schedule or arrival process before Start.
+func newDriver(gen *workload.Generator, scale clock.Timescale) *driver {
+	return &driver{gen: gen, scale: scale, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Scheduled builds a Driver whose closed-loop population follows
+// schedule — paper time since Start mapped to a target EB count,
+// evaluated once per paper second. It is the building block the
+// step/ramp/spike/wave built-ins compose, exported so custom profiles
+// can too; pass a nil schedule for a fixed fleet.
+func Scheduled(env Env, ebs int, schedule func(time.Duration) int) (Driver, error) {
+	drv := newDriver(baseGen(env, ebs), env.Scale)
+	drv.schedule = schedule
+	return drv, nil
+}
+
+func (d *driver) Start() {
+	d.gen.Start()
+	go d.control()
+}
+
+// control runs the population schedule or arrival process until Stop.
+func (d *driver) control() {
+	defer close(d.done)
+	switch {
+	case d.schedule != nil:
+		tick := time.NewTicker(d.scale.Wall(time.Second))
+		defer tick.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-tick.C:
+				d.gen.SetTarget(d.schedule(d.scale.Paper(time.Since(start))))
+			}
+		}
+	case d.arrive != nil:
+		d.arrive.run(d.stop, d.gen, d.scale)
+	}
+}
+
+func (d *driver) Stop() {
+	close(d.stop)
+	<-d.done
+	d.gen.Stop()
+}
+
+func (d *driver) Stats() *workload.Stats { return d.gen.Stats() }
+
+func (d *driver) Probes() []variant.Probe {
+	return []variant.Probe{
+		{Name: ProbeActive, Gauge: func() float64 { return float64(d.gen.Active()) }},
+		{Name: ProbeOffered, Gauge: d.gen.OfferedRateGauge()},
+		{Name: ProbeErrors, Gauge: func() float64 { return float64(d.gen.Failed()) }},
+		{Name: ProbeWIRT, Gauge: d.gen.WIRTGauge()},
+	}
+}
+
+// arrivals is a Poisson session arrival process: sessions arrive at
+// rate per paper second and live for an exponentially distributed
+// paper-time lifetime with mean session — the open-loop workload class
+// where offered load does not slow down when the server does.
+type arrivals struct {
+	rate    float64       // sessions per paper second
+	session time.Duration // mean session lifetime, paper time
+	rng     *rand.Rand
+}
+
+func (a *arrivals) run(stop chan struct{}, gen *workload.Generator, scale clock.Timescale) {
+	for {
+		gap := time.Duration(a.rng.ExpFloat64() / a.rate * float64(time.Second))
+		t := time.NewTimer(scale.Wall(gap))
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		gen.SpawnSession(time.Duration(a.rng.ExpFloat64() * float64(a.session)))
+	}
+}

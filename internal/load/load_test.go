@@ -1,0 +1,256 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/core"
+	"stagedweb/internal/sqldb"
+	"stagedweb/internal/tpcw"
+	"stagedweb/internal/variant"
+	"stagedweb/internal/webtest"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{Steady, Step, Ramp, Spike, Wave, OpenLoop} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("built-in profile %q not registered (have %v)", want, names)
+		}
+	}
+	if _, ok := Lookup("no-such-profile"); ok {
+		t.Fatal("phantom profile resolved")
+	}
+}
+
+// build resolves and builds a named profile, failing the test on error.
+func build(t *testing.T, name string, env Env) *driver {
+	t.Helper()
+	p, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("profile %q not registered", name)
+	}
+	d, err := p.Build(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.(*driver)
+}
+
+func testEnv() Env {
+	return Env{Addr: "127.0.0.1:0", Scale: clock.Timescale(1000), Seed: 1}
+}
+
+func TestUnknownSettingRejected(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := Lookup(name)
+		env := testEnv()
+		env.Set = variant.Settings{"bogus": "1"}
+		if _, err := p.Build(env); err == nil {
+			t.Errorf("%s: unknown setting accepted", name)
+		}
+	}
+}
+
+// TestSchedules pins the population schedules the built-in profiles
+// compute, including the defaults lowered from the harness EBs shim.
+func TestSchedules(t *testing.T) {
+	env := testEnv()
+	env.Defaults = variant.Settings{"ebs": "100"}
+
+	spike := build(t, Spike, env)
+	env.Set = variant.Settings{"burst": "50", "at": "2m", "width": "1m"}
+	spikeSet := build(t, Spike, env)
+	env.Set = nil
+	step := build(t, Step, env)
+	env.Set = variant.Settings{"to": "40", "over": "100s", "delay": "10s"}
+	ramp := build(t, Ramp, env)
+	env.Set = variant.Settings{"amp": "60", "period": "80s"}
+	wave := build(t, Wave, env)
+
+	cases := []struct {
+		name string
+		d    *driver
+		at   time.Duration
+		want int
+	}{
+		// spike defaults: base=ebs default, burst=2x, at=1m, width=30s.
+		{"spike-before", spike, 30 * time.Second, 100},
+		{"spike-during", spike, 75 * time.Second, 300},
+		{"spike-after", spike, 2 * time.Minute, 100},
+		// explicit spike window [2m, 3m) adding 50.
+		{"spike-set-before", spikeSet, time.Minute, 100},
+		{"spike-set-during", spikeSet, 150 * time.Second, 150},
+		{"spike-set-after", spikeSet, 3 * time.Minute, 100},
+		// step defaults: to=2x at 1m.
+		{"step-before", step, 59 * time.Second, 100},
+		{"step-after", step, 61 * time.Second, 200},
+		// ramp 100 -> 40 over 100s after a 10s delay.
+		{"ramp-hold", ramp, 5 * time.Second, 100},
+		{"ramp-mid", ramp, 60 * time.Second, 70},
+		{"ramp-done", ramp, 3 * time.Minute, 40},
+		// wave: mean at phase 0, mean+amp at period/4, floor at 0.
+		{"wave-zero", wave, 0, 100},
+		{"wave-crest", wave, 20 * time.Second, 160},
+		{"wave-trough", wave, 60 * time.Second, 40},
+	}
+	for _, c := range cases {
+		if got := c.d.schedule(c.at); got != c.want {
+			t.Errorf("%s: schedule(%v) = %d, want %d", c.name, c.at, got, c.want)
+		}
+	}
+
+	if steady := build(t, Steady, testEnv()); steady.schedule != nil || steady.arrive != nil {
+		t.Error("steady profile grew a controller")
+	}
+	ol := build(t, OpenLoop, testEnv())
+	if ol.arrive == nil || ol.schedule != nil {
+		t.Error("open-loop profile misconfigured")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := []struct {
+		profile string
+		set     variant.Settings
+	}{
+		{Steady, variant.Settings{"ebs": "0"}},
+		{Step, variant.Settings{"ebs": "-3"}},
+		{Step, variant.Settings{"to": "-1"}},
+		{Ramp, variant.Settings{"over": "0s"}},
+		{Ramp, variant.Settings{"ebs": "0"}},
+		{Spike, variant.Settings{"width": "0s"}},
+		{Spike, variant.Settings{"burst": "-5"}},
+		{Spike, variant.Settings{"ebs": "0"}},
+		{Wave, variant.Settings{"period": "0s"}},
+		{Wave, variant.Settings{"ebs": "0"}},
+		{Wave, variant.Settings{"amp": "-1"}},
+		{OpenLoop, variant.Settings{"rate": "0"}},
+		{OpenLoop, variant.Settings{"session": "0s"}},
+		{OpenLoop, variant.Settings{"rate": "frog"}},
+	}
+	for _, c := range bad {
+		p, _ := Lookup(c.profile)
+		env := testEnv()
+		env.Set = c.set
+		if _, err := p.Build(env); err == nil {
+			t.Errorf("%s with %v accepted", c.profile, c.set)
+		}
+	}
+}
+
+// startBookstore boots a staged server with a small TPC-W population.
+func startBookstore(t *testing.T) (addr string, counts tpcw.Counts) {
+	t.Helper()
+	db := sqldb.Open(sqldb.Options{})
+	if err := tpcw.CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := tpcw.Populate(db, tpcw.PopulateConfig{Items: 150, Customers: 40, Orders: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.New(core.Config{
+		App: tpcw.NewApp(counts, nil), DB: db,
+		HeaderWorkers: 2, StaticWorkers: 2, GeneralWorkers: 4, LengthyWorkers: 2, RenderWorkers: 2,
+		MinReserve: 1,
+		Scale:      clock.Timescale(1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, addr, err := webtest.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(srv.Stop)
+	return addr, counts
+}
+
+// TestSpikeDriverEndToEnd runs the spike profile against a live server
+// and watches the client.active probe follow the burst window.
+func TestSpikeDriverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-driver test skipped in -short mode")
+	}
+	addr, counts := startBookstore(t)
+	p, _ := Lookup(Spike)
+	d, err := p.Build(Env{
+		Addr:      addr,
+		Scale:     clock.Timescale(1000),
+		Customers: counts.Customers,
+		Items:     counts.Items,
+		Seed:      5,
+		Set: variant.Settings{
+			"ebs": "3", "burst": "7", "at": "2s", "width": "1h",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := d.Probes()
+	if len(probes) != 4 {
+		t.Fatalf("driver exports %d probes, want 4", len(probes))
+	}
+	gauges := map[string]func() float64{}
+	for _, p := range probes {
+		gauges[p.Name] = p.Gauge
+	}
+	d.Start()
+	defer d.Stop()
+	// The burst starts 2 paper-seconds in (2 ms wall) and never ends:
+	// the fleet must reach base+burst.
+	deadline := time.Now().Add(10 * time.Second)
+	for gauges[ProbeActive]() != 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("active = %v, want 10 (burst never applied)", gauges[ProbeActive]())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for d.Stats().TotalInteractions() < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d interactions (errors=%d)",
+				d.Stats().TotalInteractions(), d.Stats().Errors())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if gauges[ProbeOffered]() == 0 {
+		t.Error("offered-rate gauge never moved")
+	}
+	if gauges[ProbeWIRT]() < 0 {
+		t.Error("negative WIRT")
+	}
+}
+
+// TestOpenLoopDriverEndToEnd runs Poisson arrivals against a live
+// server: sessions arrive, complete interactions, and retire.
+func TestOpenLoopDriverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-driver test skipped in -short mode")
+	}
+	addr, counts := startBookstore(t)
+	p, _ := Lookup(OpenLoop)
+	d, err := p.Build(Env{
+		Addr:      addr,
+		Scale:     clock.Timescale(1000),
+		Customers: counts.Customers,
+		Items:     counts.Items,
+		Seed:      6,
+		Set:       variant.Settings{"rate": "2", "session": "5s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Stats().TotalInteractions() < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d interactions (errors=%d)",
+				d.Stats().TotalInteractions(), d.Stats().Errors())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	d.Stop()
+}

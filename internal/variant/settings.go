@@ -105,7 +105,15 @@ type Decoder struct {
 
 // NewDecoder returns a Decoder over env.Set and env.Defaults.
 func NewDecoder(env Env) *Decoder {
-	return &Decoder{explicit: env.Set, defaults: env.Defaults, used: map[string]bool{}}
+	return NewSettingsDecoder(env.Set, env.Defaults)
+}
+
+// NewSettingsDecoder returns a Decoder over explicit overrides and
+// advisory defaults directly — for registries that reuse the settings
+// surface without a variant Env (internal/load's profiles decode their
+// recipes through this).
+func NewSettingsDecoder(explicit, defaults Settings) *Decoder {
+	return &Decoder{explicit: explicit, defaults: defaults, used: map[string]bool{}}
 }
 
 func (d *Decoder) lookup(key string) (string, bool) {
@@ -133,6 +141,20 @@ func (d *Decoder) Int(key string, def int) int {
 		return def
 	}
 	return n
+}
+
+// Float reads a floating-point setting, returning def when unset.
+func (d *Decoder) Float(key string, def float64) float64 {
+	v, ok := d.lookup(key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		d.fail(key, v, "a number")
+		return def
+	}
+	return f
 }
 
 // Bool reads a boolean setting ("true"/"false"/"1"/"0"); a key set to

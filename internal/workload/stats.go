@@ -15,16 +15,18 @@ import (
 type Stats struct {
 	recording atomic.Bool
 
-	mu     sync.Mutex
-	pages  map[string]*metrics.Histogram
-	counts map[string]*int64
-	errs   atomic.Int64
+	mu       sync.Mutex
+	pages    map[string]*metrics.Histogram
+	counts   map[string]*int64
+	errs     map[string]*int64
+	errTotal atomic.Int64
 }
 
 func newStats() *Stats {
 	s := &Stats{
 		pages:  make(map[string]*metrics.Histogram, 16),
 		counts: make(map[string]*int64, 16),
+		errs:   make(map[string]*int64, 16),
 	}
 	s.recording.Store(true)
 	return s
@@ -39,7 +41,8 @@ func (s *Stats) Reset() {
 	defer s.mu.Unlock()
 	s.pages = make(map[string]*metrics.Histogram, 16)
 	s.counts = make(map[string]*int64, 16)
-	s.errs.Store(0)
+	s.errs = make(map[string]*int64, 16)
+	s.errTotal.Store(0)
 }
 
 func (s *Stats) record(page string, wirt time.Duration) {
@@ -50,11 +53,21 @@ func (s *Stats) record(page string, wirt time.Duration) {
 	atomic.AddInt64(s.counter(page), 1)
 }
 
+// recordError attributes one failed interaction to the page whose
+// interaction failed (image failures charge the parent page).
 func (s *Stats) recordError(page string) {
 	if !s.recording.Load() {
 		return
 	}
-	s.errs.Add(1)
+	s.errTotal.Add(1)
+	s.mu.Lock()
+	c, ok := s.errs[page]
+	if !ok {
+		c = new(int64)
+		s.errs[page] = c
+	}
+	s.mu.Unlock()
+	atomic.AddInt64(c, 1)
 }
 
 func (s *Stats) histogram(page string) *metrics.Histogram {
@@ -80,46 +93,74 @@ func (s *Stats) counter(page string) *int64 {
 }
 
 // Errors reports the number of failed interactions.
-func (s *Stats) Errors() int64 { return s.errs.Load() }
+func (s *Stats) Errors() int64 { return s.errTotal.Load() }
+
+// PageErrors reports one page's failed-interaction count.
+func (s *Stats) PageErrors(page string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pageErrorsLocked(page)
+}
 
 // PageResult is one page's client-side summary.
 type PageResult struct {
-	Page  string
-	Count int64
-	Mean  time.Duration // wall time; divide through the timescale for paper seconds
-	P90   time.Duration
-	Max   time.Duration
+	Page   string
+	Count  int64
+	Errors int64
+	Mean   time.Duration // wall time; divide through the timescale for paper seconds
+	P90    time.Duration
+	Max    time.Duration
 }
 
-// Pages returns per-page summaries sorted by page name.
+// Pages returns per-page summaries sorted by page name, including pages
+// seen only through failures.
 func (s *Stats) Pages() []PageResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]PageResult, 0, len(s.pages))
+	seen := make(map[string]bool, len(s.pages))
 	for page, h := range s.pages {
 		snap := h.Snapshot()
+		seen[page] = true
 		out = append(out, PageResult{
-			Page:  page,
-			Count: snap.Count,
-			Mean:  snap.Mean,
-			P90:   snap.P90,
-			Max:   snap.Max,
+			Page:   page,
+			Count:  snap.Count,
+			Errors: s.pageErrorsLocked(page),
+			Mean:   snap.Mean,
+			P90:    snap.P90,
+			Max:    snap.Max,
 		})
+	}
+	for page := range s.errs {
+		if !seen[page] {
+			out = append(out, PageResult{Page: page, Errors: s.pageErrorsLocked(page)})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
 	return out
+}
+
+// pageErrorsLocked reads one page's error count. Callers hold s.mu.
+func (s *Stats) pageErrorsLocked(page string) int64 {
+	c, ok := s.errs[page]
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(c)
 }
 
 // Page returns one page's summary (zero value when unseen).
 func (s *Stats) Page(page string) PageResult {
 	s.mu.Lock()
 	h, ok := s.pages[page]
+	errs := s.pageErrorsLocked(page)
 	s.mu.Unlock()
 	if !ok {
-		return PageResult{Page: page}
+		return PageResult{Page: page, Errors: errs}
 	}
 	snap := h.Snapshot()
-	return PageResult{Page: page, Count: snap.Count, Mean: snap.Mean, P90: snap.P90, Max: snap.Max}
+	return PageResult{Page: page, Count: snap.Count, Errors: errs,
+		Mean: snap.Mean, P90: snap.P90, Max: snap.Max}
 }
 
 // TotalInteractions sums completed page interactions.

@@ -1,10 +1,16 @@
 // Package workload implements the TPC-W remote browser emulator (RBE):
-// closed-loop emulated browsers (EBs) that walk the bookstore according
-// to the browsing-mix page frequencies, wait a uniformly distributed
-// think time of 0.7–7 s (paper time) between interactions, fetch the
-// images embedded in each page, and measure the web interaction response
-// time (WIRT) at the client side — exactly how the paper's evaluation
-// measures Table 3.
+// emulated browsers (EBs) that walk the bookstore according to a page
+// mix, wait a think time of 0.7–7 s (paper time) between interactions,
+// fetch the images embedded in each page, and measure the web
+// interaction response time (WIRT) at the client side — exactly how the
+// paper's evaluation measures Table 3.
+//
+// The fleet is dynamic: SetTarget grows or shrinks the closed-loop
+// population at run time (step/ramp/spike/wave load profiles), and
+// SpawnSession starts self-retiring sessions for open-loop arrival
+// processes. Offered-load telemetry (active EBs, interactions begun,
+// failures, recent WIRT) is exported ungated for the harness's client.*
+// probe series; internal/load packages both into named load profiles.
 package workload
 
 import (
@@ -14,6 +20,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stagedweb/internal/clock"
@@ -26,7 +33,9 @@ import (
 type Config struct {
 	// Addr is the server address ("127.0.0.1:port").
 	Addr string
-	// EBs is the number of emulated browsers (the paper uses 400).
+	// EBs is the initial closed-loop population (the paper uses 400).
+	// Zero starts an empty fleet — open-loop profiles add sessions via
+	// SpawnSession; SetTarget adjusts the population later either way.
 	EBs int
 	// Mix is the page distribution; nil selects the browsing mix.
 	Mix *tpcw.Mix
@@ -51,13 +60,17 @@ type Config struct {
 	FetchImages bool
 	// MaxImages caps the embedded images fetched per page.
 	MaxImages int
+	// DialTimeout bounds connection establishment, in paper time (it is
+	// scaled to wall time like think times, so a compressed run does not
+	// wait 1000 paper-seconds on a dead server). Zero takes 10 s.
+	DialTimeout time.Duration
 	// Seed makes the fleet deterministic.
 	Seed int64
 }
 
 func (c *Config) fillDefaults() {
-	if c.EBs <= 0 {
-		c.EBs = 1
+	if c.EBs < 0 {
+		c.EBs = 0
 	}
 	if c.Mix == nil {
 		c.Mix = tpcw.NewMix(tpcw.BrowsingMix)
@@ -83,17 +96,37 @@ func (c *Config) fillDefaults() {
 	if c.MaxImages <= 0 {
 		c.MaxImages = 6
 	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 10 * time.Second
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+}
+
+// telemetry is the ungated offered-load instrumentation shared by every
+// EB: unlike Stats it is not gated to the measurement window, because
+// the client.* series it feeds are anchored there already (observations
+// before the window drop on the series side).
+type telemetry struct {
+	active  atomic.Int64 // live EBs (fleet + sessions)
+	offered atomic.Int64 // interactions begun
+	failed  atomic.Int64 // interactions failed
+	wirtNS  atomic.Int64 // summed WIRT of completed interactions
+	wirtN   atomic.Int64 // completed interactions
 }
 
 // Generator runs the EB fleet.
 type Generator struct {
 	cfg   Config
 	stats *Stats
+	tele  telemetry
 	stop  chan struct{}
 	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	fleet  []chan struct{} // per-EB retire channels, in spawn order
+	nextID int64
 }
 
 // New builds an unstarted generator.
@@ -105,22 +138,63 @@ func New(cfg Config) *Generator {
 // Stats exposes the client-side measurements.
 func (g *Generator) Stats() *Stats { return g.stats }
 
-// Start launches the EB goroutines.
-func (g *Generator) Start() {
-	g.wg.Add(g.cfg.EBs)
-	for i := 0; i < g.cfg.EBs; i++ {
-		eb := &browser{
-			cfg:   g.cfg,
-			stats: g.stats,
-			stop:  g.stop,
-			rng:   rand.New(rand.NewSource(g.cfg.Seed + int64(i)*7919)),
-			cID:   i%g.cfg.Customers + 1,
-		}
-		go func() {
-			defer g.wg.Done()
-			eb.run()
-		}()
+// Start launches the initial EB fleet.
+func (g *Generator) Start() { g.SetTarget(g.cfg.EBs) }
+
+// SetTarget grows or shrinks the closed-loop fleet toward n browsers.
+// Growth spawns fresh EBs, each deterministically seeded; shrinkage
+// retires the most recently spawned EBs after their in-flight
+// interaction. Sessions started by SpawnSession retire themselves and
+// do not count against the target.
+func (g *Generator) SetTarget(n int) {
+	if n < 0 {
+		n = 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.fleet) < n {
+		quit := make(chan struct{})
+		g.fleet = append(g.fleet, quit)
+		g.launch(quit)
+	}
+	for len(g.fleet) > n {
+		last := len(g.fleet) - 1
+		close(g.fleet[last])
+		g.fleet = g.fleet[:last]
+	}
+}
+
+// SpawnSession starts one browser that retires itself after lifetime
+// (paper time) — the open-loop arrival primitive: sessions arrive on an
+// external process's clock and leave regardless of server speed.
+func (g *Generator) SpawnSession(lifetime time.Duration) {
+	quit := make(chan struct{})
+	time.AfterFunc(g.cfg.Scale.Wall(lifetime), func() { close(quit) })
+	g.mu.Lock()
+	g.launch(quit)
+	g.mu.Unlock()
+}
+
+// launch starts one EB goroutine. Callers hold g.mu.
+func (g *Generator) launch(quit chan struct{}) {
+	id := g.nextID
+	g.nextID++
+	eb := &browser{
+		cfg:   g.cfg,
+		stats: g.stats,
+		tele:  &g.tele,
+		stop:  g.stop,
+		quit:  quit,
+		rng:   rand.New(rand.NewSource(g.cfg.Seed + id*7919)),
+		cID:   int(id)%g.cfg.Customers + 1,
+	}
+	g.wg.Add(1)
+	g.tele.active.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer g.tele.active.Add(-1)
+		eb.run()
+	}()
 }
 
 // Stop signals every EB and waits for them to finish their in-flight
@@ -130,11 +204,59 @@ func (g *Generator) Stop() {
 	g.wg.Wait()
 }
 
+// Active reports the live EB count (closed-loop fleet plus open-loop
+// sessions still running).
+func (g *Generator) Active() int64 { return g.tele.active.Load() }
+
+// Started reports cumulative interactions begun since Start, ungated by
+// the recording window.
+func (g *Generator) Started() int64 { return g.tele.offered.Load() }
+
+// Failed reports cumulative failed interactions, ungated.
+func (g *Generator) Failed() int64 { return g.tele.failed.Load() }
+
+// OfferedRateGauge returns a stateful gauge reporting interactions
+// begun since its previous call — sampled once per paper second it
+// reads as offered load in interactions per paper second.
+func (g *Generator) OfferedRateGauge() func() float64 {
+	var mu sync.Mutex
+	var last int64
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		cur := g.tele.offered.Load()
+		d := cur - last
+		last = cur
+		return float64(d)
+	}
+}
+
+// WIRTGauge returns a stateful gauge reporting the mean web interaction
+// response time, in paper seconds, of interactions completed since its
+// previous call (zero when none completed).
+func (g *Generator) WIRTGauge() func() float64 {
+	var mu sync.Mutex
+	var lastNS, lastN int64
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		ns, n := g.tele.wirtNS.Load(), g.tele.wirtN.Load()
+		dNS, dN := ns-lastNS, n-lastN
+		lastNS, lastN = ns, n
+		if dN == 0 {
+			return 0
+		}
+		return g.cfg.Scale.PaperSeconds(time.Duration(dNS / dN))
+	}
+}
+
 // browser is one emulated browser with its session state.
 type browser struct {
 	cfg   Config
 	stats *Stats
+	tele  *telemetry
 	stop  chan struct{}
+	quit  chan struct{}
 	rng   *rand.Rand
 
 	cID  int // this EB's customer identity
@@ -146,6 +268,8 @@ func (b *browser) run() {
 		select {
 		case <-b.stop:
 			return
+		case <-b.quit:
+			return
 		default:
 		}
 		page := b.cfg.Mix.Pick(b.rng)
@@ -154,28 +278,39 @@ func (b *browser) run() {
 	}
 }
 
-// think sleeps the configured think-time distribution scaled,
-// interruptibly.
-func (b *browser) think() {
-	var d time.Duration
+// thinkDuration draws one think time (paper time) from the configured
+// distribution.
+func (b *browser) thinkDuration() time.Duration {
 	if b.cfg.ThinkExponential {
-		// TPC-W clause 5.3.2.2: negative-exponential think time.
-		d = time.Duration(b.rng.ExpFloat64() * float64(b.cfg.ThinkMean))
+		// TPC-W clause 5.3.2.2: negative-exponential think time,
+		// truncated below at ThinkMin and capped at ten times the mean.
+		d := time.Duration(b.rng.ExpFloat64() * float64(b.cfg.ThinkMean))
 		if d < b.cfg.ThinkMin {
 			d = b.cfg.ThinkMin
 		}
 		if cap := 10 * b.cfg.ThinkMean; d > cap {
 			d = cap
 		}
-	} else {
-		span := b.cfg.ThinkMax - b.cfg.ThinkMin
-		d = b.cfg.ThinkMin + time.Duration(b.rng.Int63n(int64(span)+1))
+		return d
 	}
-	wall := b.cfg.Scale.Wall(d)
+	span := b.cfg.ThinkMax - b.cfg.ThinkMin
+	return b.cfg.ThinkMin + time.Duration(b.rng.Int63n(int64(span)+1))
+}
+
+// think sleeps the drawn think time scaled, interruptibly.
+func (b *browser) think() {
+	wall := b.cfg.Scale.Wall(b.thinkDuration())
 	select {
 	case <-b.stop:
+	case <-b.quit:
 	case <-time.After(wall):
 	}
+}
+
+// fail records one failed interaction against the page that drove it.
+func (b *browser) fail(page string) {
+	b.tele.failed.Add(1)
+	b.stats.recordError(page)
 }
 
 // interact performs one web interaction: the page plus its embedded
@@ -183,11 +318,12 @@ func (b *browser) think() {
 // as one WIRT. The connection closes at the end of the interaction so the
 // server does not hold resources across the think time.
 func (b *browser) interact(page string) {
+	b.tele.offered.Add(1)
 	url := b.buildURL(page)
 	start := time.Now()
-	conn, err := net.DialTimeout("tcp", b.cfg.Addr, 10*time.Second)
+	conn, err := net.DialTimeout("tcp", b.cfg.Addr, b.cfg.Scale.Wall(b.cfg.DialTimeout))
 	if err != nil {
-		b.stats.recordError(page)
+		b.fail(page)
 		return
 	}
 	defer func() { _ = conn.Close() }()
@@ -195,23 +331,27 @@ func (b *browser) interact(page string) {
 
 	body, status, err := get(conn, br, url)
 	if err != nil {
-		b.stats.recordError(page)
+		b.fail(page)
 		return
 	}
 	if b.cfg.FetchImages {
 		for _, img := range extractImages(body, b.cfg.MaxImages) {
 			if _, _, err := get(conn, br, img); err != nil {
-				b.stats.recordError(img)
+				// Image failures charge the parent page: the EB asked
+				// for one interaction, not a raw image URL.
+				b.fail(page)
 				return
 			}
 		}
 	}
 	wirt := time.Since(start)
 	if status >= 200 && status < 400 {
+		b.tele.wirtNS.Add(int64(wirt))
+		b.tele.wirtN.Add(1)
 		b.stats.record(page, wirt)
 		b.updateSession(page, body)
 	} else {
-		b.stats.recordError(page)
+		b.fail(page)
 	}
 }
 

@@ -103,6 +103,43 @@ func TestStatsRecordingGate(t *testing.T) {
 	}
 }
 
+// TestStatsPageErrors pins per-page error attribution: failures count
+// against the page that drove them and surface in every summary view,
+// including for pages seen only through failures.
+func TestStatsPageErrors(t *testing.T) {
+	s := newStats()
+	s.record("/home", time.Second)
+	s.recordError("/home")
+	s.recordError("/home")
+	s.recordError("/best_sellers")
+	if got := s.Errors(); got != 3 {
+		t.Fatalf("Errors = %d, want 3", got)
+	}
+	if got := s.PageErrors("/home"); got != 2 {
+		t.Fatalf("PageErrors(/home) = %d, want 2", got)
+	}
+	if got := s.Page("/home"); got.Count != 1 || got.Errors != 2 {
+		t.Fatalf("Page(/home) = %+v, want count 1 errors 2", got)
+	}
+	// A page with failures but no completions still appears.
+	if got := s.Page("/best_sellers"); got.Count != 0 || got.Errors != 1 {
+		t.Fatalf("Page(/best_sellers) = %+v, want count 0 errors 1", got)
+	}
+	pages := s.Pages()
+	if len(pages) != 2 {
+		t.Fatalf("Pages() = %v, want both pages", pages)
+	}
+	for _, p := range pages {
+		if p.Page == "/best_sellers" && p.Errors != 1 {
+			t.Fatalf("Pages() missed error-only page: %+v", p)
+		}
+	}
+	s.Reset()
+	if s.PageErrors("/home") != 0 || s.Errors() != 0 {
+		t.Fatal("Reset did not clear errors")
+	}
+}
+
 func TestExtractImages(t *testing.T) {
 	html := []byte(`<img src="/img/a.gif"><img src="/img/b.gif"><img src="/img/a.gif"><img src="">`)
 	imgs := extractImages(html, 10)
