@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"stagedweb/internal/clock"
+	"stagedweb/internal/dbtier"
 	"stagedweb/internal/harness"
 	"stagedweb/internal/load"
 	"stagedweb/internal/sched"
@@ -167,6 +168,51 @@ func BenchmarkSpikeProfile(b *testing.B) {
 				b.ReportMetric(float64(res.TotalInteractions), "interactions")
 				b.ReportMetric(harness.SeriesMax(res.Series[load.ProbeActive]), "peak-ebs")
 				b.ReportMetric(harness.SeriesMax(res.Series[load.ProbeWIRT]), "worst-wirt-sec")
+			}
+		})
+	}
+}
+
+// BenchmarkScaleoutReplicas runs the miniature browsing-mix experiment
+// on the staged server across database replica counts with a scarce
+// per-backend connection pool — the -exp scaleout comparison: reads
+// route round-robin across backends, so throughput climbs with the
+// replica count while db.wait falls.
+func BenchmarkScaleoutReplicas(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runMini(b, variant.Modified, func(cfg *harness.Config) {
+					cfg.Replicas = replicas
+					cfg.DBConns = 4
+				})
+				b.ReportMetric(float64(res.TotalInteractions), "interactions")
+				b.ReportMetric(harness.SeriesMax(res.Series[variant.ProbeDBWait]), "db-waits")
+			}
+		})
+	}
+}
+
+// BenchmarkDBTierFanOut measures the raw tier write path as replicas
+// grow: every Exec is applied synchronously to each backend, so per-op
+// cost is the price the ordering mix pays for read scale-out.
+func BenchmarkDBTierFanOut(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
+			db.MustCreateTable(sqldb.Schema{
+				Table:      "kv",
+				Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}, {Name: "v", Type: sqldb.String}},
+				PrimaryKey: "id",
+			})
+			tier := dbtier.New(db, dbtier.Options{Replicas: replicas, Conns: 2})
+			defer tier.Close()
+			c := tier.Conn()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Exec("INSERT INTO kv (id, v) VALUES (?, 'x')", i+1); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -352,7 +398,7 @@ func BenchmarkTemplateRenderTPCWPage(b *testing.B) {
 }
 
 func BenchmarkSQLPointQuery(b *testing.B) {
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	if err := tpcw.CreateTables(db); err != nil {
 		b.Fatal(err)
 	}
@@ -370,7 +416,7 @@ func BenchmarkSQLPointQuery(b *testing.B) {
 }
 
 func BenchmarkSQLScanQuery(b *testing.B) {
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	if err := tpcw.CreateTables(db); err != nil {
 		b.Fatal(err)
 	}
@@ -390,7 +436,7 @@ func BenchmarkSQLScanQuery(b *testing.B) {
 }
 
 func BenchmarkSQLBestSellersAggregate(b *testing.B) {
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	if err := tpcw.CreateTables(db); err != nil {
 		b.Fatal(err)
 	}

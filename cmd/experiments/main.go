@@ -54,7 +54,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison")
+		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep")
 		scale    = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
 		ebs      = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
 		measure  = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
@@ -67,6 +67,8 @@ func run(args []string, out io.Writer) error {
 		loadProf = fs.String("load", "", "load profile driving the client side (registered: "+strings.Join(load.Names(), ", ")+"; empty = steady)")
 		mix      = fs.String("mix", "", "TPC-W page mix: "+strings.Join(tpcw.MixNames(), ", ")+" (empty = browsing)")
 		ebsSweep = fs.String("ebs-sweep", "", "comma-separated EB levels (e.g. 100,200,300,400): run the saturation ramp across every variant")
+		replicas = fs.String("replicas", "1,2,4", "comma-separated replica counts swept by -exp scaleout")
+		dbConns  = fs.Int("dbconns", 0, "connections per database backend in -exp scaleout (0 = auto: dynamic budget / 6)")
 		parallel = fs.Int("parallel", 1, "concurrent sweep runs (>1 trades timing fidelity for wall time)")
 		sets     variant.SettingsFlag
 		loadSets variant.SettingsFlag
@@ -130,14 +132,31 @@ func run(args []string, out io.Writer) error {
 	// the saturation-knee table. It cannot be combined with the spike
 	// mode — reject instead of silently dropping one of them.
 	if *ebsSweep != "" {
-		if want["spike"] {
-			return fmt.Errorf("-ebs-sweep and -exp spike are separate modes; run them separately")
+		if want["spike"] || want["scaleout"] {
+			return fmt.Errorf("-ebs-sweep and -exp %s are separate modes; run them separately", *exp)
 		}
 		levels, err := parseInts(*ebsSweep)
 		if err != nil {
 			return fmt.Errorf("-ebs-sweep: %w", err)
 		}
 		return runEBSweep(ctx, out, opts, build, names, levels, *csvDir, *jsonDir)
+	}
+
+	// The replica sweep is its own mode too: every variant at every
+	// replica count, under both the read-heavy browsing mix and the
+	// write-heavy ordering mix.
+	if want["scaleout"] {
+		if len(want) > 1 {
+			return fmt.Errorf("-exp scaleout is a standalone mode; run other experiments separately")
+		}
+		if *mix != "" {
+			return fmt.Errorf("-exp scaleout sweeps the browsing and ordering mixes itself; drop -mix %s", *mix)
+		}
+		levels, err := parseInts(*replicas)
+		if err != nil {
+			return fmt.Errorf("-replicas: %w", err)
+		}
+		return runScaleout(ctx, out, opts, build, names, levels, *dbConns, *csvDir, *jsonDir)
 	}
 
 	// The flash-crowd comparison is its own mode (not part of -exp all):
@@ -243,6 +262,86 @@ func runSpike(ctx context.Context, out io.Writer, opts harness.SweepOptions,
 	if len(names) >= 2 {
 		fmt.Fprintf(out, "throughput gain through the crowd: %+.1f%%\n",
 			sw.GainPercent(names[0]+"/"+load.Spike, names[1]+"/"+load.Spike))
+	}
+	fmt.Fprintln(out)
+	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
+}
+
+// runScaleout runs every variant at every replica count under the
+// read-heavy browsing mix and the write-heavy ordering mix, with the
+// per-backend connection pool deliberately scarcer than the worker pools
+// so the database tier — not the workers — is the ceiling. Browsing
+// throughput should rise with replica count (reads route round-robin
+// across backends); ordering throughput pays the synchronous write
+// fan-out on every backend.
+func runScaleout(ctx context.Context, out io.Writer, opts harness.SweepOptions,
+	build func(string) harness.Config, names []string, levels []int, dbConns int,
+	csvDir, jsonDir string) error {
+	mixes := []string{"browsing", "ordering"}
+	cellName := func(name, mix string, level int) string {
+		return fmt.Sprintf("%s/%s/replicas=%d", name, mix, level)
+	}
+	var scenarios []harness.Scenario
+	for _, name := range names {
+		for _, mix := range mixes {
+			for _, level := range levels {
+				cfg := build(name).With(func(c *harness.Config) {
+					c.Mix = mix
+					c.Replicas = level
+					c.DBConns = dbConns
+					if c.DBConns <= 0 {
+						// Auto: a sixth of the dynamic-worker budget, so
+						// connection acquisition (db.wait) and engine
+						// capacity, not worker counts, bound throughput.
+						if budget := c.GeneralWorkers + c.LengthyWorkers; budget > 0 {
+							c.DBConns = max(2, budget/6)
+						} else {
+							c.DBConns = 8
+						}
+					}
+				})
+				scenarios = append(scenarios, harness.Scenario{
+					Name:   cellName(name, mix, level),
+					Config: cfg,
+				})
+			}
+		}
+	}
+	fmt.Fprintf(out, "scale-out: %d variant(s) x {browsing, ordering} x %d replica levels...\n",
+		len(names), len(levels))
+	sw, sweepErr := harness.SweepWith(ctx, opts, scenarios)
+
+	fmt.Fprintf(out, "\nreplica scale-out (interactions per measurement window)\n")
+	fmt.Fprintf(out, "%9s", "replicas")
+	for _, name := range names {
+		for _, mix := range mixes {
+			fmt.Fprintf(out, " %22s", name+"/"+mix)
+		}
+	}
+	fmt.Fprintln(out)
+	for _, level := range levels {
+		fmt.Fprintf(out, "%9d", level)
+		for _, name := range names {
+			for _, mix := range mixes {
+				res := sw.Result(cellName(name, mix, level))
+				if res == nil {
+					fmt.Fprintf(out, " %22s", "-")
+					continue
+				}
+				fmt.Fprintf(out, " %22d", res.TotalInteractions)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if len(levels) >= 2 {
+		lo, hi := levels[0], levels[len(levels)-1]
+		for _, name := range names {
+			for _, mix := range mixes {
+				fmt.Fprintf(out, "%s gain at %d vs %d replicas: %+.1f%%\n",
+					name+"/"+mix, hi, lo,
+					sw.GainPercent(cellName(name, mix, lo), cellName(name, mix, hi)))
+			}
+		}
 	}
 	fmt.Fprintln(out)
 	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))

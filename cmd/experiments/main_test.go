@@ -10,6 +10,7 @@ import (
 
 	"stagedweb/internal/harness"
 	"stagedweb/internal/load"
+	"stagedweb/internal/variant"
 )
 
 // TestExperimentsSmoke drives the public experiment API end to end:
@@ -162,6 +163,49 @@ func TestExperimentsSpike(t *testing.T) {
 	}
 }
 
+// TestExperimentsScaleout exercises the replica-sweep mode: the staged
+// variant across replica counts under both mixes, with the db.* tier
+// series in the JSON artifacts.
+func TestExperimentsScaleout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead swamps the paper-time calibration")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	args := []string{
+		"-quick", "-exp", "scaleout", "-scale", "400",
+		"-ebs", "30", "-measure", "60s",
+		"-variants", "modified", "-replicas", "1,2",
+		"-json", dir,
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"replica scale-out", "modified/browsing", "modified/ordering", "gain at 2 vs 1 replicas"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{
+		"modified_browsing_replicas_1", "modified_browsing_replicas_2",
+		"modified_ordering_replicas_1", "modified_ordering_replicas_2",
+	} {
+		raw, err := os.ReadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("scaleout artifact missing: %v", err)
+		}
+		for _, probe := range []string{variant.ProbeDBInUse, variant.ProbeDBWait, variant.ProbeDBQueries} {
+			if !strings.Contains(string(raw), `"`+probe+`"`) {
+				t.Errorf("%s.json misses %s series", name, probe)
+			}
+		}
+	}
+}
+
 func TestExperimentsFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-set", "nonsense"}, &buf); err == nil {
@@ -193,6 +237,22 @@ func TestExperimentsFlagValidation(t *testing.T) {
 	if err := run([]string{"-exp", "spike", "-ebs-sweep", "10,20"}, &buf); err == nil ||
 		!strings.Contains(err.Error(), "separate modes") {
 		t.Errorf("-exp spike -ebs-sweep accepted: %v", err)
+	}
+	// -exp scaleout is standalone too, and owns the mix axis itself.
+	if err := run([]string{"-exp", "scaleout,table3"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "standalone") {
+		t.Errorf("-exp scaleout,table3 accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "scaleout", "-mix", "shopping"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "mixes itself") {
+		t.Errorf("-exp scaleout -mix accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "scaleout", "-replicas", "1,frog"}, &buf); err == nil {
+		t.Error("malformed -replicas accepted")
+	}
+	if err := run([]string{"-exp", "scaleout", "-ebs-sweep", "10,20"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "separate modes") {
+		t.Errorf("-exp scaleout -ebs-sweep accepted: %v", err)
 	}
 	// Table 2 needs no server runs and must work for any -variants.
 	buf.Reset()

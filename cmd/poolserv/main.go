@@ -99,7 +99,7 @@ func run(args []string) error {
 	settings := collectSettings(fs, workers, general, lengthy, noReserve, sets.Settings)
 
 	ts := clock.Timescale(*scale)
-	db := sqldb.Open(sqldb.Options{Timescale: ts, Cost: sqldb.DefaultCostModel()})
+	db := sqldb.Open(sqldb.Options{Timescale: ts})
 	if err := tpcw.CreateTables(db); err != nil {
 		return err
 	}

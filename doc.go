@@ -20,6 +20,17 @@
 // a named first-class value (internal/load), and the experiment harness
 // that regenerates the paper's tables and figures (internal/harness).
 //
+// Scaling past one database, internal/dbtier fronts a primary plus N-1
+// cloned read replicas behind the same Conn-shaped Query/Exec surface
+// handlers use (server.DBConn): reads route round-robin, DML fans out
+// synchronously through the primary's apply hook, and every statement
+// acquires a pooled per-backend connection through an instrumented path
+// (the db.inuse/db.wait/db.queries probe series). It absorbs and
+// replaces the former internal/dbpool package. Both server variants take
+// replicas=N / dbconns=K purely as configuration, and
+// cmd/experiments -exp scaleout sweeps replica counts under the
+// browsing and ordering mixes.
+//
 // See README.md for the architecture, a walkthrough, design notes, and
 // how to run the experiments. The root-level bench_test.go regenerates
 // each table and figure as a Go benchmark.

@@ -119,7 +119,7 @@ func main() {
 }
 
 func run() error {
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	db.MustCreateTable(sqldb.Schema{
 		Table: "post",
 		Columns: []sqldb.Column{

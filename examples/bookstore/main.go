@@ -39,7 +39,7 @@ func run() error {
 	db := sqldb.Open(sqldb.Options{
 		Clock:     clock.Precise{},
 		Timescale: scale,
-		Cost:      cost,
+		Cost:      &cost,
 	})
 	if err := tpcw.CreateTables(db); err != nil {
 		return err

@@ -78,7 +78,7 @@ func main() {
 
 func run() error {
 	// 1. An embedded database with one table.
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	db.MustCreateTable(sqldb.Schema{
 		Table: "entry",
 		Columns: []sqldb.Column{

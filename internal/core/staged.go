@@ -28,9 +28,9 @@ import (
 	"time"
 
 	"stagedweb/internal/clock"
+	"stagedweb/internal/dbtier"
 	"stagedweb/internal/httpwire"
 	"stagedweb/internal/metrics"
-	"stagedweb/internal/pool"
 	"stagedweb/internal/sched"
 	"stagedweb/internal/server"
 	"stagedweb/internal/sqldb"
@@ -53,9 +53,18 @@ const (
 type Config struct {
 	// App is the application to serve.
 	App server.App
-	// DB is the database; each dynamic worker owns one connection, so the
-	// connection budget is GeneralWorkers + LengthyWorkers.
+	// DB is the primary database. The server fronts it with a dbtier
+	// (Replicas backends, DBConns pooled connections per backend), and
+	// only dynamic workers execute statements through it — rendering and
+	// static pools never touch a connection, the paper's point.
 	DB *sqldb.DB
+	// Replicas is the total number of database backends (primary
+	// included); values below 1 mean 1 — no replication.
+	Replicas int
+	// DBConns is the connection pool size per backend. It defaults to
+	// GeneralWorkers + LengthyWorkers, the dynamic-worker budget, so by
+	// default acquisition never waits.
+	DBConns int
 
 	// Pool sizes. The paper sizes the general pool at four times the
 	// lengthy pool. Zero values take the defaults below.
@@ -177,6 +186,7 @@ type Server struct {
 
 	dispatcher *sched.Dispatcher
 	controller *sched.Controller
+	tier       *dbtier.Tier
 
 	// Per-target dispatch decision counts, fed by the dispatcher hook.
 	dispatchedGeneral metrics.Counter
@@ -186,7 +196,10 @@ type Server struct {
 	listener net.Listener
 	stopped  bool
 	stopOnce sync.Once
-	conns    []*sqldb.Conn
+	// parked tracks keep-alive connections awaiting their next request;
+	// Stop aborts them so shutdown never waits out the idle timeout.
+	parked map[*server.Conn]struct{}
+	parkWG sync.WaitGroup
 }
 
 // New validates the configuration and builds the staged server.
@@ -198,7 +211,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("core: nil DB")
 	}
 	cfg.fillDefaults()
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, parked: make(map[*server.Conn]struct{})}
 	s.tr = server.NewTransport(server.TransportConfig{
 		IdleTimeout: cfg.IdleTimeout,
 		Clock:       cfg.Clock,
@@ -232,34 +245,26 @@ func New(cfg Config) (*Server, error) {
 		Work: s.staticWork,
 	})
 
-	// Database connections are created for dynamic workers only.
-	generalConns := pool.NewQueue[*sqldb.Conn](cfg.GeneralWorkers)
-	lengthyConns := pool.NewQueue[*sqldb.Conn](cfg.LengthyWorkers)
-	for i := 0; i < cfg.GeneralWorkers; i++ {
-		c := cfg.DB.Connect()
-		s.conns = append(s.conns, c)
-		_ = generalConns.Put(c)
+	// The database tier serves dynamic workers only: by default one
+	// backend with one pooled connection per dynamic worker, so their
+	// statements never wait; with replicas, reads route round-robin and
+	// writes fan out synchronously.
+	if cfg.DBConns <= 0 {
+		cfg.DBConns = cfg.GeneralWorkers + cfg.LengthyWorkers
 	}
-	for i := 0; i < cfg.LengthyWorkers; i++ {
-		c := cfg.DB.Connect()
-		s.conns = append(s.conns, c)
-		_ = lengthyConns.Put(c)
-	}
+	s.tier = dbtier.New(cfg.DB, dbtier.Options{
+		Replicas: cfg.Replicas,
+		Conns:    cfg.DBConns,
+		Clock:    cfg.Clock,
+	})
+	dbc := s.tier.Conn()
 	s.general = stage.New(stage.Config[*dynTask]{
 		Name: StageGeneral, Workers: cfg.GeneralWorkers, QueueCap: cfg.QueueCap,
-		Work: func(t *dynTask) {
-			dbc, _ := generalConns.Get()
-			s.dynamicWork(t, dbc)
-			_, _ = generalConns.TryPut(dbc)
-		},
+		Work: func(t *dynTask) { s.dynamicWork(t, dbc) },
 	})
 	s.lengthy = stage.New(stage.Config[*dynTask]{
 		Name: StageLengthy, Workers: cfg.LengthyWorkers, QueueCap: cfg.QueueCap,
-		Work: func(t *dynTask) {
-			dbc, _ := lengthyConns.Get()
-			s.dynamicWork(t, dbc)
-			_, _ = lengthyConns.TryPut(dbc)
-		},
+		Work: func(t *dynTask) { s.dynamicWork(t, dbc) },
 	})
 	s.render = stage.New(stage.Config[*renderTask]{
 		Name: StageRender, Workers: cfg.RenderWorkers, QueueCap: cfg.QueueCap,
@@ -305,13 +310,19 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Stop shuts the pipeline down in flow order, draining each stage. It is
-// safe to call before, during, or after Serve, and is idempotent.
+// safe to call before, during, or after Serve, and is idempotent. Parked
+// keep-alive connections are aborted rather than left to age out their
+// idle timeout, so shutdown is prompt and leaves no park goroutines
+// behind.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	s.stopped = true
 	l := s.listener
 	ctl := s.controller
 	s.controller = nil
+	for c := range s.parked {
+		c.Abort()
+	}
 	s.mu.Unlock()
 	if l != nil {
 		_ = l.Close()
@@ -321,9 +332,8 @@ func (s *Server) Stop() {
 	}
 	s.stopOnce.Do(func() {
 		s.graph.Stop()
-		for _, c := range s.conns {
-			c.Close()
-		}
+		s.parkWG.Wait()
+		s.tier.Close()
 	})
 }
 
@@ -378,17 +388,17 @@ func (s *Server) staticWork(t *staticTask) {
 	s.recycle(t.c, s.tr.ServeStatic(t.c, s.cfg.App, t.line.Path, req.KeepAlive()))
 }
 
-// dynamicWork runs the page handler on a worker that owns a database
-// connection, measures data-generation time, and hands deferred results
-// to the rendering pool.
-func (s *Server) dynamicWork(t *dynTask, dbc *sqldb.Conn) {
+// dynamicWork runs the page handler on a worker whose statements go
+// through the database tier, measures data-generation time on the
+// injected clock, and hands deferred results to the rendering pool.
+func (s *Server) dynamicWork(t *dynTask, dbc server.DBConn) {
 	handler, ok := s.cfg.App.Handler(t.req.Line.Path)
 	if !ok {
 		s.recycle(t.c, s.tr.DirectReply(t.c, t.key, s.classOf(t.key),
 			httpwire.StatusNotFound, []byte("not found"), "text/plain; charset=utf-8", false))
 		return
 	}
-	start := time.Now()
+	start := s.cfg.Clock.Now()
 	res, err := handler(&server.Request{
 		Path:   t.req.Line.Path,
 		Query:  t.req.Query,
@@ -408,7 +418,7 @@ func (s *Server) dynamicWork(t *dynTask, dbc *sqldb.Conn) {
 		// rendering happens elsewhere.
 		rt := &renderTask{c: t.c, req: t.req, key: t.key, result: res}
 		putErr := s.render.Submit(rt)
-		s.dispatcher.Classifier().Record(t.key, s.cfg.Scale.Paper(time.Since(start)))
+		s.dispatcher.Classifier().Record(t.key, s.cfg.Scale.Paper(s.cfg.Clock.Since(start)))
 		if putErr != nil {
 			t.c.Close()
 		}
@@ -420,7 +430,7 @@ func (s *Server) dynamicWork(t *dynTask, dbc *sqldb.Conn) {
 	// the scheduling benefit is lost for such pages, as the paper notes,
 	// and the render cost is charged here on the connection-holding
 	// worker.
-	s.dispatcher.Classifier().Record(t.key, s.cfg.Scale.Paper(time.Since(start)))
+	s.dispatcher.Classifier().Record(t.key, s.cfg.Scale.Paper(s.cfg.Clock.Since(start)))
 	s.recycle(t.c, s.tr.FinishDynamic(t.c, s.cfg.App, t.key, s.classOf(t.key), res, t.req.KeepAlive()))
 }
 
@@ -441,15 +451,30 @@ func (s *Server) recycle(c *server.Conn, keep bool) {
 		c.Close()
 		return
 	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.parked[c] = struct{}{}
+	s.parkWG.Add(1)
+	s.mu.Unlock()
 	go s.awaitNextRequest(c)
 }
 
 // awaitNextRequest blocks until the connection has readable data (the
 // next pipelined request), then hands it back to the header stage. EOF,
-// timeout, or a full/closed queue close the connection; full-queue drops
-// are counted as shed on the header stage.
+// timeout, an Abort from Stop, or a full/closed queue close the
+// connection; full-queue drops are counted as shed on the header stage.
 func (s *Server) awaitNextRequest(c *server.Conn) {
-	if c.AwaitReadable() != nil {
+	defer s.parkWG.Done()
+	err := c.AwaitReadable()
+	s.mu.Lock()
+	delete(s.parked, c)
+	stopped := s.stopped
+	s.mu.Unlock()
+	if err != nil || stopped {
 		c.Close()
 		return
 	}
@@ -469,6 +494,9 @@ func (s *Server) classOf(key string) server.Class {
 
 // Graph exposes the stage graph for uniform stats snapshots.
 func (s *Server) Graph() *stage.Graph { return s.graph }
+
+// Tier exposes the database tier for the db.* probes.
+func (s *Server) Tier() *dbtier.Tier { return s.tier }
 
 // QueueLens reports the current length of every stage queue, keyed by
 // stage name. The general and lengthy entries are Figures 8(a) and 8(b).

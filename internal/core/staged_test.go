@@ -23,7 +23,7 @@ type testEnv struct {
 
 func startStaged(t *testing.T, app *webtest.App, mutate func(*core.Config)) *testEnv {
 	t.Helper()
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	db.MustCreateTable(sqldb.Schema{
 		Table:      "kv",
 		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}, {Name: "v", Type: sqldb.String}},
@@ -337,7 +337,7 @@ func TestStagedManyConcurrentClients(t *testing.T) {
 }
 
 func TestStagedConfigValidation(t *testing.T) {
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	if _, err := core.New(core.Config{DB: db}); err == nil {
 		t.Fatal("nil App accepted")
 	}

@@ -1,0 +1,303 @@
+// Package dbtier fronts a replicated database tier: one primary sqldb.DB
+// plus N-1 read replicas cloned from it, behind the same Conn-shaped
+// Query/Exec surface application handlers already use. Reads are routed
+// round-robin across every backend; DML is executed on the primary and
+// fanned out synchronously to every replica (via the primary's
+// sqldb.ApplyFunc hook, which fires under the table's write lock), so the
+// embedded engines stay byte-for-byte consistent and a handler always
+// reads its own writes.
+//
+// The tier also owns the "precious database connection resources" the
+// DSN'09 paper husbands: each backend engine has a fixed pool of
+// connections (absorbing the former internal/dbpool package), and every
+// statement acquires one through an instrumented path — an in-use gauge,
+// a wait counter, and a wait-time histogram, surfaced by the server
+// variants as the db.inuse / db.wait / db.queries probes. Because a
+// pooled connection executes one statement at a time, the per-backend
+// pool size is also the engine's statement concurrency: a single backend
+// saturates once its pool is busy, and adding replicas multiplies read
+// capacity while writes pay the fan-out on every backend.
+package dbtier
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/metrics"
+	"stagedweb/internal/sqldb"
+)
+
+// ErrTierClosed is returned by statement execution after Close.
+var ErrTierClosed = errors.New("dbtier: tier closed")
+
+// Options configures a Tier.
+type Options struct {
+	// Replicas is the total number of backend engines, primary included.
+	// Values below 1 mean 1: just the primary, no fan-out — exactly the
+	// single-database behavior the tier replaces.
+	Replicas int
+	// Conns is the connection pool size per backend — the per-engine
+	// statement concurrency. It must be positive.
+	Conns int
+	// Clock times acquisition waits; defaults to the real clock.
+	Clock clock.Clock
+}
+
+// backend is one engine plus its bounded connection pool.
+type backend struct {
+	db    *sqldb.DB
+	conns chan *sqldb.Conn
+}
+
+// Tier is a replicated database tier. Handlers reach it through Conn
+// values (see Conn), which are safe for concurrent use.
+type Tier struct {
+	backends []*backend // [0] is the primary
+	clk      clock.Clock
+	poolSize int
+
+	next      atomic.Uint64 // round-robin read cursor
+	done      chan struct{}
+	closeOnce sync.Once
+	// closeMu orders release against Close: once closed is set no new
+	// connection can land in a pool channel, so Close's drain is final.
+	closeMu sync.Mutex
+	closed  bool
+
+	inUse      metrics.Gauge
+	waits      metrics.Counter
+	waitTime   metrics.Histogram
+	replayErrs metrics.Counter
+}
+
+// New builds a tier over primary. Replicas beyond the first are cloned
+// from the primary's current contents (schema, rows, auto-increment
+// state), so build the tier after the database is populated. With more
+// than one backend the tier installs the primary's apply hook; Close
+// removes it.
+func New(primary *sqldb.DB, opts Options) *Tier {
+	if primary == nil {
+		panic("dbtier: nil primary")
+	}
+	if opts.Conns <= 0 {
+		panic("dbtier: non-positive connection pool size")
+	}
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	t := &Tier{
+		clk:      opts.Clock,
+		poolSize: opts.Conns,
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < opts.Replicas; i++ {
+		db := primary
+		if i > 0 {
+			db = primary.Clone()
+		}
+		b := &backend{db: db, conns: make(chan *sqldb.Conn, opts.Conns)}
+		for j := 0; j < opts.Conns; j++ {
+			b.conns <- db.Connect()
+		}
+		t.backends = append(t.backends, b)
+	}
+	if len(t.backends) > 1 {
+		primary.SetApplyHook(t.replay)
+	}
+	return t
+}
+
+// Conn returns a connection facade for handlers. Unlike a raw
+// sqldb.Conn, a tier Conn is safe for concurrent use: every statement
+// acquires a pooled backend connection for just its own execution.
+func (t *Tier) Conn() *Conn { return &Conn{t: t} }
+
+// Close shuts the tier down: waiting acquisitions fail, pooled
+// connections are closed (connections currently executing are closed as
+// they are released), and the primary's apply hook is removed.
+// Idempotent.
+func (t *Tier) Close() {
+	t.closeOnce.Do(func() {
+		t.closeMu.Lock()
+		t.closed = true
+		close(t.done)
+		t.closeMu.Unlock()
+		t.backends[0].db.SetApplyHook(nil)
+		// No release can add to a pool once closed is set, so a single
+		// drain closes every pooled connection for good.
+		for _, b := range t.backends {
+			for drained := false; !drained; {
+				select {
+				case c := <-b.conns:
+					c.Close()
+				default:
+					drained = true
+				}
+			}
+		}
+	})
+}
+
+// acquire obtains a pooled connection to backend b, blocking until one
+// frees up or the tier closes. Waits are counted and timed through the
+// injected clock.
+func (t *Tier) acquire(b *backend) (*sqldb.Conn, error) {
+	select {
+	case <-t.done:
+		return nil, ErrTierClosed
+	default:
+	}
+	// Fast path: no blocking.
+	select {
+	case c := <-b.conns:
+		t.inUse.Inc()
+		return c, nil
+	default:
+	}
+	t.waits.Inc()
+	start := t.clk.Now()
+	select {
+	case c := <-b.conns:
+		t.waitTime.Observe(t.clk.Since(start))
+		t.inUse.Inc()
+		return c, nil
+	case <-t.done:
+		return nil, ErrTierClosed
+	}
+}
+
+// release returns a pooled connection; after Close it is closed instead.
+func (t *Tier) release(b *backend, c *sqldb.Conn) {
+	t.inUse.Dec()
+	t.closeMu.Lock()
+	if t.closed {
+		t.closeMu.Unlock()
+		c.Close()
+		return
+	}
+	select {
+	case b.conns <- c:
+		t.closeMu.Unlock()
+	default:
+		t.closeMu.Unlock()
+		panic("dbtier: released more connections than acquired")
+	}
+}
+
+// readBackend picks the next backend in the read rotation. The modulo
+// runs in uint64 so the cursor's eventual wrap can never yield a
+// negative index, even where int is 32 bits.
+func (t *Tier) readBackend() *backend {
+	return t.backends[int(t.next.Add(1)%uint64(len(t.backends)))]
+}
+
+// replay applies one DML statement to every replica, in parallel, and
+// waits for all of them — the synchronous write fan-out. It runs as the
+// primary's apply hook, under the primary's table write lock, which
+// serializes same-table DML across the whole tier and keeps replica
+// auto-increment assignment identical to the primary's.
+func (t *Tier) replay(sql string, args []sqldb.Value) {
+	anyArgs := make([]any, len(args))
+	for i, v := range args {
+		anyArgs[i] = v
+	}
+	var wg sync.WaitGroup
+	for _, b := range t.backends[1:] {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			c, err := t.acquire(b)
+			if err != nil {
+				t.replayErrs.Inc()
+				return
+			}
+			defer t.release(b, c)
+			if _, err := c.Exec(sql, anyArgs...); err != nil {
+				t.replayErrs.Inc()
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// ---- introspection ----
+
+// Replicas reports the number of backend engines, primary included.
+func (t *Tier) Replicas() int { return len(t.backends) }
+
+// Size reports the connection pool size per backend.
+func (t *Tier) Size() int { return t.poolSize }
+
+// Primary returns the primary engine.
+func (t *Tier) Primary() *sqldb.DB { return t.backends[0].db }
+
+// Backends lists every engine, primary first.
+func (t *Tier) Backends() []*sqldb.DB {
+	out := make([]*sqldb.DB, len(t.backends))
+	for i, b := range t.backends {
+		out[i] = b.db
+	}
+	return out
+}
+
+// InUse reports how many pooled connections are currently executing,
+// across all backends.
+func (t *Tier) InUse() int { return int(t.inUse.Value()) }
+
+// WaitCount reports how many acquisitions had to block.
+func (t *Tier) WaitCount() int64 { return t.waits.Value() }
+
+// WaitTimes exposes the acquisition wait-time histogram (measured
+// through the tier's clock).
+func (t *Tier) WaitTimes() *metrics.Histogram { return &t.waitTime }
+
+// QueryCount reports statements executed across all backends; replayed
+// writes count once per backend they were applied to.
+func (t *Tier) QueryCount() int64 {
+	var n int64
+	for _, b := range t.backends {
+		n += b.db.QueryCount()
+	}
+	return n
+}
+
+// ReplayErrors reports replica statements that failed to apply — zero in
+// a healthy tier, since replicas replay the primary's exact statement
+// stream from an identical starting state.
+func (t *Tier) ReplayErrors() int64 { return t.replayErrs.Value() }
+
+// Conn is the handler-facing connection facade: the same Query/Exec
+// shape as a *sqldb.Conn, with reads routed round-robin across backends
+// and writes executed on the primary (whose apply hook fans them out).
+type Conn struct {
+	t *Tier
+}
+
+// Query executes a SELECT on the next backend in the read rotation.
+func (c *Conn) Query(sql string, args ...any) (*sqldb.ResultSet, error) {
+	b := c.t.readBackend()
+	bc, err := c.t.acquire(b)
+	if err != nil {
+		return nil, err
+	}
+	defer c.t.release(b, bc)
+	return bc.Query(sql, args...)
+}
+
+// Exec executes a DML statement on the primary; with replicas present
+// the statement is synchronously replayed to every one of them before
+// Exec returns.
+func (c *Conn) Exec(sql string, args ...any) (sqldb.ExecResult, error) {
+	b := c.t.backends[0]
+	bc, err := c.t.acquire(b)
+	if err != nil {
+		return sqldb.ExecResult{}, err
+	}
+	defer c.t.release(b, bc)
+	return bc.Exec(sql, args...)
+}

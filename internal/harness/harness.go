@@ -144,6 +144,11 @@ type Config struct {
 	RenderWorkers  int           `json:"render_workers,omitempty"`
 	MinReserve     int           `json:"min_reserve,omitempty"`
 	Cutoff         time.Duration `json:"cutoff_ns,omitempty"`
+	// Database-tier sizing (both variants): total backends (primary +
+	// read replicas; 0 or 1 means a single database) and the connection
+	// pool size per backend (0 means the variant's worker budget).
+	Replicas int `json:"replicas,omitempty"`
+	DBConns  int `json:"db_conns,omitempty"`
 
 	// Set holds explicit variant-setting overrides, layered over the
 	// typed fields above. Unlike the typed fields, a key the variant
@@ -205,6 +210,8 @@ func (c Config) settings() variant.Settings {
 	put("lengthy", c.LengthyWorkers)
 	put("render", c.RenderWorkers)
 	put("minreserve", c.MinReserve)
+	put("replicas", c.Replicas)
+	put("dbconns", c.DBConns)
 	if c.Cutoff > 0 {
 		s["cutoff"] = c.Cutoff.String()
 	}
@@ -366,7 +373,7 @@ func Run(cfg Config) (*Result, error) {
 	db := sqldb.Open(sqldb.Options{
 		Clock:     clock.Precise{},
 		Timescale: cfg.Scale,
-		Cost:      cfg.Cost,
+		Cost:      &cfg.Cost,
 	})
 	if err := tpcw.CreateTables(db); err != nil {
 		return nil, err

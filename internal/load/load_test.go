@@ -143,7 +143,7 @@ func TestProfileValidation(t *testing.T) {
 // startBookstore boots a staged server with a small TPC-W population.
 func startBookstore(t *testing.T) (addr string, counts tpcw.Counts) {
 	t.Helper()
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	if err := tpcw.CreateTables(db); err != nil {
 		t.Fatal(err)
 	}

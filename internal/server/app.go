@@ -27,6 +27,17 @@ import (
 	"stagedweb/internal/template"
 )
 
+// DBConn is the connection-shaped database surface handlers program
+// against: exactly the Query/Exec methods of a *sqldb.Conn. A direct
+// connection satisfies it, and so does a dbtier connection that routes
+// reads across replicas — handlers cannot tell the difference.
+type DBConn interface {
+	// Query executes a SELECT and returns the materialized result.
+	Query(sql string, args ...any) (*sqldb.ResultSet, error)
+	// Exec executes an INSERT, UPDATE, or DELETE.
+	Exec(sql string, args ...any) (sqldb.ExecResult, error)
+}
+
 // Request is the application-visible request.
 type Request struct {
 	// Path is the request path, e.g. "/best_sellers".
@@ -37,7 +48,7 @@ type Request struct {
 	Header httpwire.Header
 	// DB is the database connection owned by the worker executing the
 	// handler. Handlers must not retain it past their return.
-	DB *sqldb.Conn
+	DB DBConn
 }
 
 // Result is what a handler returns.
@@ -111,9 +122,10 @@ type CompletionEvent struct {
 	Class Class
 	// Status is the HTTP status sent.
 	Status int
-	// Done is the completion wall time.
+	// Done is the completion time as read from the transport's injected
+	// clock (wall time under clock.Real, manual time under clock.Manual).
 	Done time.Time
-	// ServerTime is the wall duration from request acquisition to
+	// ServerTime is the clock duration from request acquisition to
 	// response written (server-side view; the client measures WIRT).
 	ServerTime time.Duration
 }

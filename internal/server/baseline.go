@@ -8,8 +8,8 @@ import (
 	"time"
 
 	"stagedweb/internal/clock"
+	"stagedweb/internal/dbtier"
 	"stagedweb/internal/httpwire"
-	"stagedweb/internal/pool"
 	"stagedweb/internal/sqldb"
 	"stagedweb/internal/stage"
 )
@@ -18,13 +18,22 @@ import (
 type BaselineConfig struct {
 	// App is the application to serve.
 	App App
-	// DB is the database. Every worker opens and owns one connection for
-	// its lifetime — the convention the paper's Section 1 describes. The
-	// worker count therefore equals the connection budget.
+	// DB is the primary database. The server fronts it with a dbtier
+	// (Replicas backends, DBConns pooled connections per backend) and
+	// workers execute their statements through it — with the defaults
+	// (one backend, one connection per worker) this is exactly the
+	// paper's convention of a worker owning a connection.
 	DB *sqldb.DB
-	// Workers is the size of the single thread pool (and the number of
-	// database connections held).
+	// Workers is the size of the single thread pool (and the default
+	// database connection budget).
 	Workers int
+	// Replicas is the total number of database backends (primary
+	// included); values below 1 mean 1 — no replication.
+	Replicas int
+	// DBConns is the connection pool size per backend; it defaults to
+	// Workers, so acquisition only ever waits when configured scarcer
+	// than the worker pool.
+	DBConns int
 	// QueueCap bounds the accept queue. Defaults to 4096.
 	QueueCap int
 	// IdleTimeout bounds how long a worker waits for the next request on
@@ -51,12 +60,12 @@ type Baseline struct {
 	tr      *Transport
 	graph   *stage.Graph
 	workers *stage.Stage[*Conn]
+	tier    *dbtier.Tier
 
 	mu       sync.Mutex
 	listener net.Listener
 	stopped  bool
 	stopOnce sync.Once
-	conns    []*sqldb.Conn
 }
 
 // NewBaseline validates the configuration and builds the server.
@@ -82,27 +91,23 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 		OnComplete:  cfg.OnComplete,
 	})
 
-	// Each worker owns a dedicated database connection for its lifetime.
-	workerConns := pool.NewQueue[*sqldb.Conn](cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		c := cfg.DB.Connect()
-		s.conns = append(s.conns, c)
-		if err := workerConns.Put(c); err != nil {
-			return nil, fmt.Errorf("server: seeding worker connections: %w", err)
-		}
+	// The database tier fronts the primary: by default one backend with
+	// one pooled connection per worker, so a worker's statements never
+	// wait — the paper's one-connection-per-thread convention.
+	if cfg.DBConns <= 0 {
+		cfg.DBConns = cfg.Workers
 	}
+	s.tier = dbtier.New(cfg.DB, dbtier.Options{
+		Replicas: cfg.Replicas,
+		Conns:    cfg.DBConns,
+		Clock:    cfg.Clock,
+	})
+	dbc := s.tier.Conn()
 	s.workers = stage.New(stage.Config[*Conn]{
 		Name:     "baseline",
 		Workers:  cfg.Workers,
 		QueueCap: cfg.QueueCap,
-		Work: func(c *Conn) {
-			// Bind a connection to this goroutine for the duration of the
-			// request; workers outnumber neither conns nor vice versa, so
-			// this never blocks.
-			dbc, _ := workerConns.Get()
-			s.serveConn(c, dbc)
-			_, _ = workerConns.TryPut(dbc)
-		},
+		Work:     func(c *Conn) { s.serveConn(c, dbc) },
 	})
 	s.graph = stage.NewGraph().Add(s.workers)
 	return s, nil
@@ -135,11 +140,12 @@ func (s *Baseline) Stop() {
 	}
 	s.stopOnce.Do(func() {
 		s.graph.Stop()
-		for _, c := range s.conns {
-			c.Close()
-		}
+		s.tier.Close()
 	})
 }
+
+// Tier exposes the database tier for the db.* probes.
+func (s *Baseline) Tier() *dbtier.Tier { return s.tier }
 
 // QueueLen reports the single request queue's length — the series plotted
 // in Figure 7.
@@ -153,7 +159,7 @@ func (s *Baseline) Graph() *stage.Graph { return s.graph }
 
 // serveConn handles every request on one connection (keep-alive loop),
 // all on the same worker with the same database connection.
-func (s *Baseline) serveConn(c *Conn, dbc *sqldb.Conn) {
+func (s *Baseline) serveConn(c *Conn, dbc DBConn) {
 	defer c.Close()
 	for {
 		req, err := c.ReadRequest()

@@ -30,7 +30,7 @@ func startBaseline(t *testing.T, app *webtest.App, workers int, onComplete func(
 // environment for tests that inspect server or database state.
 func startBaselineEnv(t *testing.T, app *webtest.App, workers int, onComplete func(server.CompletionEvent)) *baselineEnv {
 	t.Helper()
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	db.MustCreateTable(sqldb.Schema{
 		Table:      "kv",
 		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}, {Name: "v", Type: sqldb.String}},
@@ -253,7 +253,7 @@ func TestBaselineConcurrentClients(t *testing.T) {
 }
 
 func TestBaselineConfigValidation(t *testing.T) {
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	app := testApp()
 	for name, cfg := range map[string]server.BaselineConfig{
 		"nil app":      {DB: db, Workers: 1},

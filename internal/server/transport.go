@@ -88,12 +88,18 @@ type Conn struct {
 	nc net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
-	// Acquired is when the current request started processing; server-
-	// side response times are measured from it.
+	// Acquired is when the current request started processing, read from
+	// the transport's injected clock; server-side response times are
+	// measured from it. (Socket read deadlines stay on the wall clock —
+	// the kernel does not honor a manual test clock.)
 	Acquired time.Time
 
-	closed atomic.Bool
+	closed  atomic.Bool
+	aborted atomic.Bool
 }
+
+// errAborted reports a connection unparked by Abort during shutdown.
+var errAborted = errors.New("server: connection aborted")
 
 // NewConn wraps nc with pooled buffers. Callers must Close the Conn to
 // return them.
@@ -124,8 +130,8 @@ func (c *Conn) Close() {
 // (phase one of the two-phase parse), bounding the wait by the idle
 // timeout so a silent keep-alive client cannot pin a worker.
 func (c *Conn) ReadRequestLine() (httpwire.RequestLine, error) {
-	c.Acquired = time.Now()
-	_ = c.nc.SetReadDeadline(c.Acquired.Add(c.t.idleTimeout))
+	c.Acquired = c.t.clk.Now()
+	_ = c.nc.SetReadDeadline(time.Now().Add(c.t.idleTimeout))
 	line, err := httpwire.ReadRequestLine(c.br)
 	if err != nil {
 		return line, err
@@ -149,8 +155,8 @@ func (c *Conn) FinishRequest(line httpwire.RequestLine) (*httpwire.Request, erro
 // bounded by the idle timeout — the convenience path for workers that do
 // everything themselves.
 func (c *Conn) ReadRequest() (*httpwire.Request, error) {
-	c.Acquired = time.Now()
-	_ = c.nc.SetReadDeadline(c.Acquired.Add(c.t.idleTimeout))
+	c.Acquired = c.t.clk.Now()
+	_ = c.nc.SetReadDeadline(time.Now().Add(c.t.idleTimeout))
 	req, err := httpwire.ReadRequest(c.br)
 	if err != nil {
 		return nil, err
@@ -164,11 +170,30 @@ func (c *Conn) ReadRequest() (*httpwire.Request, error) {
 // the OS readiness notification (select/poll in CherryPy's listener).
 func (c *Conn) AwaitReadable() error {
 	_ = c.nc.SetReadDeadline(time.Now().Add(c.t.idleTimeout))
+	// Re-check after arming the deadline: an Abort that ran before this
+	// point is seen here; one that runs after re-expires the deadline we
+	// just set. Either way the park cannot outlive the abort.
+	if c.aborted.Load() {
+		return errAborted
+	}
 	if _, err := c.br.Peek(1); err != nil {
 		return err
 	}
 	_ = c.nc.SetReadDeadline(time.Time{})
 	return nil
+}
+
+// Abort expires the connection's read deadline so any goroutine blocked
+// in AwaitReadable (or a read) fails promptly and closes the connection
+// itself. Servers use it to unpark keep-alive connections on shutdown:
+// unlike calling Close from a second goroutine, Abort never races the
+// parked reader's use of the pooled buffers.
+func (c *Conn) Abort() {
+	c.aborted.Store(true)
+	if c.closed.Load() {
+		return
+	}
+	_ = c.nc.SetReadDeadline(time.Now().Add(-time.Second))
 }
 
 // WriteError writes a plain error response without firing a completion
@@ -211,7 +236,9 @@ func (t *Transport) Accepted() int64 { return t.accepted.Value() }
 // Served reports completed requests.
 func (t *Transport) Served() int64 { return t.served.Value() }
 
-// complete fires the completion event for a finished request.
+// complete fires the completion event for a finished request. Times come
+// from the injected clock, so under clock.Manual the classifier and the
+// harness see paper-consistent durations instead of ~0 wall gaps.
 func (t *Transport) complete(page string, class Class, status int, acquired time.Time) {
 	t.served.Inc()
 	if t.onComplete != nil {
@@ -219,8 +246,8 @@ func (t *Transport) complete(page string, class Class, status int, acquired time
 			Page:       page,
 			Class:      class,
 			Status:     status,
-			Done:       time.Now(),
-			ServerTime: time.Since(acquired),
+			Done:       t.clk.Now(),
+			ServerTime: t.clk.Since(acquired),
 		})
 	}
 }

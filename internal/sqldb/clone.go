@@ -1,0 +1,60 @@
+package sqldb
+
+import "maps"
+
+// Clone returns a new DB with the same clock, timescale, and cost model
+// and a deep copy of db's current schema and contents — including
+// tombstoned row slots and auto-increment counters, so the clone's
+// internal row IDs, scan order, and future auto-assigned primary keys
+// match the original statement for statement. internal/dbtier uses Clone
+// to seed read replicas from a populated primary.
+//
+// The statement cache and the apply hook are not copied. Each table is
+// copied under its read lock, so cloning a live database yields a
+// consistent per-table snapshot; clone while writers are quiesced if a
+// cross-table point-in-time snapshot is required.
+func (db *DB) Clone() *DB {
+	clone := &DB{
+		tables:    make(map[string]*table, 16),
+		stmtCache: make(map[string]stmt, 64),
+		clk:       db.clk,
+		ts:        db.ts,
+		cost:      db.cost,
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for name, tbl := range db.tables {
+		clone.tables[name] = tbl.clone()
+	}
+	return clone
+}
+
+// clone deep-copies one table under its read lock.
+func (t *table) clone() *table {
+	t.lock.RLock()
+	defer t.lock.RUnlock()
+	nt := &table{
+		schema:   t.schema,
+		pkCol:    t.pkCol,
+		live:     t.live,
+		nextAuto: t.nextAuto,
+		rows:     make([][]Value, len(t.rows)),
+		indexes:  make(map[string]*hashIndex, len(t.indexes)),
+	}
+	for i, row := range t.rows {
+		if row != nil {
+			nt.rows[i] = append([]Value(nil), row...)
+		}
+	}
+	if t.pk != nil {
+		nt.pk = maps.Clone(t.pk)
+	}
+	for name, idx := range t.indexes {
+		m := make(map[Value][]int, len(idx.m))
+		for v, ids := range idx.m {
+			m[v] = append([]int(nil), ids...)
+		}
+		nt.indexes[name] = &hashIndex{col: idx.col, m: m}
+	}
+	return nt
+}

@@ -1,0 +1,134 @@
+package sqldb
+
+import (
+	"testing"
+	"time"
+)
+
+func cloneTestDB(t *testing.T) (*DB, *Conn) {
+	t.Helper()
+	db := Open(Options{Cost: ZeroCostModel()})
+	db.MustCreateTable(Schema{
+		Table: "item",
+		Columns: []Column{
+			{Name: "i_id", Type: Int},
+			{Name: "i_subject", Type: String},
+			{Name: "i_cost", Type: Float},
+		},
+		PrimaryKey: "i_id",
+		Indexes:    []string{"i_subject"},
+	})
+	c := db.Connect()
+	t.Cleanup(c.Close)
+	for i := 1; i <= 20; i++ {
+		subject := "ARTS"
+		if i%2 == 0 {
+			subject = "BIO"
+		}
+		mustExec(t, c, "INSERT INTO item (i_id, i_subject, i_cost) VALUES (?, ?, ?)", i, subject, float64(i))
+	}
+	mustExec(t, c, "DELETE FROM item WHERE i_id = 7") // leave a tombstone
+	return db, c
+}
+
+func TestCloneCopiesContents(t *testing.T) {
+	db, _ := cloneTestDB(t)
+	clone := db.Clone()
+
+	cc := clone.Connect()
+	defer cc.Close()
+	rs, err := cc.Query("SELECT i_id, i_cost FROM item WHERE i_subject = ?", "ARTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 9 { // 10 odd ids minus the deleted 7
+		t.Fatalf("clone ARTS rows = %d, want 9", rs.Len())
+	}
+	n, err := clone.TableSize("item")
+	if err != nil || n != 19 {
+		t.Fatalf("clone TableSize = %d, %v; want 19", n, err)
+	}
+
+	// Auto-increment state is copied: the next NULL-pk insert gets the
+	// same id on both databases.
+	c := db.Connect()
+	defer c.Close()
+	orig, err := c.Exec("INSERT INTO item (i_id, i_subject, i_cost) VALUES (NULL, 'NEW', 1.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned, err := cc.Exec("INSERT INTO item (i_id, i_subject, i_cost) VALUES (NULL, 'NEW', 1.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.LastInsertID != cloned.LastInsertID {
+		t.Fatalf("auto ids diverge: original %d, clone %d", orig.LastInsertID, cloned.LastInsertID)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	db, c := cloneTestDB(t)
+	clone := db.Clone()
+	mustExec(t, c, "UPDATE item SET i_cost = 99.0 WHERE i_id = 1")
+
+	cc := clone.Connect()
+	defer cc.Close()
+	rs, err := cc.Query("SELECT i_cost FROM item WHERE i_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Float(0, "i_cost"); got != 1.0 {
+		t.Fatalf("clone saw the original's update: i_cost = %v", got)
+	}
+}
+
+func TestApplyHookFiresUnderWriteLock(t *testing.T) {
+	db, c := cloneTestDB(t)
+	type applied struct {
+		sql  string
+		args []Value
+	}
+	var got []applied
+	db.SetApplyHook(func(sql string, args []Value) {
+		got = append(got, applied{sql, args})
+	})
+
+	mustExec(t, c, "UPDATE item SET i_cost = ? WHERE i_id = ?", 5.5, 2)
+	if _, err := c.Query("SELECT i_id FROM item WHERE i_id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c, "DELETE FROM item WHERE i_id = 3")
+
+	if len(got) != 2 {
+		t.Fatalf("hook fired %d times, want 2 (SELECTs must not fire it)", len(got))
+	}
+	if got[0].sql != "UPDATE item SET i_cost = ? WHERE i_id = ?" {
+		t.Fatalf("hook sql = %q", got[0].sql)
+	}
+	if len(got[0].args) != 2 || got[0].args[0] != 5.5 || got[0].args[1] != int64(2) {
+		t.Fatalf("hook args = %#v", got[0].args)
+	}
+
+	// Removing the hook stops delivery.
+	db.SetApplyHook(nil)
+	mustExec(t, c, "DELETE FROM item WHERE i_id = 4")
+	if len(got) != 2 {
+		t.Fatalf("hook fired after removal")
+	}
+}
+
+// TestCostDefaultsToDefaultModel pins the Options contract: nil means
+// DefaultCostModel (as the docs always promised), while an explicitly
+// zeroed model stays free.
+func TestCostDefaultsToDefaultModel(t *testing.T) {
+	if db := Open(Options{}); db.cost != DefaultCostModel() {
+		t.Fatalf("unset Cost = %+v, want DefaultCostModel", db.cost)
+	}
+	if db := Open(Options{Cost: ZeroCostModel()}); db.cost != (CostModel{}) {
+		t.Fatalf("ZeroCostModel Cost = %+v, want zero", db.cost)
+	}
+	custom := CostModel{PerStatement: time.Millisecond}
+	if db := Open(Options{Cost: &custom}); db.cost != custom {
+		t.Fatalf("explicit Cost = %+v, want %+v", db.cost, custom)
+	}
+}

@@ -43,8 +43,10 @@ func DefaultCostModel() CostModel {
 }
 
 // ZeroCostModel charges nothing; unit tests use it so they run at full
-// speed and stay deterministic.
-func ZeroCostModel() CostModel { return CostModel{} }
+// speed and stay deterministic. It returns a pointer because Options.Cost
+// distinguishes "unset" (nil, meaning DefaultCostModel) from "explicitly
+// free".
+func ZeroCostModel() *CostModel { return &CostModel{} }
 
 // costCounter accumulates the work performed by one statement.
 type costCounter struct {

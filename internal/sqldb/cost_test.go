@@ -29,7 +29,7 @@ func TestCostCounterTotal(t *testing.T) {
 
 func TestZeroCostModelChargesNothing(t *testing.T) {
 	c := costCounter{scanned: 1 << 20, written: 1 << 20}
-	if got := c.total(ZeroCostModel()); got != 0 {
+	if got := c.total(*ZeroCostModel()); got != 0 {
 		t.Fatalf("zero model charged %v", got)
 	}
 }
@@ -38,7 +38,7 @@ func TestZeroCostModelChargesNothing(t *testing.T) {
 // full scan of a large table charges orders of magnitude more than an
 // indexed point query — the paper's fast/slow page dichotomy.
 func TestScanCostsMoreThanProbe(t *testing.T) {
-	db := Open(Options{})
+	db := Open(Options{Cost: ZeroCostModel()})
 	db.MustCreateTable(Schema{
 		Table:      "item",
 		Columns:    []Column{{Name: "i_id", Type: Int}, {Name: "i_title", Type: String}},
@@ -89,7 +89,7 @@ func TestScanCostsMoreThanProbe(t *testing.T) {
 func TestChargeSleepsScaled(t *testing.T) {
 	db := Open(Options{
 		Timescale: clock.Timescale(1000), // 1 paper-second = 1ms
-		Cost: CostModel{
+		Cost: &CostModel{
 			PerStatement: 100 * time.Millisecond, // paper time
 		},
 	})
@@ -117,7 +117,7 @@ func TestChargeSleepsScaled(t *testing.T) {
 func TestWriterWaitsForReaders(t *testing.T) {
 	db := Open(Options{
 		Timescale: clock.Timescale(100),
-		Cost: CostModel{
+		Cost: &CostModel{
 			PerRowScanned: 10 * time.Millisecond, // paper time; 1000 rows -> 10s paper -> 100ms wall
 		},
 	})
@@ -170,7 +170,7 @@ func TestWriterWaitsForReaders(t *testing.T) {
 func TestIndexMatchesScanProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		db := Open(Options{})
+		db := Open(Options{Cost: ZeroCostModel()})
 		db.MustCreateTable(Schema{
 			Table: "t",
 			Columns: []Column{
@@ -259,7 +259,7 @@ func randomKey(r *rand.Rand, m map[int64]int64) int64 {
 func TestConnSerializesStatements(t *testing.T) {
 	db := Open(Options{
 		Timescale: clock.Timescale(1),
-		Cost:      CostModel{PerStatement: 20 * time.Millisecond},
+		Cost:      &CostModel{PerStatement: 20 * time.Millisecond},
 	})
 	db.MustCreateTable(Schema{
 		Table:      "t",

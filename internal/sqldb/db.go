@@ -19,10 +19,20 @@ type Options struct {
 	// Timescale converts the CostModel's paper-time charges to wall
 	// sleeps; defaults to real time (no compression).
 	Timescale clock.Timescale
-	// Cost is the latency model; defaults to DefaultCostModel. Use
-	// ZeroCostModel for tests.
-	Cost CostModel
+	// Cost is the latency model. nil means DefaultCostModel — unset and
+	// "explicitly zero" are distinguishable, so tests that want free
+	// statements must say so with ZeroCostModel (or &CostModel{}).
+	Cost *CostModel
 }
+
+// ApplyFunc observes a successfully applied DML statement. The hook is
+// invoked with the statement's original SQL and its normalized arguments
+// while the target table's write lock is still held, so replaying the
+// statements in hook order onto a replica that started from the same
+// state reproduces the primary byte for byte (including auto-assigned
+// primary keys). internal/dbtier uses this for synchronous write
+// fan-out.
+type ApplyFunc func(sql string, args []Value)
 
 // DB is the embedded database engine. It is safe for concurrent use by
 // any number of connections.
@@ -37,6 +47,11 @@ type DB struct {
 	ts   clock.Timescale
 	cost CostModel
 
+	// applyHook, when set, observes every applied DML statement (see
+	// ApplyFunc). Stored atomically so SetApplyHook is safe against
+	// concurrent statements.
+	applyHook atomic.Pointer[ApplyFunc]
+
 	queries   metrics.Counter // statements executed
 	queryTime metrics.Histogram
 	open      atomic.Int64 // connections currently open (gauge)
@@ -50,20 +65,34 @@ func Open(opts Options) *DB {
 	if opts.Timescale == 0 {
 		opts.Timescale = clock.RealTime
 	}
-	if opts.Cost == (CostModel{}) {
-		// An explicitly zeroed model is indistinguishable from "unset";
-		// ZeroCostModel and DefaultCostModel share this path, so pick
-		// zero cost only when the caller asked via ZeroCostModel —
-		// which is the same value. Default to zero: harmless for tests,
-		// and experiments always set a model explicitly.
-		opts.Cost = ZeroCostModel()
+	if opts.Cost == nil {
+		m := DefaultCostModel()
+		opts.Cost = &m
 	}
 	return &DB{
 		tables:    make(map[string]*table, 16),
 		stmtCache: make(map[string]stmt, 64),
 		clk:       opts.Clock,
 		ts:        opts.Timescale,
-		cost:      opts.Cost,
+		cost:      *opts.Cost,
+	}
+}
+
+// SetApplyHook installs (or, with nil, removes) the DML observation hook.
+// See ApplyFunc for the delivery contract.
+func (db *DB) SetApplyHook(fn ApplyFunc) {
+	if fn == nil {
+		db.applyHook.Store(nil)
+		return
+	}
+	db.applyHook.Store(&fn)
+}
+
+// fireApply delivers a successfully applied DML statement to the hook.
+// Callers hold the target table's write lock.
+func (db *DB) fireApply(ec *execCtx) {
+	if fn := db.applyHook.Load(); fn != nil {
+		(*fn)(ec.sql, ec.args)
 	}
 }
 
@@ -263,6 +292,7 @@ func (c *Conn) Exec(sql string, args ...any) (ExecResult, error) {
 	if err != nil {
 		return ExecResult{}, err
 	}
+	ec.sql = sql
 	switch t := s.(type) {
 	case *insertStmt:
 		return c.db.execInsert(t, ec)

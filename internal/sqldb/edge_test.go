@@ -8,7 +8,7 @@ import (
 // pushdown correctness across join depths, and DML on indexed columns.
 
 func TestAggregatesOnEmptyTable(t *testing.T) {
-	db := Open(Options{})
+	db := Open(Options{Cost: ZeroCostModel()})
 	db.MustCreateTable(Schema{
 		Table:      "t",
 		Columns:    []Column{{Name: "id", Type: Int}, {Name: "v", Type: Float}},
@@ -32,7 +32,7 @@ func TestAggregatesOnEmptyTable(t *testing.T) {
 }
 
 func TestGroupByEmptyTableHasNoGroups(t *testing.T) {
-	db := Open(Options{})
+	db := Open(Options{Cost: ZeroCostModel()})
 	db.MustCreateTable(Schema{
 		Table:      "t",
 		Columns:    []Column{{Name: "id", Type: Int}, {Name: "g", Type: Int}},
@@ -80,7 +80,7 @@ func TestPushdownFiltersBeforeJoin(t *testing.T) {
 }
 
 func TestJoinOnUnindexedColumnScans(t *testing.T) {
-	db := Open(Options{})
+	db := Open(Options{Cost: ZeroCostModel()})
 	db.MustCreateTable(Schema{
 		Table:      "l",
 		Columns:    []Column{{Name: "id", Type: Int}, {Name: "k", Type: Int}},
@@ -156,7 +156,7 @@ func TestSelectStarWithJoin(t *testing.T) {
 }
 
 func TestAmbiguousColumnRejected(t *testing.T) {
-	db := Open(Options{})
+	db := Open(Options{Cost: ZeroCostModel()})
 	for _, name := range []string{"x", "y"} {
 		db.MustCreateTable(Schema{
 			Table:      name,

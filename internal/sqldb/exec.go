@@ -17,6 +17,8 @@ type binding struct {
 type execCtx struct {
 	args []Value
 	cost costCounter
+	// sql is the original statement text, kept for the DML apply hook.
+	sql string
 }
 
 // resolveBindings maps the FROM/JOIN clauses onto tables.
@@ -820,6 +822,7 @@ func (db *DB) execInsert(s *insertStmt, ec *execCtx) (ExecResult, error) {
 			res.LastInsertID = id
 		}
 	}
+	db.fireApply(ec)
 	return res, nil
 }
 
@@ -879,6 +882,7 @@ func (db *DB) execUpdate(s *updateStmt, ec *execCtx) (ExecResult, error) {
 		ec.cost.written++
 		affected++
 	}
+	db.fireApply(ec)
 	return ExecResult{RowsAffected: affected}, nil
 }
 
@@ -912,6 +916,7 @@ func (db *DB) execDelete(s *deleteStmt, ec *execCtx) (ExecResult, error) {
 		ec.cost.written++
 		affected++
 	}
+	db.fireApply(ec)
 	return ExecResult{RowsAffected: affected}, nil
 }
 

@@ -10,7 +10,7 @@ import (
 // tests. Cost model is zero so tests run instantly.
 func newTestDB(t *testing.T) (*DB, *Conn) {
 	t.Helper()
-	db := Open(Options{})
+	db := Open(Options{Cost: ZeroCostModel()})
 	db.MustCreateTable(Schema{
 		Table: "author",
 		Columns: []Column{
@@ -137,7 +137,7 @@ func TestWhereOperators(t *testing.T) {
 }
 
 func TestIsNull(t *testing.T) {
-	db := Open(Options{})
+	db := Open(Options{Cost: ZeroCostModel()})
 	db.MustCreateTable(Schema{
 		Table:      "t",
 		Columns:    []Column{{Name: "id", Type: Int}, {Name: "v", Type: String}},
@@ -466,7 +466,7 @@ func TestStringEscape(t *testing.T) {
 }
 
 func TestSchemaValidation(t *testing.T) {
-	db := Open(Options{})
+	db := Open(Options{Cost: ZeroCostModel()})
 	for name, s := range map[string]Schema{
 		"empty name":     {Columns: []Column{{Name: "a", Type: Int}}},
 		"no columns":     {Table: "t"},

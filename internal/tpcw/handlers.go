@@ -38,7 +38,7 @@ func (a *App) home(r *server.Request) (*server.Result, error) {
 
 // promotions picks five items by rotating point lookups — the TPC-W
 // promotional display on home, cart, and search pages.
-func (a *App) promotions(db *sqldb.Conn) ([]map[string]any, error) {
+func (a *App) promotions(db server.DBConn) ([]map[string]any, error) {
 	out := make([]map[string]any, 0, 5)
 	for k := 0; k < 5; k++ {
 		id := a.defaultItem()
@@ -102,7 +102,7 @@ func (a *App) shoppingCart(r *server.Request) (*server.Result, error) {
 
 // cartLines loads a cart's lines joined with item data and computes the
 // subtotal.
-func (a *App) cartLines(db *sqldb.Conn, scID int) ([]map[string]any, float64, error) {
+func (a *App) cartLines(db server.DBConn, scID int) ([]map[string]any, float64, error) {
 	rs, err := db.Query(
 		`SELECT scl_i_id, scl_qty, i_id, i_title, i_cost FROM shopping_cart_line
 		 JOIN item ON scl_i_id = i_id WHERE scl_sc_id = ?`, scID)
@@ -129,7 +129,7 @@ func (a *App) customerRegistration(r *server.Request) (*server.Result, error) {
 
 // lookupCustomer finds a customer by uname (indexed) or falls back to a
 // rotating default, mirroring the emulated browser's registered-user mix.
-func (a *App) lookupCustomer(db *sqldb.Conn, q map[string]string) (map[string]any, error) {
+func (a *App) lookupCustomer(db server.DBConn, q map[string]string) (map[string]any, error) {
 	if uname := q["uname"]; uname != "" {
 		rs, err := db.Query("SELECT * FROM customer WHERE c_uname = ?", uname)
 		if err != nil {

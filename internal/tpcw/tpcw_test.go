@@ -16,7 +16,7 @@ var smallCfg = PopulateConfig{Items: 200, Customers: 50, Orders: 60}
 // newBookstore builds a populated database and app for tests.
 func newBookstore(t *testing.T) (*App, *sqldb.Conn) {
 	t.Helper()
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	if err := CreateTables(db); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func call(t *testing.T, app *App, conn *sqldb.Conn, page string, query map[strin
 }
 
 func TestPopulateCounts(t *testing.T) {
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	if err := CreateTables(db); err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestPopulateCounts(t *testing.T) {
 
 func TestPopulateDeterministic(t *testing.T) {
 	titles := func() string {
-		db := sqldb.Open(sqldb.Options{})
+		db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 		if err := CreateTables(db); err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"net"
 
 	"stagedweb/internal/core"
+	"stagedweb/internal/dbtier"
 	"stagedweb/internal/server"
 	"stagedweb/internal/stage"
 )
@@ -38,7 +39,22 @@ const (
 	ProbeDispatchLengthy = "dispatch.lengthy"
 	// ProbeServed counts completed requests.
 	ProbeServed = "served.total"
+	// ProbeDBInUse is the database tier's in-use connection gauge.
+	ProbeDBInUse = "db.inuse"
+	// ProbeDBWait counts connection acquisitions that had to block.
+	ProbeDBWait = "db.wait"
+	// ProbeDBQueries counts statements executed across all backends.
+	ProbeDBQueries = "db.queries"
 )
+
+// tierProbes builds the db.* probe set over a database tier.
+func tierProbes(t *dbtier.Tier) []Probe {
+	return []Probe{
+		{ProbeDBInUse, func() float64 { return float64(t.InUse()) }},
+		{ProbeDBWait, func() float64 { return float64(t.WaitCount()) }},
+		{ProbeDBQueries, func() float64 { return float64(t.QueryCount()) }},
+	}
+}
 
 func init() {
 	Register(New(Unmodified, buildUnmodified))
@@ -64,12 +80,16 @@ func (i *instance) Probes() []Probe            { return i.probes }
 
 // buildUnmodified constructs the thread-per-request baseline.
 //
-// Settings: workers (pool size == connection budget, default 80),
-// queuecap (accept queue bound).
+// Settings: workers (pool size == default connection budget, default
+// 80), queuecap (accept queue bound), replicas (database backends,
+// default 1), dbconns (connection pool size per backend, default
+// workers).
 func buildUnmodified(env Env) (Instance, error) {
 	d := NewDecoder(env)
 	workers := d.Int("workers", 80)
 	queueCap := d.Int("queuecap", 0)
+	replicas := d.Int("replicas", 1)
+	dbConns := d.Int("dbconns", 0)
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("%s: %w", Unmodified, err)
 	}
@@ -77,6 +97,8 @@ func buildUnmodified(env Env) (Instance, error) {
 		App:        env.App,
 		DB:         env.DB,
 		Workers:    workers,
+		Replicas:   replicas,
+		DBConns:    dbConns,
 		QueueCap:   queueCap,
 		Cost:       env.Cost,
 		Clock:      env.Clock,
@@ -90,10 +112,10 @@ func buildUnmodified(env Env) (Instance, error) {
 		serve: srv.Serve,
 		stop:  srv.Stop,
 		graph: srv.Graph(),
-		probes: []Probe{
+		probes: append([]Probe{
 			{ProbeQueueSingle, func() float64 { return float64(srv.QueueLen()) }},
 			{ProbeServed, func() float64 { return float64(srv.Served()) }},
-		},
+		}, tierProbes(srv.Tier())...),
 	}, nil
 }
 
@@ -101,7 +123,9 @@ func buildUnmodified(env Env) (Instance, error) {
 //
 // Settings: header, static, general, lengthy, render (pool sizes),
 // queuecap, minreserve, cutoff (quick/lengthy boundary, paper time),
-// noreserve (ablate the t_reserve controller).
+// noreserve (ablate the t_reserve controller), replicas (database
+// backends, default 1), dbconns (connection pool size per backend,
+// default general+lengthy).
 func buildModified(env Env) (Instance, error) {
 	d := NewDecoder(env)
 	cfg := core.Config{
@@ -116,6 +140,8 @@ func buildModified(env Env) (Instance, error) {
 		MinReserve:     d.Int("minreserve", 0),
 		Cutoff:         d.Duration("cutoff", 0),
 		NoReserve:      d.Bool("noreserve", false),
+		Replicas:       d.Int("replicas", 1),
+		DBConns:        d.Int("dbconns", 0),
 		Clock:          env.Clock,
 		Scale:          env.Scale,
 		Cost:           env.Cost,
@@ -132,7 +158,7 @@ func buildModified(env Env) (Instance, error) {
 		serve: srv.Serve,
 		stop:  srv.Stop,
 		graph: srv.Graph(),
-		probes: []Probe{
+		probes: append([]Probe{
 			{ProbeQueueGeneral, func() float64 { return float64(srv.GeneralQueueLen()) }},
 			{ProbeQueueLengthy, func() float64 { return float64(srv.LengthyQueueLen()) }},
 			{ProbeReserve, func() float64 { return float64(srv.Reserve()) }},
@@ -140,6 +166,6 @@ func buildModified(env Env) (Instance, error) {
 			{ProbeDispatchGeneral, func() float64 { g, _ := srv.DispatchCounts(); return float64(g) }},
 			{ProbeDispatchLengthy, func() float64 { _, le := srv.DispatchCounts(); return float64(le) }},
 			{ProbeServed, func() float64 { return float64(srv.Served()) }},
-		},
+		}, tierProbes(srv.Tier())...),
 	}, nil
 }

@@ -11,7 +11,7 @@ import (
 func testEnv(set Settings) Env {
 	return Env{
 		App: webtest.NewApp(),
-		DB:  sqldb.Open(sqldb.Options{}),
+		DB:  sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()}),
 		Set: set,
 	}
 }
@@ -109,6 +109,38 @@ func TestBuildModifiedAndDerived(t *testing.T) {
 	defer ninst.Stop()
 	if got := gauge(ninst, ProbeReserve)(); got != 0 {
 		t.Errorf("noreserve variant has t_reserve = %v", got)
+	}
+}
+
+// TestReplicasSetting proves the database tier is pure configuration on
+// both built-in variants: replicas=N builds N backends, the db.* probes
+// appear, and nonsense values fail the strict decoder.
+func TestReplicasSetting(t *testing.T) {
+	for name, set := range map[string]Settings{
+		Unmodified: {"workers": "2", "replicas": "3", "dbconns": "2"},
+		Modified:   {"general": "4", "lengthy": "2", "replicas": "3", "dbconns": "2"},
+	} {
+		v, _ := Lookup(name)
+		inst, err := v.Build(testEnv(set))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		probes := probeNames(inst)
+		for _, want := range []string{ProbeDBInUse, ProbeDBWait, ProbeDBQueries} {
+			if !probes[want] {
+				t.Errorf("%s probes miss %s: %v", name, want, probes)
+			}
+		}
+		inst.Stop()
+	}
+	v, _ := Lookup(Modified)
+	if _, err := v.Build(testEnv(Settings{"replicas": "frog"})); err == nil ||
+		!strings.Contains(err.Error(), "replicas") {
+		t.Errorf("malformed replicas accepted: %v", err)
+	}
+	if _, err := v.Build(testEnv(Settings{"dbconns": "many"})); err == nil ||
+		!strings.Contains(err.Error(), "dbconns") {
+		t.Errorf("malformed dbconns accepted: %v", err)
 	}
 }
 

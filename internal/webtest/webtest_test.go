@@ -63,7 +63,7 @@ func TestReadResponseErrors(t *testing.T) {
 }
 
 func TestEndToEndAgainstBaseline(t *testing.T) {
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	db.MustCreateTable(sqldb.Schema{
 		Table:      "t",
 		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}},

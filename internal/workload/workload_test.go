@@ -16,7 +16,7 @@ import (
 // startBookstore boots a staged server with a small TPC-W population.
 func startBookstore(t *testing.T) (addr string, counts tpcw.Counts) {
 	t.Helper()
-	db := sqldb.Open(sqldb.Options{})
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
 	if err := tpcw.CreateTables(db); err != nil {
 		t.Fatal(err)
 	}
