@@ -1,0 +1,257 @@
+// Command bench produces the repo's benchmark artifact: a JSON file
+// summarizing server throughput, worst client WIRT, allocations per
+// interaction, and the raw storage-engine numbers, for each engine mode
+// (lock/sync, mvcc/sync, mvcc/async). CI runs it on every PR and
+// uploads the file, so the numbers travel with the change that produced
+// them.
+//
+// Usage:
+//
+//	bench -o BENCH_PR6.json            # full artifact
+//	bench -quick -o BENCH_PR6.json     # reduced run (seconds)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/dbtier"
+	"stagedweb/internal/harness"
+	"stagedweb/internal/load"
+	"stagedweb/internal/sqldb"
+	"stagedweb/internal/tpcw"
+	"stagedweb/internal/variant"
+)
+
+// EngineResult is one engine mode's miniature-experiment summary.
+type EngineResult struct {
+	Engine            string  `json:"engine"`
+	Replicas          int     `json:"replicas"`
+	Interactions      int64   `json:"interactions"`
+	Errors            int64   `json:"errors"`
+	WorstWIRTSec      float64 `json:"worst_wirt_sec"`
+	AllocsPerReq      float64 `json:"allocs_per_req"`
+	Conflicts         float64 `json:"db_conflicts"`
+	SnapshotReads     float64 `json:"db_snapshots"`
+	MaxReplLag        float64 `json:"db_repllag_max"`
+	WallDurationMilli int64   `json:"wall_duration_ms"`
+}
+
+// MicroResult is one raw storage-engine micro-benchmark.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Artifact is the file CI persists as BENCH_PR6.json.
+type Artifact struct {
+	GoVersion string         `json:"go_version"`
+	Engines   []EngineResult `json:"engines"`
+	Micro     []MicroResult  `json:"micro"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_PR6.json", "output artifact path")
+		quick    = flag.Bool("quick", false, "reduced run (seconds instead of minutes)")
+		replicas = flag.Int("replicas", 4, "database backends in the experiment runs")
+		scale    = flag.Float64("scale", 200, "timescale: paper seconds per wall second")
+	)
+	flag.Parse()
+	art := Artifact{GoVersion: runtime.Version()}
+
+	engines := []struct {
+		name string
+		mvcc bool
+		repl string
+	}{
+		{"lock/sync", false, "sync"},
+		{"mvcc/sync", true, "sync"},
+		{"mvcc/async", true, "async"},
+	}
+	for _, eng := range engines {
+		fmt.Fprintf(os.Stderr, "engine %s (replicas=%d)...\n", eng.name, *replicas)
+		res, allocs, err := runEngine(eng.mvcc, eng.repl, *replicas, *quick, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		art.Engines = append(art.Engines, EngineResult{
+			Engine:            eng.name,
+			Replicas:          *replicas,
+			Interactions:      res.TotalInteractions,
+			Errors:            res.Errors,
+			WorstWIRTSec:      harness.SeriesMax(res.Series[load.ProbeWIRT]),
+			AllocsPerReq:      allocs,
+			Conflicts:         harness.SeriesMax(res.Series[variant.ProbeDBConflicts]),
+			SnapshotReads:     harness.SeriesMax(res.Series[variant.ProbeDBSnapshots]),
+			MaxReplLag:        harness.SeriesMax(res.Series[variant.ProbeDBReplLag]),
+			WallDurationMilli: res.WallDuration.Milliseconds(),
+		})
+	}
+
+	fmt.Fprintln(os.Stderr, "storage-engine micro-benchmarks...")
+	art.Micro = microBenches()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(art)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}
+
+// runEngine runs one miniature browsing-mix experiment on the staged
+// server under the given engine mode and reports the result plus heap
+// allocations per completed interaction (whole-process mallocs over the
+// run — an upper bound that tracks the per-request figure).
+func runEngine(mvcc bool, repl string, replicas int, quick bool, scale float64) (*harness.Result, float64, error) {
+	cfg := harness.QuickConfig(variant.Modified, clock.Timescale(scale))
+	cfg.EBs = 60
+	cfg.RampUp = 15 * time.Second
+	cfg.Measure = 2 * time.Minute
+	cfg.CoolDown = 5 * time.Second
+	cfg.Populate = tpcw.PopulateConfig{Items: 800, Customers: 200, Orders: 180}
+	if quick {
+		cfg.Measure = 45 * time.Second
+	}
+	cfg.Replicas = replicas
+	cfg.DBConns = 4
+	cfg.MVCC = mvcc
+	cfg.Repl = repl
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := harness.Run(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	runtime.ReadMemStats(&after)
+	allocs := 0.0
+	if res.TotalInteractions > 0 {
+		allocs = float64(after.Mallocs-before.Mallocs) / float64(res.TotalInteractions)
+	}
+	return res, allocs, nil
+}
+
+// microBenches runs the raw engine paths through testing.Benchmark: a
+// hot-row point read under each concurrency mode with writers active,
+// and the tier write path under each replication mode.
+func microBenches() []MicroResult {
+	var out []MicroResult
+	for _, mode := range []struct {
+		name string
+		mvcc bool
+	}{{"read-hot-write-hot/lock", false}, {"read-hot-write-hot/mvcc", true}} {
+		r := testing.Benchmark(func(b *testing.B) { benchReadHot(b, mode.mvcc) })
+		out = append(out, MicroResult{
+			Name:        mode.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{{"tier-write/sync", false}, {"tier-write/async", true}} {
+		r := testing.Benchmark(func(b *testing.B) { benchTierWrite(b, mode.async, 4) })
+		out = append(out, MicroResult{
+			Name:        mode.name + "/replicas=4",
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+func benchReadHot(b *testing.B, mvcc bool) {
+	db := sqldb.Open(sqldb.Options{
+		Cost: &sqldb.CostModel{PerStatement: 200 * time.Microsecond},
+	})
+	db.SetMVCC(mvcc)
+	db.MustCreateTable(sqldb.Schema{
+		Table:      "hot",
+		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}, {Name: "v", Type: sqldb.Int}},
+		PrimaryKey: "id",
+	})
+	seed := db.Connect()
+	for i := 1; i <= 16; i++ {
+		if _, err := seed.Exec("INSERT INTO hot (id, v) VALUES (?, 0)", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seed.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c := db.Connect()
+		defer c.Close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Exec("UPDATE hot SET v = ? WHERE id = ?", i, i%16+1); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	c := db.Connect()
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT v FROM hot WHERE id = ?", i%16+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+func benchTierWrite(b *testing.B, async bool, replicas int) {
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
+	db.SetMVCC(true)
+	db.MustCreateTable(sqldb.Schema{
+		Table:      "kv",
+		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.Int}, {Name: "v", Type: sqldb.String}},
+		PrimaryKey: "id",
+	})
+	tier := dbtier.New(db, dbtier.Options{Replicas: replicas, Conns: 2, Async: async})
+	defer tier.Close()
+	c := tier.Conn()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Exec("INSERT INTO kv (id, v) VALUES (?, 'x')", i+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	tier.Sync()
+}

@@ -12,6 +12,8 @@
 //	experiments -exp table2              # t_reserve controller trace
 //	experiments -exp fig7,fig8,fig9,fig10
 //	experiments -exp spike               # flash-crowd comparison across variants
+//	experiments -exp mvcc -variants modified       # storage-engine sweep
+//	experiments -exp scaleout            # replica scale-out sweep
 //	experiments -scale 100 -ebs 400 -measure 50m   # paper-sized run
 //	experiments -quick                   # reduced run (seconds)
 //	experiments -variants unmodified,modified,modified-noreserve
@@ -54,7 +56,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep")
+		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep; mvcc runs the storage-engine sweep")
 		scale    = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
 		ebs      = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
 		measure  = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
@@ -67,8 +69,8 @@ func run(args []string, out io.Writer) error {
 		loadProf = fs.String("load", "", "load profile driving the client side (registered: "+strings.Join(load.Names(), ", ")+"; empty = steady)")
 		mix      = fs.String("mix", "", "TPC-W page mix: "+strings.Join(tpcw.MixNames(), ", ")+" (empty = browsing)")
 		ebsSweep = fs.String("ebs-sweep", "", "comma-separated EB levels (e.g. 100,200,300,400): run the saturation ramp across every variant")
-		replicas = fs.String("replicas", "1,2,4", "comma-separated replica counts swept by -exp scaleout")
-		dbConns  = fs.Int("dbconns", 0, "connections per database backend in -exp scaleout (0 = auto: dynamic budget / 6)")
+		replicas = fs.String("replicas", "1,2,4", "comma-separated replica counts swept by -exp scaleout and -exp mvcc")
+		dbConns  = fs.Int("dbconns", 0, "connections per database backend in -exp scaleout and -exp mvcc (0 = auto: dynamic budget / 6)")
 		parallel = fs.Int("parallel", 1, "concurrent sweep runs (>1 trades timing fidelity for wall time)")
 		sets     variant.SettingsFlag
 		loadSets variant.SettingsFlag
@@ -132,7 +134,7 @@ func run(args []string, out io.Writer) error {
 	// the saturation-knee table. It cannot be combined with the spike
 	// mode — reject instead of silently dropping one of them.
 	if *ebsSweep != "" {
-		if want["spike"] || want["scaleout"] {
+		if want["spike"] || want["scaleout"] || want["mvcc"] {
 			return fmt.Errorf("-ebs-sweep and -exp %s are separate modes; run them separately", *exp)
 		}
 		levels, err := parseInts(*ebsSweep)
@@ -157,6 +159,23 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-replicas: %w", err)
 		}
 		return runScaleout(ctx, out, opts, build, names, levels, *dbConns, *csvDir, *jsonDir)
+	}
+
+	// The storage-engine sweep is its own mode: one variant across
+	// {lock/sync, mvcc/sync, mvcc/async} engines, both TPC-W mixes, and
+	// every replica count.
+	if want["mvcc"] {
+		if len(want) > 1 {
+			return fmt.Errorf("-exp mvcc is a standalone mode; run other experiments separately")
+		}
+		if *mix != "" {
+			return fmt.Errorf("-exp mvcc sweeps the browsing and ordering mixes itself; drop -mix %s", *mix)
+		}
+		levels, err := parseInts(*replicas)
+		if err != nil {
+			return fmt.Errorf("-replicas: %w", err)
+		}
+		return runMVCC(ctx, out, opts, build, names[0], levels, *dbConns, *csvDir, *jsonDir)
 	}
 
 	// The flash-crowd comparison is its own mode (not part of -exp all):
@@ -342,6 +361,120 @@ func runScaleout(ctx context.Context, out io.Writer, opts harness.SweepOptions,
 					sw.GainPercent(cellName(name, mix, lo), cellName(name, mix, hi)))
 			}
 		}
+	}
+	fmt.Fprintln(out)
+	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
+}
+
+// engineModes are the storage-engine configurations swept by -exp mvcc:
+// the paper's per-table reader-writer locks with synchronous replica
+// fan-out, MVCC snapshot reads with the same synchronous contract, and
+// MVCC with asynchronous log shipping.
+var engineModes = []struct {
+	key  string
+	mvcc bool
+	repl string
+}{
+	{"lock/sync", false, "sync"},
+	{"mvcc/sync", true, "sync"},
+	{"mvcc/async", true, "async"},
+}
+
+// runMVCC runs one variant across every storage-engine mode, both TPC-W
+// mixes, and every replica count. Under the read-heavy browsing mix,
+// mvcc modes should beat lock/sync as replicas grow (snapshot reads
+// never wait on writers); under the write-heavy ordering mix, repl=async
+// should keep DML latency flat as replicas grow while repl=sync pays a
+// per-replica apply wait. The db.conflicts and db.repllag series in each
+// cell's artifacts show what the engine actually did.
+func runMVCC(ctx context.Context, out io.Writer, opts harness.SweepOptions,
+	build func(string) harness.Config, name string, levels []int, dbConns int,
+	csvDir, jsonDir string) error {
+	mixes := []string{"browsing", "ordering"}
+	cellName := func(engine, mix string, level int) string {
+		return fmt.Sprintf("%s/%s/%s/replicas=%d", name, engine, mix, level)
+	}
+	var scenarios []harness.Scenario
+	for _, eng := range engineModes {
+		for _, mix := range mixes {
+			for _, level := range levels {
+				eng := eng
+				cfg := build(name).With(func(c *harness.Config) {
+					c.Mix = mix
+					c.Replicas = level
+					c.MVCC = eng.mvcc
+					c.Repl = eng.repl
+					c.DBConns = dbConns
+					if c.DBConns <= 0 {
+						// Same auto-sizing as -exp scaleout: keep the tier,
+						// not the worker pools, as the ceiling.
+						if budget := c.GeneralWorkers + c.LengthyWorkers; budget > 0 {
+							c.DBConns = max(2, budget/6)
+						} else {
+							c.DBConns = 8
+						}
+					}
+				})
+				scenarios = append(scenarios, harness.Scenario{
+					Name:   cellName(eng.key, mix, level),
+					Config: cfg,
+				})
+			}
+		}
+	}
+	fmt.Fprintf(out, "storage engines: %s x %d engine modes x {browsing, ordering} x %d replica levels...\n",
+		name, len(engineModes), len(levels))
+	sw, sweepErr := harness.SweepWith(ctx, opts, scenarios)
+
+	fmt.Fprintf(out, "\nstorage-engine sweep (interactions per measurement window)\n")
+	fmt.Fprintf(out, "%9s", "replicas")
+	for _, eng := range engineModes {
+		for _, mix := range mixes {
+			fmt.Fprintf(out, " %20s", eng.key+"/"+mix)
+		}
+	}
+	fmt.Fprintln(out)
+	for _, level := range levels {
+		fmt.Fprintf(out, "%9d", level)
+		for _, eng := range engineModes {
+			for _, mix := range mixes {
+				res := sw.Result(cellName(eng.key, mix, level))
+				if res == nil {
+					fmt.Fprintf(out, " %20s", "-")
+					continue
+				}
+				fmt.Fprintf(out, " %20d", res.TotalInteractions)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintf(out, "\nengine behavior (sampled db.* series per cell)\n")
+	fmt.Fprintf(out, "%-40s %12s %12s %12s\n", "cell", "conflicts", "snapshots", "max-repllag")
+	fmt.Fprintln(out, strings.Repeat("-", 80))
+	for _, eng := range engineModes {
+		for _, mix := range mixes {
+			for _, level := range levels {
+				res := sw.Result(cellName(eng.key, mix, level))
+				if res == nil {
+					continue
+				}
+				fmt.Fprintf(out, "%-40s %12.0f %12.0f %12.0f\n",
+					cellName(eng.key, mix, level),
+					harness.SeriesMax(res.Series[variant.ProbeDBConflicts]),
+					harness.SeriesMax(res.Series[variant.ProbeDBSnapshots]),
+					harness.SeriesMax(res.Series[variant.ProbeDBReplLag]))
+			}
+		}
+	}
+	hi := levels[len(levels)-1]
+	for _, mix := range mixes {
+		fmt.Fprintf(out, "mvcc/sync gain over lock/sync at %d replicas (%s): %+.1f%%\n",
+			hi, mix,
+			sw.GainPercent(cellName("lock/sync", mix, hi), cellName("mvcc/sync", mix, hi)))
+		fmt.Fprintf(out, "mvcc/async gain over lock/sync at %d replicas (%s): %+.1f%%\n",
+			hi, mix,
+			sw.GainPercent(cellName("lock/sync", mix, hi), cellName("mvcc/async", mix, hi)))
 	}
 	fmt.Fprintln(out)
 	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))

@@ -206,6 +206,57 @@ func TestExperimentsScaleout(t *testing.T) {
 	}
 }
 
+// TestExperimentsMVCC exercises the storage-engine sweep: one variant
+// across {lock/sync, mvcc/sync, mvcc/async} under both mixes, with the
+// engine's db.conflicts/db.snapshots/db.repllag series in the JSON
+// artifacts.
+func TestExperimentsMVCC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead swamps the paper-time calibration")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	args := []string{
+		"-quick", "-exp", "mvcc", "-scale", "400",
+		"-ebs", "30", "-measure", "60s",
+		"-variants", "modified", "-replicas", "1,2",
+		"-json", dir,
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"storage-engine sweep", "lock/sync/browsing", "mvcc/async/ordering",
+		"engine behavior", "mvcc/sync gain over lock/sync at 2 replicas",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{
+		"modified_lock_sync_browsing_replicas_1",
+		"modified_mvcc_sync_browsing_replicas_2",
+		"modified_mvcc_async_ordering_replicas_2",
+	} {
+		raw, err := os.ReadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("mvcc artifact missing: %v", err)
+		}
+		for _, probe := range []string{
+			variant.ProbeDBConflicts, variant.ProbeDBSnapshots,
+			variant.ProbeDBReplLag, variant.ProbeDBStmtHits,
+		} {
+			if !strings.Contains(string(raw), `"`+probe+`"`) {
+				t.Errorf("%s.json misses %s series", name, probe)
+			}
+		}
+	}
+}
+
 func TestExperimentsFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-set", "nonsense"}, &buf); err == nil {
@@ -253,6 +304,19 @@ func TestExperimentsFlagValidation(t *testing.T) {
 	if err := run([]string{"-exp", "scaleout", "-ebs-sweep", "10,20"}, &buf); err == nil ||
 		!strings.Contains(err.Error(), "separate modes") {
 		t.Errorf("-exp scaleout -ebs-sweep accepted: %v", err)
+	}
+	// -exp mvcc follows the same standalone rules.
+	if err := run([]string{"-exp", "mvcc,table3"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "standalone") {
+		t.Errorf("-exp mvcc,table3 accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "mvcc", "-mix", "shopping"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "mixes itself") {
+		t.Errorf("-exp mvcc -mix accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "mvcc", "-ebs-sweep", "10,20"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "separate modes") {
+		t.Errorf("-exp mvcc -ebs-sweep accepted: %v", err)
 	}
 	// Table 2 needs no server runs and must work for any -variants.
 	buf.Reset()

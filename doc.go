@@ -22,14 +22,24 @@
 //
 // Scaling past one database, internal/dbtier fronts a primary plus N-1
 // cloned read replicas behind the same Conn-shaped Query/Exec surface
-// handlers use (server.DBConn): reads route round-robin, DML fans out
-// synchronously through the primary's apply hook, and every statement
-// acquires a pooled per-backend connection through an instrumented path
-// (the db.inuse/db.wait/db.queries probe series). It absorbs and
-// replaces the former internal/dbpool package. Both server variants take
-// replicas=N / dbconns=K purely as configuration, and
+// handlers use (server.DBConn): reads route round-robin, DML commits on
+// the primary and ships to replicas through its versioned replication
+// log (synchronously by default, asynchronously with bounded staleness
+// under repl=async), and every statement acquires a pooled per-backend
+// connection through an instrumented path (the db.* probe series). It
+// absorbs and replaces the former internal/dbpool package. Both server
+// variants take replicas=N / dbconns=K purely as configuration, and
 // cmd/experiments -exp scaleout sweeps replica counts under the
 // browsing and ordering mixes.
+//
+// The storage engine underneath (internal/sqldb) keeps every row as an
+// immutable version chain stamped with a per-database commit timestamp.
+// With mvcc=off (the default) statements take the paper's per-table
+// reader-writer locks; with mvcc=on SELECTs run lock-free against a
+// pinned snapshot and DML commits optimistically with first-writer-wins
+// conflict detection and transparent retry — readers never block
+// writers. cmd/experiments -exp mvcc sweeps the engine modes, and
+// cmd/bench persists the benchmark artifact CI uploads on every PR.
 //
 // See README.md for the architecture, a walkthrough, design notes, and
 // how to run the experiments. The root-level bench_test.go regenerates

@@ -65,6 +65,15 @@ type Config struct {
 	// GeneralWorkers + LengthyWorkers, the dynamic-worker budget, so by
 	// default acquisition never waits.
 	DBConns int
+	// MVCC switches the primary's storage engine to snapshot reads plus
+	// optimistic first-writer-wins writes. False keeps per-table
+	// reader-writer locks, the paper's concurrency model.
+	MVCC bool
+	// ReplAsync ships the replication log to replicas asynchronously:
+	// writers stop waiting for replica apply and replicas serve
+	// bounded-stale reads. False keeps the synchronous contract — every
+	// replica has applied a write before Exec returns.
+	ReplAsync bool
 
 	// Pool sizes. The paper sizes the general pool at four times the
 	// lengthy pool. Zero values take the defaults below.
@@ -252,10 +261,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DBConns <= 0 {
 		cfg.DBConns = cfg.GeneralWorkers + cfg.LengthyWorkers
 	}
+	if cfg.MVCC {
+		cfg.DB.SetMVCC(true)
+	}
 	s.tier = dbtier.New(cfg.DB, dbtier.Options{
 		Replicas: cfg.Replicas,
 		Conns:    cfg.DBConns,
 		Clock:    cfg.Clock,
+		Async:    cfg.ReplAsync,
 	})
 	dbc := s.tier.Conn()
 	s.general = stage.New(stage.Config[*dynTask]{

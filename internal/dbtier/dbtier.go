@@ -1,22 +1,38 @@
 // Package dbtier fronts a replicated database tier: one primary sqldb.DB
 // plus N-1 read replicas cloned from it, behind the same Conn-shaped
 // Query/Exec surface application handlers already use. Reads are routed
-// round-robin across every backend; DML is executed on the primary and
-// fanned out synchronously to every replica (via the primary's
-// sqldb.ApplyFunc hook, which fires under the table's write lock), so the
-// embedded engines stay byte-for-byte consistent and a handler always
-// reads its own writes.
+// round-robin across every backend; DML executes on the primary and is
+// shipped to replicas through the primary's versioned replication log
+// (sqldb.ReplLog): each replica has a dedicated applier goroutine that
+// replays committed statements in commit order on its own non-pooled
+// connection.
+//
+// Fan-out contract change (vs the apply-hook design): replication now
+// happens AFTER primary commit, outside every lock, instead of
+// synchronously under the primary's table write lock. Two modes pick
+// the consistency point:
+//
+//   - sync (default): Exec returns once every replica has applied the
+//     statement's CommitTS. Readers anywhere see the write — the old
+//     external behavior — but the wait overlaps across replicas and no
+//     longer serializes the whole tier under a table lock.
+//   - async: Exec returns at primary commit, waiting only if the
+//     slowest replica is more than MaxLag commits behind (bounded
+//     staleness backpressure). Replica reads may briefly return stale
+//     rows; reads served by the primary still observe every committed
+//     write (read-your-writes holds whenever the rotation lands there,
+//     and always holds for data the handler re-reads via the primary).
 //
 // The tier also owns the "precious database connection resources" the
 // DSN'09 paper husbands: each backend engine has a fixed pool of
 // connections (absorbing the former internal/dbpool package), and every
 // statement acquires one through an instrumented path — an in-use gauge,
 // a wait counter, and a wait-time histogram, surfaced by the server
-// variants as the db.inuse / db.wait / db.queries probes. Because a
-// pooled connection executes one statement at a time, the per-backend
-// pool size is also the engine's statement concurrency: a single backend
-// saturates once its pool is busy, and adding replicas multiplies read
-// capacity while writes pay the fan-out on every backend.
+// variants as the db.inuse / db.wait / db.queries probes. Applier
+// connections are separate from the pools, so replication never starves
+// read capacity. Because a pooled connection executes one statement at
+// a time, the per-backend pool size is also the engine's statement
+// concurrency.
 package dbtier
 
 import (
@@ -32,6 +48,9 @@ import (
 // ErrTierClosed is returned by statement execution after Close.
 var ErrTierClosed = errors.New("dbtier: tier closed")
 
+// defaultMaxLag bounds async-mode replica staleness, in commits.
+const defaultMaxLag = 256
+
 // Options configures a Tier.
 type Options struct {
 	// Replicas is the total number of backend engines, primary included.
@@ -43,6 +62,14 @@ type Options struct {
 	Conns int
 	// Clock times acquisition waits; defaults to the real clock.
 	Clock clock.Clock
+	// Async selects asynchronous replication: Exec returns at primary
+	// commit instead of waiting for every replica to apply. False — the
+	// default — preserves the old synchronous external behavior.
+	Async bool
+	// MaxLag bounds how many commits the slowest replica may trail the
+	// primary in async mode before writers are backpressured; <= 0
+	// means defaultMaxLag. Ignored in sync mode.
+	MaxLag int
 }
 
 // backend is one engine plus its bounded connection pool.
@@ -51,20 +78,38 @@ type backend struct {
 	conns chan *sqldb.Conn
 }
 
+// replica is one read replica's replication state: the applier's
+// dedicated connection and the commit timestamp applied so far.
+type replica struct {
+	db      *sqldb.DB
+	apply   *sqldb.Conn
+	applied atomic.Int64
+}
+
 // Tier is a replicated database tier. Handlers reach it through Conn
 // values (see Conn), which are safe for concurrent use.
 type Tier struct {
 	backends []*backend // [0] is the primary
+	replicas []*replica // backends[1:]
+	log      *sqldb.ReplLog
 	clk      clock.Clock
 	poolSize int
+	async    bool
+	maxLag   int64
 
 	next      atomic.Uint64 // round-robin read cursor
 	done      chan struct{}
+	applyWG   sync.WaitGroup
 	closeOnce sync.Once
 	// closeMu orders release against Close: once closed is set no new
 	// connection can land in a pool channel, so Close's drain is final.
 	closeMu sync.Mutex
 	closed  bool
+
+	// progCh broadcasts replica apply progress: closed and replaced
+	// whenever any replica advances, waking CommitTS / lag waiters.
+	progMu sync.Mutex
+	progCh chan struct{}
 
 	inUse      metrics.Gauge
 	waits      metrics.Counter
@@ -75,8 +120,9 @@ type Tier struct {
 // New builds a tier over primary. Replicas beyond the first are cloned
 // from the primary's current contents (schema, rows, auto-increment
 // state), so build the tier after the database is populated. With more
-// than one backend the tier installs the primary's apply hook; Close
-// removes it.
+// than one backend the tier enables the primary's replication log and
+// starts one applier goroutine per replica; Close stops them and
+// detaches the log.
 func New(primary *sqldb.DB, opts Options) *Tier {
 	if primary == nil {
 		panic("dbtier: nil primary")
@@ -90,15 +136,30 @@ func New(primary *sqldb.DB, opts Options) *Tier {
 	if opts.Clock == nil {
 		opts.Clock = clock.Real{}
 	}
+	if opts.MaxLag <= 0 {
+		opts.MaxLag = defaultMaxLag
+	}
 	t := &Tier{
 		clk:      opts.Clock,
 		poolSize: opts.Conns,
+		async:    opts.Async,
+		maxLag:   int64(opts.MaxLag),
 		done:     make(chan struct{}),
+		progCh:   make(chan struct{}),
+	}
+	if opts.Replicas > 1 {
+		// Enable the log before cloning: every commit after a clone's
+		// asOf timestamp is then guaranteed to be in the log.
+		t.log = primary.EnableReplLog()
 	}
 	for i := 0; i < opts.Replicas; i++ {
 		db := primary
 		if i > 0 {
-			db = primary.Clone()
+			clone, asOf := primary.CloneSnapshot()
+			r := &replica{db: clone, apply: clone.Connect()}
+			r.applied.Store(asOf)
+			t.replicas = append(t.replicas, r)
+			db = clone
 		}
 		b := &backend{db: db, conns: make(chan *sqldb.Conn, opts.Conns)}
 		for j := 0; j < opts.Conns; j++ {
@@ -106,8 +167,9 @@ func New(primary *sqldb.DB, opts Options) *Tier {
 		}
 		t.backends = append(t.backends, b)
 	}
-	if len(t.backends) > 1 {
-		primary.SetApplyHook(t.replay)
+	for _, r := range t.replicas {
+		t.applyWG.Add(1)
+		go t.applyLoop(r)
 	}
 	return t
 }
@@ -117,17 +179,24 @@ func New(primary *sqldb.DB, opts Options) *Tier {
 // acquires a pooled backend connection for just its own execution.
 func (t *Tier) Conn() *Conn { return &Conn{t: t} }
 
-// Close shuts the tier down: waiting acquisitions fail, pooled
-// connections are closed (connections currently executing are closed as
-// they are released), and the primary's apply hook is removed.
-// Idempotent.
+// Close shuts the tier down: waiting acquisitions fail, applier
+// goroutines drain and stop, the primary's replication log is detached
+// (so later direct writes no longer accumulate or replicate), and
+// pooled connections are closed (connections currently executing are
+// closed as they are released). Idempotent.
 func (t *Tier) Close() {
 	t.closeOnce.Do(func() {
 		t.closeMu.Lock()
 		t.closed = true
 		close(t.done)
 		t.closeMu.Unlock()
-		t.backends[0].db.SetApplyHook(nil)
+		t.applyWG.Wait()
+		for _, r := range t.replicas {
+			r.apply.Close()
+		}
+		if t.log != nil {
+			t.backends[0].db.DisableReplLog()
+		}
 		// No release can add to a pool once closed is set, so a single
 		// drain closes every pooled connection for good.
 		for _, b := range t.backends {
@@ -141,6 +210,116 @@ func (t *Tier) Close() {
 			}
 		}
 	})
+}
+
+// applyLoop is one replica's applier: it tails the primary's log and
+// replays each committed statement, in commit order, on the replica's
+// dedicated connection. Replay preserves auto-increment determinism
+// because the replica started from a commit-consistent clone and
+// applies the identical statement stream single-threaded.
+func (t *Tier) applyLoop(r *replica) {
+	defer t.applyWG.Done()
+	for {
+		entries, changed := t.log.Since(r.applied.Load())
+		if len(entries) == 0 {
+			select {
+			case <-t.done:
+				return
+			case <-changed:
+			}
+			continue
+		}
+		for _, e := range entries {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			args := make([]any, len(e.Args))
+			for i, v := range e.Args {
+				args[i] = v
+			}
+			if _, err := r.apply.Exec(e.SQL, args...); err != nil {
+				t.replayErrs.Inc()
+			}
+			r.applied.Store(e.TS)
+			t.notifyProgress()
+		}
+		t.log.TruncateThrough(t.minApplied())
+	}
+}
+
+// notifyProgress wakes everything blocked on replica apply progress.
+func (t *Tier) notifyProgress() {
+	t.progMu.Lock()
+	close(t.progCh)
+	t.progCh = make(chan struct{})
+	t.progMu.Unlock()
+}
+
+// progress returns the current progress broadcast channel.
+func (t *Tier) progress() <-chan struct{} {
+	t.progMu.Lock()
+	ch := t.progCh
+	t.progMu.Unlock()
+	return ch
+}
+
+// minApplied reports the slowest replica's applied commit timestamp.
+func (t *Tier) minApplied() int64 {
+	min := int64(-1)
+	for _, r := range t.replicas {
+		if a := r.applied.Load(); min < 0 || a < min {
+			min = a
+		}
+	}
+	if min < 0 {
+		return t.backends[0].db.CommitTS()
+	}
+	return min
+}
+
+// waitApplied blocks until every replica has applied ts, or the tier
+// closes (the write already committed on the primary, so closing is not
+// an error for the writer).
+func (t *Tier) waitApplied(ts int64) {
+	for t.minApplied() < ts {
+		ch := t.progress()
+		if t.minApplied() >= ts {
+			return
+		}
+		select {
+		case <-ch:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// waitLag blocks while the slowest replica trails ts by more than
+// MaxLag — async mode's bounded-staleness backpressure.
+func (t *Tier) waitLag(ts int64) {
+	for ts-t.minApplied() > t.maxLag {
+		ch := t.progress()
+		if ts-t.minApplied() <= t.maxLag {
+			return
+		}
+		select {
+		case <-ch:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Sync blocks until every replica has applied every statement committed
+// on the primary so far — the barrier tests and direct primary writers
+// use to observe a converged tier.
+func (t *Tier) Sync() {
+	if len(t.replicas) == 0 {
+		return
+	}
+	t.waitApplied(t.backends[0].db.CommitTS())
 }
 
 // acquire obtains a pooled connection to backend b, blocking until one
@@ -196,35 +375,6 @@ func (t *Tier) readBackend() *backend {
 	return t.backends[int(t.next.Add(1)%uint64(len(t.backends)))]
 }
 
-// replay applies one DML statement to every replica, in parallel, and
-// waits for all of them — the synchronous write fan-out. It runs as the
-// primary's apply hook, under the primary's table write lock, which
-// serializes same-table DML across the whole tier and keeps replica
-// auto-increment assignment identical to the primary's.
-func (t *Tier) replay(sql string, args []sqldb.Value) {
-	anyArgs := make([]any, len(args))
-	for i, v := range args {
-		anyArgs[i] = v
-	}
-	var wg sync.WaitGroup
-	for _, b := range t.backends[1:] {
-		wg.Add(1)
-		go func(b *backend) {
-			defer wg.Done()
-			c, err := t.acquire(b)
-			if err != nil {
-				t.replayErrs.Inc()
-				return
-			}
-			defer t.release(b, c)
-			if _, err := c.Exec(sql, anyArgs...); err != nil {
-				t.replayErrs.Inc()
-			}
-		}(b)
-	}
-	wg.Wait()
-}
-
 // ---- introspection ----
 
 // Replicas reports the number of backend engines, primary included.
@@ -232,6 +382,9 @@ func (t *Tier) Replicas() int { return len(t.backends) }
 
 // Size reports the connection pool size per backend.
 func (t *Tier) Size() int { return t.poolSize }
+
+// Async reports whether the tier replicates asynchronously.
+func (t *Tier) Async() bool { return t.async }
 
 // Primary returns the primary engine.
 func (t *Tier) Primary() *sqldb.DB { return t.backends[0].db }
@@ -266,6 +419,62 @@ func (t *Tier) QueryCount() int64 {
 	return n
 }
 
+// Conflicts reports first-writer-wins aborts across all backends
+// (replicas replay single-threaded, so in practice this is the
+// primary's count).
+func (t *Tier) Conflicts() int64 {
+	var n int64
+	for _, b := range t.backends {
+		n += b.db.Conflicts()
+	}
+	return n
+}
+
+// SnapshotReads reports MVCC snapshot-served statements across all
+// backends.
+func (t *Tier) SnapshotReads() int64 {
+	var n int64
+	for _, b := range t.backends {
+		n += b.db.SnapshotReads()
+	}
+	return n
+}
+
+// StmtCacheHits reports prepared-statement cache hits across all
+// backends.
+func (t *Tier) StmtCacheHits() int64 {
+	var n int64
+	for _, b := range t.backends {
+		n += b.db.StmtCacheHits()
+	}
+	return n
+}
+
+// StmtCacheMisses reports prepared-statement cache misses across all
+// backends.
+func (t *Tier) StmtCacheMisses() int64 {
+	var n int64
+	for _, b := range t.backends {
+		n += b.db.StmtCacheMisses()
+	}
+	return n
+}
+
+// ReplLag reports how many commits the slowest replica currently trails
+// the primary — zero with no replicas, bounded by MaxLag under async
+// backpressure, and transiently nonzero even in sync mode (the wait
+// happens in Exec, not under a lock).
+func (t *Tier) ReplLag() int64 {
+	if len(t.replicas) == 0 {
+		return 0
+	}
+	lag := t.backends[0].db.CommitTS() - t.minApplied()
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
 // ReplayErrors reports replica statements that failed to apply — zero in
 // a healthy tier, since replicas replay the primary's exact statement
 // stream from an identical starting state.
@@ -273,7 +482,8 @@ func (t *Tier) ReplayErrors() int64 { return t.replayErrs.Value() }
 
 // Conn is the handler-facing connection facade: the same Query/Exec
 // shape as a *sqldb.Conn, with reads routed round-robin across backends
-// and writes executed on the primary (whose apply hook fans them out).
+// and writes executed on the primary and shipped through the
+// replication log.
 type Conn struct {
 	t *Tier
 }
@@ -289,15 +499,25 @@ func (c *Conn) Query(sql string, args ...any) (*sqldb.ResultSet, error) {
 	return bc.Query(sql, args...)
 }
 
-// Exec executes a DML statement on the primary; with replicas present
-// the statement is synchronously replayed to every one of them before
-// Exec returns.
+// Exec executes a DML statement on the primary. In sync mode it then
+// waits (holding no pooled connection) until every replica has applied
+// the statement; in async mode it returns immediately unless the
+// slowest replica is more than MaxLag commits behind.
 func (c *Conn) Exec(sql string, args ...any) (sqldb.ExecResult, error) {
 	b := c.t.backends[0]
 	bc, err := c.t.acquire(b)
 	if err != nil {
 		return sqldb.ExecResult{}, err
 	}
-	defer c.t.release(b, bc)
-	return bc.Exec(sql, args...)
+	res, err := bc.Exec(sql, args...)
+	c.t.release(b, bc) // before any replication wait: don't hold the pool slot
+	if err != nil || len(c.t.replicas) == 0 {
+		return res, err
+	}
+	if c.t.async {
+		c.t.waitLag(res.CommitTS)
+	} else {
+		c.t.waitApplied(res.CommitTS)
+	}
+	return res, nil
 }

@@ -103,7 +103,8 @@ func TestWriteFanOut(t *testing.T) {
 
 // TestDirectPrimaryWritesReplicate proves writes that bypass the tier's
 // connections (e.g. a populate step run directly against the primary)
-// still reach every replica through the apply hook.
+// still reach every replica through the replication log. Replication is
+// asynchronous now, so observing it takes a Sync barrier.
 func TestDirectPrimaryWritesReplicate(t *testing.T) {
 	db := newTierDB(t)
 	tier := New(db, Options{Replicas: 2, Conns: 1})
@@ -113,6 +114,7 @@ func TestDirectPrimaryWritesReplicate(t *testing.T) {
 	if _, err := c.Exec("UPDATE kv SET v = 'direct' WHERE id = 1"); err != nil {
 		t.Fatal(err)
 	}
+	tier.Sync()
 	replica := tier.Backends()[1]
 	rc := replica.Connect()
 	defer rc.Close()

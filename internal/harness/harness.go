@@ -149,6 +149,12 @@ type Config struct {
 	// pool size per backend (0 means the variant's worker budget).
 	Replicas int `json:"replicas,omitempty"`
 	DBConns  int `json:"db_conns,omitempty"`
+	// Storage engine (both variants): MVCC switches the primary to
+	// snapshot reads + optimistic writes ("mvcc" setting); Repl picks
+	// the replica apply mode, "sync" (default) or "async" ("repl"
+	// setting).
+	MVCC bool   `json:"mvcc,omitempty"`
+	Repl string `json:"repl,omitempty"`
 
 	// Set holds explicit variant-setting overrides, layered over the
 	// typed fields above. Unlike the typed fields, a key the variant
@@ -214,6 +220,12 @@ func (c Config) settings() variant.Settings {
 	put("dbconns", c.DBConns)
 	if c.Cutoff > 0 {
 		s["cutoff"] = c.Cutoff.String()
+	}
+	if c.MVCC {
+		s["mvcc"] = "on"
+	}
+	if c.Repl != "" {
+		s["repl"] = c.Repl
 	}
 	return s
 }

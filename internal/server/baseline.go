@@ -34,6 +34,13 @@ type BaselineConfig struct {
 	// Workers, so acquisition only ever waits when configured scarcer
 	// than the worker pool.
 	DBConns int
+	// MVCC switches the primary's storage engine to snapshot reads plus
+	// optimistic first-writer-wins writes. False keeps per-table
+	// reader-writer locks, the paper's concurrency model.
+	MVCC bool
+	// ReplAsync ships the replication log to replicas asynchronously
+	// instead of making writers wait for every replica to apply.
+	ReplAsync bool
 	// QueueCap bounds the accept queue. Defaults to 4096.
 	QueueCap int
 	// IdleTimeout bounds how long a worker waits for the next request on
@@ -97,10 +104,14 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 	if cfg.DBConns <= 0 {
 		cfg.DBConns = cfg.Workers
 	}
+	if cfg.MVCC {
+		cfg.DB.SetMVCC(true)
+	}
 	s.tier = dbtier.New(cfg.DB, dbtier.Options{
 		Replicas: cfg.Replicas,
 		Conns:    cfg.DBConns,
 		Clock:    cfg.Clock,
+		Async:    cfg.ReplAsync,
 	})
 	dbc := s.tier.Conn()
 	s.workers = stage.New(stage.Config[*Conn]{

@@ -2,59 +2,79 @@ package sqldb
 
 import "maps"
 
-// Clone returns a new DB with the same clock, timescale, and cost model
-// and a deep copy of db's current schema and contents — including
-// tombstoned row slots and auto-increment counters, so the clone's
-// internal row IDs, scan order, and future auto-assigned primary keys
-// match the original statement for statement. internal/dbtier uses Clone
-// to seed read replicas from a populated primary.
-//
-// The statement cache and the apply hook are not copied. Each table is
-// copied under its read lock, so cloning a live database yields a
-// consistent per-table snapshot; clone while writers are quiesced if a
-// cross-table point-in-time snapshot is required.
+// Clone returns a new DB with the same clock, timescale, cost model,
+// and concurrency mode, and a deep copy of db's schema and contents.
+// See CloneSnapshot.
 func (db *DB) Clone() *DB {
-	clone := &DB{
-		tables:    make(map[string]*table, 16),
-		stmtCache: make(map[string]stmt, 64),
-		clk:       db.clk,
-		ts:        db.ts,
-		cost:      db.cost,
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for name, tbl := range db.tables {
-		clone.tables[name] = tbl.clone()
-	}
+	clone, _ := db.CloneSnapshot()
 	return clone
 }
 
-// clone deep-copies one table under its read lock.
-func (t *table) clone() *table {
-	t.lock.RLock()
-	defer t.lock.RUnlock()
+// CloneSnapshot clones the database at a single commit timestamp and
+// returns that timestamp. The commit mutex is held for the copy, so the
+// snapshot is consistent across every table and the auto-increment
+// state matches the data exactly: a replica built from the clone that
+// replays the replication log from asOf reproduces the original
+// statement for statement, including slot layout, scan order, and
+// auto-assigned primary keys. Version chains are flattened — the clone
+// starts at commit timestamp zero with single-version rows (tombstoned
+// slots preserved).
+//
+// The statement cache, apply hook, and replication log are not copied.
+func (db *DB) CloneSnapshot() (*DB, int64) {
+	clone := &DB{
+		tables:    make(map[string]*table, 16),
+		stmts:     newStmtCache(db.stmts.cap),
+		clk:       db.clk,
+		ts:        db.ts,
+		cost:      db.cost,
+		snapCount: make(map[int64]int),
+	}
+	clone.mvcc.Store(db.mvcc.Load())
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	asOf := db.commitTS.Load()
+	for name, tbl := range db.tables {
+		clone.tables[name] = tbl.cloneAt(asOf)
+	}
+	return clone, asOf
+}
+
+// cloneAt deep-copies one table as of commit timestamp ts, flattening
+// each slot's version chain to a single version at timestamp zero.
+// Caller holds the owning DB's commitMu, so no writer mutates the slot
+// arena, the index maps, or nextAuto during the copy. Index buckets are
+// shared, not copied — they are immutable (copy-on-write), so the clone
+// and the original can never observe each other's additions.
+func (t *table) cloneAt(ts int64) *table {
 	nt := &table{
 		schema:   t.schema,
 		pkCol:    t.pkCol,
-		live:     t.live,
 		nextAuto: t.nextAuto,
-		rows:     make([][]Value, len(t.rows)),
 		indexes:  make(map[string]*hashIndex, len(t.indexes)),
 	}
-	for i, row := range t.rows {
-		if row != nil {
-			nt.rows[i] = append([]Value(nil), row...)
+	slots := *t.slots.Load()
+	ns := make([]*rowSlot, len(slots))
+	live := int64(0)
+	for i, s := range slots {
+		cp := &rowSlot{}
+		var row []Value
+		if data := s.visible(ts); data != nil {
+			row = append([]Value(nil), data...)
+			live++
 		}
+		cp.head.Store(&rowVersion{data: row, begin: 0})
+		ns[i] = cp
 	}
+	nt.slots.Store(&ns)
+	nt.live.Store(live)
 	if t.pk != nil {
 		nt.pk = maps.Clone(t.pk)
 	}
 	for name, idx := range t.indexes {
-		m := make(map[Value][]int, len(idx.m))
-		for v, ids := range idx.m {
-			m[v] = append([]int(nil), ids...)
-		}
-		nt.indexes[name] = &hashIndex{col: idx.col, m: m}
+		nt.indexes[name] = &hashIndex{col: idx.col, m: maps.Clone(idx.m)}
 	}
 	return nt
 }

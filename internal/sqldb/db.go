@@ -23,15 +23,24 @@ type Options struct {
 	// "explicitly zero" are distinguishable, so tests that want free
 	// statements must say so with ZeroCostModel (or &CostModel{}).
 	Cost *CostModel
+	// MVCC selects the concurrency discipline at open; SetMVCC can flip
+	// it later (between statements). Off means the paper-faithful
+	// per-table reader/writer lock.
+	MVCC bool
+	// StmtCacheSize bounds the prepared-statement LRU; <= 0 means the
+	// default (defaultStmtCacheSize).
+	StmtCacheSize int
 }
 
-// ApplyFunc observes a successfully applied DML statement. The hook is
-// invoked with the statement's original SQL and its normalized arguments
-// while the target table's write lock is still held, so replaying the
-// statements in hook order onto a replica that started from the same
-// state reproduces the primary byte for byte (including auto-assigned
-// primary keys). internal/dbtier uses this for synchronous write
-// fan-out.
+// ApplyFunc observes a successfully committed DML statement. The hook
+// is invoked with the statement's original SQL and its normalized
+// arguments inside the engine's commit critical section (db.commitMu) —
+// after the statement's versions are installed, before any later
+// statement can commit — so hook order is exactly commit order.
+// Replaying the statements in hook order onto a replica that started
+// from the same state reproduces the primary byte for byte (including
+// auto-assigned primary keys). In lock mode the target table's write
+// lock is also still held, preserving the pre-MVCC contract.
 type ApplyFunc func(sql string, args []Value)
 
 // DB is the embedded database engine. It is safe for concurrent use by
@@ -40,21 +49,44 @@ type DB struct {
 	mu     sync.RWMutex // guards tables map (DDL)
 	tables map[string]*table
 
-	stmtMu    sync.RWMutex // guards stmtCache
-	stmtCache map[string]stmt
+	stmts *stmtCache
 
 	clk  clock.Clock
 	ts   clock.Timescale
 	cost CostModel
 
-	// applyHook, when set, observes every applied DML statement (see
+	// mvcc selects the concurrency discipline: off = per-table RW lock
+	// (the paper's MySQL-like behavior), on = snapshot reads +
+	// first-writer-wins commits. Storage is versioned either way, so the
+	// flag can be flipped between statements.
+	mvcc atomic.Bool
+
+	// commitMu is the engine-wide commit critical section: conflict
+	// validation, version install, log append, and the commitTS bump
+	// happen under it — and nothing else. Cost-model sleeps never hold
+	// it.
+	commitMu sync.Mutex
+	commitTS atomic.Int64
+
+	// log, when non-nil, receives every committed DML statement.
+	log atomic.Pointer[ReplLog]
+
+	// snapCount tracks pinned snapshot timestamps (active MVCC
+	// statements and explicit Snapshots) so version pruning never cuts a
+	// chain an active reader is walking.
+	snapMu    sync.Mutex
+	snapCount map[int64]int
+
+	// applyHook, when set, observes every committed DML statement (see
 	// ApplyFunc). Stored atomically so SetApplyHook is safe against
 	// concurrent statements.
 	applyHook atomic.Pointer[ApplyFunc]
 
-	queries   metrics.Counter // statements executed
-	queryTime metrics.Histogram
-	open      atomic.Int64 // connections currently open (gauge)
+	queries       metrics.Counter // statements executed
+	queryTime     metrics.Histogram
+	conflicts     metrics.Counter // first-writer-wins aborts (before retry)
+	snapshotReads metrics.Counter // statements served from an MVCC snapshot
+	open          atomic.Int64    // connections currently open (gauge)
 }
 
 // Open creates an empty database.
@@ -69,14 +101,73 @@ func Open(opts Options) *DB {
 		m := DefaultCostModel()
 		opts.Cost = &m
 	}
-	return &DB{
+	db := &DB{
 		tables:    make(map[string]*table, 16),
-		stmtCache: make(map[string]stmt, 64),
+		stmts:     newStmtCache(opts.StmtCacheSize),
 		clk:       opts.Clock,
 		ts:        opts.Timescale,
 		cost:      *opts.Cost,
+		snapCount: make(map[int64]int),
 	}
+	db.mvcc.Store(opts.MVCC)
+	return db
 }
+
+// SetMVCC flips the concurrency discipline. Safe to call on a live
+// database; statements already in flight finish under the discipline
+// they started with.
+func (db *DB) SetMVCC(on bool) { db.mvcc.Store(on) }
+
+// MVCCEnabled reports the current concurrency discipline.
+func (db *DB) MVCCEnabled() bool { return db.mvcc.Load() }
+
+// CommitTS reports the newest commit timestamp: the count of committed
+// DML statements over the database's lifetime.
+func (db *DB) CommitTS() int64 { return db.commitTS.Load() }
+
+// Conflicts reports first-writer-wins validation failures. Each failed
+// attempt counts once; Conn.Exec retries transparently, so a nonzero
+// count with no surfaced errors means retries absorbed the conflicts.
+func (db *DB) Conflicts() int64 { return db.conflicts.Value() }
+
+// SnapshotReads reports statements served from an MVCC snapshot
+// (snapshot SELECTs plus explicit Snapshot queries).
+func (db *DB) SnapshotReads() int64 { return db.snapshotReads.Value() }
+
+// StmtCacheHits reports prepared-statement cache hits.
+func (db *DB) StmtCacheHits() int64 { return db.stmts.hits.Value() }
+
+// StmtCacheMisses reports prepared-statement cache misses.
+func (db *DB) StmtCacheMisses() int64 { return db.stmts.misses.Value() }
+
+// StmtCacheLen reports resident prepared statements (bounded by the LRU
+// capacity).
+func (db *DB) StmtCacheLen() int { return db.stmts.len() }
+
+// EnableReplLog attaches (or returns the existing) replication log.
+// Entries start at the current commit timestamp, so a replica cloned
+// via CloneSnapshot right after enabling observes a gapless stream.
+func (db *DB) EnableReplLog() *ReplLog {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if l := db.log.Load(); l != nil {
+		return l
+	}
+	l := newReplLog(db.commitTS.Load())
+	db.log.Store(l)
+	return l
+}
+
+// DisableReplLog detaches the replication log; later commits are no
+// longer appended.
+func (db *DB) DisableReplLog() {
+	db.commitMu.Lock()
+	db.log.Store(nil)
+	db.commitMu.Unlock()
+}
+
+// ReplLog returns the attached replication log, or nil.
+func (db *DB) ReplLog() *ReplLog { return db.log.Load() }
 
 // SetApplyHook installs (or, with nil, removes) the DML observation hook.
 // See ApplyFunc for the delivery contract.
@@ -88,12 +179,58 @@ func (db *DB) SetApplyHook(fn ApplyFunc) {
 	db.applyHook.Store(&fn)
 }
 
-// fireApply delivers a successfully applied DML statement to the hook.
-// Callers hold the target table's write lock.
+// fireApply delivers a committed DML statement to the hook. Callers
+// hold commitMu.
 func (db *DB) fireApply(ec *execCtx) {
 	if fn := db.applyHook.Load(); fn != nil {
 		(*fn)(ec.sql, ec.args)
 	}
+}
+
+// finishCommit completes a DML commit: append to the replication log,
+// publish the new commit timestamp, deliver the hook. Caller holds
+// commitMu and has already installed the statement's versions at ts.
+func (db *DB) finishCommit(ec *execCtx, ts int64) {
+	if l := db.log.Load(); l != nil {
+		l.append(LogEntry{TS: ts, SQL: ec.sql, Args: ec.args})
+	}
+	db.commitTS.Store(ts)
+	db.fireApply(ec)
+}
+
+// pinSnapshot registers an active reader at ts, holding version pruning
+// at or below it.
+func (db *DB) pinSnapshot(ts int64) {
+	db.snapMu.Lock()
+	db.snapCount[ts]++
+	db.snapMu.Unlock()
+}
+
+// unpinSnapshot releases a pinSnapshot registration.
+func (db *DB) unpinSnapshot(ts int64) {
+	db.snapMu.Lock()
+	if n := db.snapCount[ts] - 1; n > 0 {
+		db.snapCount[ts] = n
+	} else {
+		delete(db.snapCount, ts)
+	}
+	db.snapMu.Unlock()
+}
+
+// pruneHorizon computes the oldest snapshot any active or future reader
+// can hold: the minimum pinned timestamp, or the current commit
+// timestamp when nothing is pinned. Versions strictly older than the
+// newest version at or below the horizon are unreachable.
+func (db *DB) pruneHorizon() int64 {
+	min := db.commitTS.Load()
+	db.snapMu.Lock()
+	for ts := range db.snapCount {
+		if ts < min {
+			min = ts
+		}
+	}
+	db.snapMu.Unlock()
+	return min
 }
 
 // CreateTable registers a new table.
@@ -136,16 +273,15 @@ func (db *DB) TableSize(name string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	tbl.lock.RLock()
-	defer tbl.lock.RUnlock()
-	return tbl.live, nil
+	return int(tbl.live.Load()), nil
 }
 
 // QueryCount reports the number of statements executed.
 func (db *DB) QueryCount() int64 { return db.queries.Value() }
 
-// QueryTimes exposes the per-statement latency histogram (paper time is
-// not applied here; durations are wall time).
+// QueryTimes exposes the per-statement latency histogram, measured on
+// the injected clock — so under clock.Manual or a compressed timescale
+// the recorded durations are the modeled ones, not wall time.
 func (db *DB) QueryTimes() *metrics.Histogram { return &db.queryTime }
 
 func (db *DB) lookupTable(name string) (*table, error) {
@@ -158,28 +294,24 @@ func (db *DB) lookupTable(name string) (*table, error) {
 	return tbl, nil
 }
 
-// prepare parses SQL with a per-DB statement cache.
+// prepare parses SQL through the per-DB bounded statement cache.
 func (db *DB) prepare(sql string) (stmt, error) {
-	db.stmtMu.RLock()
-	s, ok := db.stmtCache[sql]
-	db.stmtMu.RUnlock()
-	if ok {
+	if s, ok := db.stmts.get(sql); ok {
 		return s, nil
 	}
 	s, err := parseSQL(sql)
 	if err != nil {
 		return nil, err
 	}
-	db.stmtMu.Lock()
-	db.stmtCache[sql] = s
-	db.stmtMu.Unlock()
+	db.stmts.put(sql, s)
 	return s, nil
 }
 
 // chargeCost sleeps the statement's modeled latency (converted through
-// the timescale). Called while the statement's table locks are held, so
-// that concurrent statements contend the way the paper's MySQL server
-// does.
+// the timescale). In lock mode it is called while the statement's table
+// locks are held, so concurrent statements contend the way the paper's
+// MySQL server does; in MVCC mode it is called with no locks held — the
+// latency is still charged, but nobody queues behind it.
 func (db *DB) chargeCost(ec *execCtx) {
 	d := ec.cost.total(db.cost)
 	if d > 0 {
@@ -192,6 +324,19 @@ var ErrConnClosed = errors.New("sqldb: connection closed")
 
 // ErrConnBusy reports concurrent use of one connection.
 var ErrConnBusy = errors.New("sqldb: connection used concurrently")
+
+// ErrWriteConflict reports a first-writer-wins validation failure: a
+// row the statement read under its snapshot was committed to by another
+// writer before this statement could commit. Conn.Exec retries
+// conflicted statements transparently; the error only surfaces after
+// the retry budget is exhausted.
+var ErrWriteConflict = errors.New("sqldb: write conflict")
+
+// maxConflictRetries bounds transparent re-execution of a conflicted
+// DML statement. Each retry re-reads a fresh snapshot, and a conflict
+// implies some other writer committed, so the system as a whole always
+// makes progress; the bound is a backstop, not a tuning knob.
+const maxConflictRetries = 64
 
 // Conn is a database connection. Like the paper's per-thread MySQL
 // connections it executes one statement at a time; concurrent use is a
@@ -249,8 +394,8 @@ func (c *Conn) Query(sql string, args ...any) (*ResultSet, error) {
 		return nil, err
 	}
 	defer c.exit()
-	start := time.Now()
-	defer func() { c.db.queryTime.Observe(time.Since(start)) }()
+	start := c.db.clk.Now()
+	defer func() { c.db.queryTime.Observe(c.db.clk.Since(start)) }()
 	c.db.queries.Inc()
 
 	s, err := c.db.prepare(sql)
@@ -272,16 +417,23 @@ func (c *Conn) Query(sql string, args ...any) (*ResultSet, error) {
 type ExecResult struct {
 	RowsAffected int64
 	LastInsertID int64
+	// CommitTS is the commit timestamp the statement was installed at.
+	// The replication tier waits on it ("replica applied >= CommitTS")
+	// instead of replicating inside the write path.
+	CommitTS int64
 }
 
-// Exec executes an INSERT, UPDATE, or DELETE.
+// Exec executes an INSERT, UPDATE, or DELETE. Under MVCC, a statement
+// aborted by first-writer-wins validation is re-executed against a
+// fresh snapshot (the accumulated cost of failed attempts stays
+// charged, so conflicts cost latency, as they should).
 func (c *Conn) Exec(sql string, args ...any) (ExecResult, error) {
 	if err := c.enter(); err != nil {
 		return ExecResult{}, err
 	}
 	defer c.exit()
-	start := time.Now()
-	defer func() { c.db.queryTime.Observe(time.Since(start)) }()
+	start := c.db.clk.Now()
+	defer func() { c.db.queryTime.Observe(c.db.clk.Since(start)) }()
 	c.db.queries.Inc()
 
 	s, err := c.db.prepare(sql)
@@ -293,15 +445,22 @@ func (c *Conn) Exec(sql string, args ...any) (ExecResult, error) {
 		return ExecResult{}, err
 	}
 	ec.sql = sql
-	switch t := s.(type) {
-	case *insertStmt:
-		return c.db.execInsert(t, ec)
-	case *updateStmt:
-		return c.db.execUpdate(t, ec)
-	case *deleteStmt:
-		return c.db.execDelete(t, ec)
-	default:
-		return ExecResult{}, fmt.Errorf("sqldb: Exec requires INSERT/UPDATE/DELETE, got %q", sql)
+	for attempt := 0; ; attempt++ {
+		var res ExecResult
+		switch t := s.(type) {
+		case *insertStmt:
+			res, err = c.db.execInsert(t, ec)
+		case *updateStmt:
+			res, err = c.db.execUpdate(t, ec)
+		case *deleteStmt:
+			res, err = c.db.execDelete(t, ec)
+		default:
+			return ExecResult{}, fmt.Errorf("sqldb: Exec requires INSERT/UPDATE/DELETE, got %q", sql)
+		}
+		if errors.Is(err, ErrWriteConflict) && attempt < maxConflictRetries {
+			continue
+		}
+		return res, err
 	}
 }
 

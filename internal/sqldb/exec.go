@@ -7,10 +7,20 @@ import (
 )
 
 // binding is one table instance participating in a SELECT (FROM or JOIN),
-// addressed by its alias.
+// addressed by its alias. view is the snapshot the statement reads the
+// table at: the latest state in lock mode (where the table lock
+// serializes access), a fixed commit timestamp under MVCC.
 type binding struct {
-	ref tableRef
-	tbl *table
+	ref  tableRef
+	tbl  *table
+	view tableView
+}
+
+// bindViews captures a read view of every binding at ts.
+func bindViews(bindings []binding, ts int64) {
+	for i := range bindings {
+		bindings[i].view = bindings[i].tbl.view(ts)
+	}
 }
 
 // execCtx carries per-statement state.
@@ -242,58 +252,95 @@ func findEqLookup(e boolExpr, bindings []binding, b binding, ec *execCtx) *eqLoo
 }
 
 // candidateRows yields the row IDs of table b to visit, using an index
-// when the WHERE clause allows, and charges scan/probe costs.
+// when the WHERE clause allows, and charges scan/probe costs. Index
+// results are hints — ids whose visible row no longer matches are
+// filtered by the caller's predicate re-check.
 func candidateRows(where boolExpr, bindings []binding, b binding, ec *execCtx) []int {
 	if where != nil {
 		if lk := findEqLookup(where, bindings, b, ec); lk != nil {
-			return indexedRows(b.tbl, lk.col, lk.val, ec)
+			return indexedRows(b.view, lk.col, lk.val, ec)
 		}
 	}
 	// Full scan.
-	ids := make([]int, 0, b.tbl.live)
-	for id, row := range b.tbl.rows {
-		if row != nil {
+	n := b.view.size()
+	ids := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if b.view.row(id) != nil {
 			ids = append(ids, id)
 		}
 	}
-	ec.cost.scanned += len(b.tbl.rows)
+	ec.cost.scanned += n
 	return ids
 }
 
 // indexedRows resolves an equality through the primary key or a secondary
 // index and charges probe costs.
-func indexedRows(t *table, col string, v Value, ec *execCtx) []int {
+func indexedRows(v tableView, col string, val Value, ec *execCtx) []int {
+	t := v.tbl
 	if t.pkCol >= 0 && t.schema.Columns[t.pkCol].Name == col {
 		ec.cost.probes++
-		key, ok := v.(int64)
+		key, ok := val.(int64)
 		if !ok {
-			if f, fok := v.(float64); fok {
+			if f, fok := val.(float64); fok {
 				key, ok = int64(f), true
 			}
 		}
 		if !ok {
 			return nil
 		}
-		if id, found := t.lookupPK(key); found {
+		if id, found := v.lookupPK(key); found {
 			return []int{id}
 		}
 		return nil
 	}
-	ids, _ := t.lookupIndex(col, v)
+	ids, _ := v.lookupIndex(col, val)
 	ec.cost.probes += len(ids) + 1
 	return ids
 }
 
-// execSelect runs a SELECT entirely under the read locks of its tables.
+// execSelect runs a SELECT. In lock mode it holds the read locks of its
+// tables for the whole cost-padded statement (the paper's contention
+// behavior); under MVCC it reads a fixed snapshot lock-free and charges
+// cost with nothing held, so readers never block writers or each other.
 func (db *DB) execSelect(s *selectStmt, ec *execCtx) (*ResultSet, error) {
 	bindings, err := db.resolveBindings(s)
 	if err != nil {
 		return nil, err
 	}
+	if db.mvcc.Load() {
+		ts := db.commitTS.Load()
+		db.snapshotReads.Inc()
+		db.pinSnapshot(ts)
+		defer db.unpinSnapshot(ts)
+		bindViews(bindings, ts)
+		defer db.chargeCost(ec) // no locks held; the sleep delays only this statement
+		return db.runSelect(s, bindings, ec)
+	}
 	unlock := db.lockTables(bindings, false)
 	defer unlock()
 	defer db.chargeCost(ec) // sleep the cost before releasing the locks
+	bindViews(bindings, latestTS)
+	return db.runSelect(s, bindings, ec)
+}
 
+// execSelectAt runs a SELECT lock-free against the snapshot at ts — the
+// engine behind Snapshot.Query, valid in either concurrency mode.
+func (db *DB) execSelectAt(s *selectStmt, ec *execCtx, ts int64) (*ResultSet, error) {
+	bindings, err := db.resolveBindings(s)
+	if err != nil {
+		return nil, err
+	}
+	db.pinSnapshot(ts)
+	defer db.unpinSnapshot(ts)
+	bindViews(bindings, ts)
+	defer db.chargeCost(ec)
+	return db.runSelect(s, bindings, ec)
+}
+
+// runSelect is the mode-independent SELECT core: join planning,
+// predicate pushdown, enumeration, aggregation, ordering, projection.
+// Every row access goes through the bindings' views.
+func (db *DB) runSelect(s *selectStmt, bindings []binding, ec *execCtx) (*ResultSet, error) {
 	// Pre-resolve join sides: joins[i] extends binding i+1.
 	plans := make([]joinPlan, len(s.Joins))
 	for i, j := range s.Joins {
@@ -467,17 +514,25 @@ func (db *DB) enumerate(s *selectStmt, bindings []binding, plans []joinPlan, pre
 		inner := bindings[i]
 		var ids []int
 		if inner.tbl.hasIndex(plan.innerName) {
-			ids = indexedRows(inner.tbl, plan.innerName, outerVal, ec)
+			ids = indexedRows(inner.view, plan.innerName, outerVal, ec)
 		} else {
-			ec.cost.scanned += len(inner.tbl.rows)
-			for id, row := range inner.tbl.rows {
-				if row != nil && valuesEqual(row[plan.innerCol], outerVal) {
+			n := inner.view.size()
+			ec.cost.scanned += n
+			for id := 0; id < n; id++ {
+				if row := inner.view.row(id); row != nil && valuesEqual(row[plan.innerCol], outerVal) {
 					ids = append(ids, id)
 				}
 			}
 		}
 		for _, id := range ids {
-			rows[i] = inner.tbl.rows[id]
+			row := inner.view.row(id)
+			// Re-check the join equality: index buckets are stale-tolerant
+			// hints, so an id may point at a row whose visible version no
+			// longer (or, at this snapshot, does not yet) match.
+			if row == nil || !valuesEqual(row[plan.innerCol], outerVal) {
+				continue
+			}
+			rows[i] = row
 			ok, err := applyPreds(i)
 			if err != nil {
 				return err
@@ -494,7 +549,7 @@ func (db *DB) enumerate(s *selectStmt, bindings []binding, plans []joinPlan, pre
 	}
 
 	for _, id := range candidateRows(s.Where, bindings, bindings[0], ec) {
-		rows[0] = bindings[0].tbl.rows[id]
+		rows[0] = bindings[0].view.row(id)
 		if rows[0] == nil {
 			continue
 		}
@@ -783,6 +838,27 @@ func applyLimit(rs *ResultSet, limit, offset int) {
 }
 
 // ---- DML ----
+//
+// Every DML statement is split into a read phase and a commit. The read
+// phase runs against a snapshot view (the statement's write set: which
+// slots to touch and the fully-built replacement rows); the commit
+// validates and installs versions under db.commitMu — a critical
+// section that covers only validation, version install, log append, and
+// the timestamp bump, never cost-model sleeps.
+//
+// In lock mode the statement additionally holds the table's write lock
+// around both phases (and charges cost under it), reproducing the
+// paper's serialized writer. Under MVCC the table lock is not taken:
+// validation is first-writer-wins — if any slot in the write set gained
+// a version newer than the statement's snapshot, the statement aborts
+// with ErrWriteConflict and Conn.Exec retries it on a fresh snapshot.
+
+// rowWrite is one row of a statement's write set: the slot to replace
+// and its fully-built next version.
+type rowWrite struct {
+	id  int
+	row []Value
+}
 
 func (db *DB) execInsert(s *insertStmt, ec *execCtx) (ExecResult, error) {
 	tbl, err := db.lookupTable(s.Table)
@@ -809,20 +885,39 @@ func (db *DB) execInsert(s *insertStmt, ec *execCtx) (ExecResult, error) {
 		}
 		row[ci] = nv
 	}
+	if db.mvcc.Load() {
+		res, err := db.commitInsert(tbl, row, ec)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		db.chargeCost(ec) // outside every lock
+		return res, nil
+	}
 	tbl.lock.Lock()
 	defer tbl.lock.Unlock()
 	defer db.chargeCost(ec)
-	if _, err := tbl.insert(row); err != nil {
+	return db.commitInsert(tbl, row, ec)
+}
+
+// commitInsert validates and installs one insert. Inserts have no read
+// set, so there is nothing to conflict on — duplicate-key errors are
+// real errors, not retryable conflicts.
+func (db *DB) commitInsert(tbl *table, row []Value, ec *execCtx) (ExecResult, error) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if err := tbl.checkInsert(row); err != nil {
 		return ExecResult{}, err
 	}
+	ts := db.commitTS.Load() + 1
+	tbl.applyInsert(row, ts)
 	ec.cost.written++
-	res := ExecResult{RowsAffected: 1}
+	res := ExecResult{RowsAffected: 1, CommitTS: ts}
 	if tbl.pkCol >= 0 {
 		if id, ok := row[tbl.pkCol].(int64); ok {
 			res.LastInsertID = id
 		}
 	}
-	db.fireApply(ec)
+	db.finishCommit(ec, ts)
 	return res, nil
 }
 
@@ -831,7 +926,6 @@ func (db *DB) execUpdate(s *updateStmt, ec *execCtx) (ExecResult, error) {
 	if err != nil {
 		return ExecResult{}, err
 	}
-	bindings := []binding{{ref: tableRef{Table: s.Table}, tbl: tbl}}
 	cols := make([]int, len(s.Cols))
 	for i, col := range s.Cols {
 		ci := tbl.schema.colIndex(col)
@@ -840,50 +934,75 @@ func (db *DB) execUpdate(s *updateStmt, ec *execCtx) (ExecResult, error) {
 		}
 		cols[i] = ci
 	}
+	if db.mvcc.Load() {
+		snapTS := db.commitTS.Load()
+		db.pinSnapshot(snapTS)
+		defer db.unpinSnapshot(snapTS)
+		b := binding{ref: tableRef{Table: s.Table}, tbl: tbl, view: tbl.view(snapTS)}
+		writes, err := db.collectUpdates(s, b, cols, ec)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		res, err := db.commitWrites(tbl, snapTS, writes, nil, ec, true)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		db.chargeCost(ec) // outside every lock
+		return res, nil
+	}
 	tbl.lock.Lock()
 	defer tbl.lock.Unlock()
 	defer db.chargeCost(ec)
-	ids := candidateRows(s.Where, bindings, bindings[0], ec)
+	b := binding{ref: tableRef{Table: s.Table}, tbl: tbl, view: tbl.view(latestTS)}
+	writes, err := db.collectUpdates(s, b, cols, ec)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return db.commitWrites(tbl, 0, writes, nil, ec, false)
+}
+
+// collectUpdates runs an UPDATE's read phase: find matching rows in the
+// view, evaluate the SET expressions against the snapshot row, and
+// build the full replacement rows.
+func (db *DB) collectUpdates(s *updateStmt, b binding, cols []int, ec *execCtx) ([]rowWrite, error) {
+	bindings := []binding{b}
+	tbl := b.tbl
+	ids := candidateRows(s.Where, bindings, b, ec)
 	rows := make([][]Value, 1)
-	affected := int64(0)
+	var writes []rowWrite
 	for _, id := range ids {
-		rows[0] = tbl.rows[id]
+		rows[0] = b.view.row(id)
 		if rows[0] == nil {
 			continue
 		}
 		if s.Where != nil {
 			ok, err := evalBool(s.Where, bindings, rows, ec)
 			if err != nil {
-				return ExecResult{}, err
+				return nil, err
 			}
 			if !ok {
 				continue
 			}
 		}
-		newVals := make([]Value, len(s.Vals))
+		newRow := append([]Value(nil), rows[0]...)
 		for i, op := range s.Vals {
 			v, err := operandValue(op, bindings, rows, ec)
 			if err != nil {
-				return ExecResult{}, err
+				return nil, err
 			}
 			nv, err := normalize(v)
 			if err != nil {
-				return ExecResult{}, err
+				return nil, err
 			}
 			if !tbl.schema.Columns[cols[i]].Type.accepts(nv) {
-				return ExecResult{}, fmt.Errorf("sqldb: column %s.%s (%s) rejects %T",
-					s.Table, s.Cols[i], tbl.schema.Columns[cols[i]].Type, nv)
+				return nil, fmt.Errorf("sqldb: column %s.%s (%s) rejects %T",
+					tbl.schema.Table, s.Cols[i], tbl.schema.Columns[cols[i]].Type, nv)
 			}
-			newVals[i] = nv
+			newRow[cols[i]] = nv
 		}
-		if err := tbl.updateRow(id, cols, newVals); err != nil {
-			return ExecResult{}, err
-		}
-		ec.cost.written++
-		affected++
+		writes = append(writes, rowWrite{id: id, row: newRow})
 	}
-	db.fireApply(ec)
-	return ExecResult{RowsAffected: affected}, nil
+	return writes, nil
 }
 
 func (db *DB) execDelete(s *deleteStmt, ec *execCtx) (ExecResult, error) {
@@ -891,33 +1010,101 @@ func (db *DB) execDelete(s *deleteStmt, ec *execCtx) (ExecResult, error) {
 	if err != nil {
 		return ExecResult{}, err
 	}
-	bindings := []binding{{ref: tableRef{Table: s.Table}, tbl: tbl}}
+	if db.mvcc.Load() {
+		snapTS := db.commitTS.Load()
+		db.pinSnapshot(snapTS)
+		defer db.unpinSnapshot(snapTS)
+		b := binding{ref: tableRef{Table: s.Table}, tbl: tbl, view: tbl.view(snapTS)}
+		deletes, err := db.collectDeletes(s, b, ec)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		res, err := db.commitWrites(tbl, snapTS, nil, deletes, ec, true)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		db.chargeCost(ec) // outside every lock
+		return res, nil
+	}
 	tbl.lock.Lock()
 	defer tbl.lock.Unlock()
 	defer db.chargeCost(ec)
-	ids := candidateRows(s.Where, bindings, bindings[0], ec)
+	b := binding{ref: tableRef{Table: s.Table}, tbl: tbl, view: tbl.view(latestTS)}
+	deletes, err := db.collectDeletes(s, b, ec)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return db.commitWrites(tbl, 0, nil, deletes, ec, false)
+}
+
+// collectDeletes runs a DELETE's read phase: the slot ids of matching
+// visible rows.
+func (db *DB) collectDeletes(s *deleteStmt, b binding, ec *execCtx) ([]int, error) {
+	bindings := []binding{b}
+	ids := candidateRows(s.Where, bindings, b, ec)
 	rows := make([][]Value, 1)
-	affected := int64(0)
+	var deletes []int
 	for _, id := range ids {
-		rows[0] = tbl.rows[id]
+		rows[0] = b.view.row(id)
 		if rows[0] == nil {
 			continue
 		}
 		if s.Where != nil {
 			ok, err := evalBool(s.Where, bindings, rows, ec)
 			if err != nil {
-				return ExecResult{}, err
+				return nil, err
 			}
 			if !ok {
 				continue
 			}
 		}
-		tbl.deleteRow(id)
-		ec.cost.written++
-		affected++
+		deletes = append(deletes, id)
 	}
-	db.fireApply(ec)
-	return ExecResult{RowsAffected: affected}, nil
+	return deletes, nil
+}
+
+// commitWrites validates and installs an UPDATE/DELETE write set as one
+// atomic commit. With validate set (MVCC), first-writer-wins: any slot
+// in the write set with a version newer than snapTS aborts the whole
+// statement before anything is installed, so a statement is never
+// half-applied. Primary-key checks also run before any install for the
+// same all-or-nothing guarantee. A statement that matched zero rows
+// still commits (timestamp, log entry, hook) — replicas replay the
+// no-op, keeping the log contiguous.
+func (db *DB) commitWrites(tbl *table, snapTS int64, updates []rowWrite, deletes []int, ec *execCtx, validate bool) (ExecResult, error) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if validate {
+		for _, w := range updates {
+			if tbl.latestBegin(w.id) > snapTS {
+				db.conflicts.Inc()
+				return ExecResult{}, ErrWriteConflict
+			}
+		}
+		for _, id := range deletes {
+			if tbl.latestBegin(id) > snapTS {
+				db.conflicts.Inc()
+				return ExecResult{}, ErrWriteConflict
+			}
+		}
+	}
+	for _, w := range updates {
+		if err := tbl.checkUpdate(w.id, w.row); err != nil {
+			return ExecResult{}, err
+		}
+	}
+	ts := db.commitTS.Load() + 1
+	horizon := db.pruneHorizon()
+	for _, w := range updates {
+		tbl.applyUpdate(w.id, w.row, ts, horizon)
+		ec.cost.written++
+	}
+	for _, id := range deletes {
+		tbl.applyDelete(id, ts, horizon)
+		ec.cost.written++
+	}
+	db.finishCommit(ec, ts)
+	return ExecResult{RowsAffected: int64(len(updates) + len(deletes)), CommitTS: ts}, nil
 }
 
 // lockTables read- or write-locks every distinct table among the

@@ -594,11 +594,11 @@ func TestStatementCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	db.stmtMu.RLock()
-	_, cached := db.stmtCache[q]
-	db.stmtMu.RUnlock()
-	if !cached {
+	if _, cached := db.stmts.get(q); !cached {
 		t.Fatal("statement not cached")
+	}
+	if db.StmtCacheHits() < 9 {
+		t.Fatalf("StmtCacheHits = %d, want >= 9", db.StmtCacheHits())
 	}
 	if db.QueryCount() < 10 {
 		t.Fatalf("QueryCount = %d", db.QueryCount())

@@ -1,0 +1,81 @@
+package sqldb
+
+import (
+	"container/list"
+	"sync"
+
+	"stagedweb/internal/metrics"
+)
+
+// defaultStmtCacheSize bounds the per-DB prepared-statement cache. TPC-W
+// issues a few dozen distinct parameterized statements, so the default
+// keeps every hot plan resident while non-parameterized SQL (literals
+// inlined into the text) can no longer grow the cache without bound.
+const defaultStmtCacheSize = 256
+
+// stmtCache is a small LRU over parsed statements keyed by SQL text.
+type stmtCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	order *list.List // front = most recently used
+
+	hits   metrics.Counter
+	misses metrics.Counter
+}
+
+type stmtCacheEntry struct {
+	sql string
+	s   stmt
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		capacity = defaultStmtCacheSize
+	}
+	return &stmtCache{
+		cap:   capacity,
+		m:     make(map[string]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// get looks a statement up, counting the hit or miss and refreshing
+// recency on a hit.
+func (c *stmtCache) get(sql string) (stmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[sql]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*stmtCacheEntry).s, true
+}
+
+// put inserts a parsed statement, evicting the least recently used
+// entry when the cache is full. A concurrent insert of the same SQL
+// (two goroutines parsing the same miss) collapses to one entry.
+func (c *stmtCache) put(sql string, s stmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[sql]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.m[sql] = c.order.PushFront(&stmtCacheEntry{sql: sql, s: s})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(*stmtCacheEntry).sql)
+	}
+}
+
+// len reports the resident entry count.
+func (c *stmtCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

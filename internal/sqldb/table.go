@@ -2,33 +2,102 @@ package sqldb
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 )
 
-// table is the storage for one relation: a row arena plus primary-key and
-// secondary hash indexes, guarded by one reader/writer table lock.
+// latestTS is the snapshot timestamp that means "the newest committed
+// version" — what lock-mode statements (which serialize through the
+// table lock) read at.
+const latestTS = int64(math.MaxInt64)
+
+// rowVersion is one immutable version of a row. data == nil is a
+// tombstone. begin is the commit timestamp at which this version became
+// visible; prev points at the next-older version. prev is atomic only so
+// the garbage-collection cut (pruning versions no active snapshot can
+// reach) is safe against concurrent chain walks — the fields of a
+// version are never modified after publication.
+type rowVersion struct {
+	data  []Value
+	begin int64
+	prev  atomic.Pointer[rowVersion]
+}
+
+// rowSlot is the stable identity of a row: a fixed slot index plus the
+// head of its version chain. Slots are append-only; a deleted row keeps
+// its slot (with a tombstone head) so slot indices, scan order, and
+// clone replay stay deterministic.
+type rowSlot struct {
+	head atomic.Pointer[rowVersion]
+}
+
+// visible returns the row data as of snapshot ts: the newest version
+// with begin <= ts, or nil if the row did not exist (or was deleted) at
+// ts. Lock-free; safe concurrently with writers installing new heads.
+func (s *rowSlot) visible(ts int64) []Value {
+	for v := s.head.Load(); v != nil; v = v.prev.Load() {
+		if v.begin <= ts {
+			return v.data
+		}
+	}
+	return nil
+}
+
+// table is the storage for one relation: an append-only arena of
+// versioned row slots plus primary-key and secondary hash indexes.
 //
-// The lock is the point of the reproduction: SELECTs hold it shared for
-// their whole (cost-model-padded) duration, DML holds it exclusively, so
-// a write on a popular table queues behind readers just as the paper's
-// TPC-W admin-response page queues on MySQL's table lock.
+// Two concurrency disciplines share this structure. In lock mode
+// (mvcc=off, the paper's MySQL-like behavior) statements serialize
+// through the per-table reader/writer lock for their whole
+// cost-model-padded duration, exactly as before. In MVCC mode the table
+// lock is never taken: readers resolve rows through immutable version
+// chains at a fixed snapshot timestamp, and writers install new versions
+// inside the DB-wide commit critical section (db.commitMu), which is
+// held only for validation and version install — never for cost sleeps.
+//
+// The index maps are hints, not truth: entries are added copy-on-write
+// and never removed, so a bucket may contain slots whose visible row no
+// longer matches the indexed value (deleted rows, updated keys). Every
+// access path re-checks the predicate against the visible row, which
+// makes stale entries harmless. idxMu guards only the map headers and is
+// held for map probes only.
 type table struct {
 	schema Schema
 	pkCol  int // position of the primary key column, or -1
 
-	lock sync.RWMutex // the table lock; held by the executor
+	lock sync.RWMutex // lock-mode table lock; unused under MVCC
 
-	rows     [][]Value // rowID -> row; nil means deleted
-	live     int
-	pk       map[int64]int // pk value -> rowID
-	indexes  map[string]*hashIndex
-	nextAuto int64
+	slots atomic.Pointer[[]*rowSlot] // published append-only slot arena
+	live  atomic.Int64               // rows visible at the latest timestamp
+
+	idxMu   sync.RWMutex // guards pk and indexes map access
+	pk      map[int64]int
+	indexes map[string]*hashIndex
+
+	nextAuto int64 // auto-increment state; guarded by db.commitMu
 }
 
-// hashIndex is a secondary equality index.
+// hashIndex is a secondary equality index with immutable buckets: add
+// replaces the bucket slice instead of appending in place, so a bucket
+// returned to a reader is a stable snapshot forever.
 type hashIndex struct {
 	col int
 	m   map[Value][]int
+}
+
+// add registers id under v, copy-on-write. Duplicate ids (a value that
+// flipped away and back across updates) are collapsed.
+func (idx *hashIndex) add(v Value, id int) {
+	old := idx.m[v]
+	for _, got := range old {
+		if got == id {
+			return
+		}
+	}
+	nb := make([]int, len(old), len(old)+1)
+	copy(nb, old)
+	idx.m[v] = append(nb, id)
 }
 
 func newTable(s Schema) *table {
@@ -44,109 +113,66 @@ func newTable(s Schema) *table {
 	for _, name := range s.Indexes {
 		t.indexes[name] = &hashIndex{col: s.colIndex(name), m: make(map[Value][]int)}
 	}
+	empty := make([]*rowSlot, 0, 64)
+	t.slots.Store(&empty)
 	return t
 }
 
-// insert adds a row (already normalized and type-checked), returning the
-// rowID and the stored row. Caller holds the write lock.
-func (t *table) insert(row []Value) (int, error) {
-	if t.pkCol >= 0 {
-		if row[t.pkCol] == nil {
-			t.nextAuto++
-			row[t.pkCol] = t.nextAuto
-		}
-		key, ok := row[t.pkCol].(int64)
-		if !ok {
-			return 0, fmt.Errorf("sqldb: table %q: primary key must be an integer", t.schema.Table)
-		}
-		if _, dup := t.pk[key]; dup {
-			return 0, fmt.Errorf("sqldb: table %q: duplicate primary key %d", t.schema.Table, key)
-		}
-		if key > t.nextAuto {
-			t.nextAuto = key
-		}
-		t.pk[key] = len(t.rows)
-	}
-	id := len(t.rows)
-	t.rows = append(t.rows, row)
-	t.live++
-	for _, idx := range t.indexes {
-		v := row[idx.col]
-		idx.m[v] = append(idx.m[v], id)
-	}
-	return id, nil
+// tableView is a stable read view of one table at a snapshot timestamp:
+// the slot arena as published at view creation plus the timestamp rows
+// are resolved at. Slots appended after the view was taken are simply
+// out of range, and versions committed after ts are skipped by the
+// chain walk, so a view never sees a later write.
+type tableView struct {
+	tbl   *table
+	ts    int64
+	slots []*rowSlot
 }
 
-// deleteRow tombstones rowID. Caller holds the write lock.
-func (t *table) deleteRow(id int) {
-	row := t.rows[id]
-	if row == nil {
-		return
-	}
-	if t.pkCol >= 0 {
-		if key, ok := row[t.pkCol].(int64); ok {
-			delete(t.pk, key)
-		}
-	}
-	for _, idx := range t.indexes {
-		idx.remove(row[idx.col], id)
-	}
-	t.rows[id] = nil
-	t.live--
+// view captures a read view at ts.
+func (t *table) view(ts int64) tableView {
+	return tableView{tbl: t, ts: ts, slots: *t.slots.Load()}
 }
 
-// updateRow replaces columns of rowID with newValues at positions cols.
-// Caller holds the write lock.
-func (t *table) updateRow(id int, cols []int, newValues []Value) error {
-	row := t.rows[id]
-	if row == nil {
-		return fmt.Errorf("sqldb: update of deleted row %d", id)
+// row returns the visible data for a slot id, or nil.
+func (v tableView) row(id int) []Value {
+	if id < 0 || id >= len(v.slots) {
+		return nil
 	}
-	for i, col := range cols {
-		old := row[col]
-		nv := newValues[i]
-		if col == t.pkCol {
-			newKey, ok := nv.(int64)
-			if !ok {
-				return fmt.Errorf("sqldb: table %q: primary key must be an integer", t.schema.Table)
-			}
-			oldKey := old.(int64)
-			if newKey != oldKey {
-				if _, dup := t.pk[newKey]; dup {
-					return fmt.Errorf("sqldb: table %q: duplicate primary key %d", t.schema.Table, newKey)
-				}
-				delete(t.pk, oldKey)
-				t.pk[newKey] = id
-				if newKey > t.nextAuto {
-					t.nextAuto = newKey
-				}
-			}
-		}
-		if idx, ok := t.indexes[t.schema.Columns[col].Name]; ok && !valuesEqual(old, nv) {
-			idx.remove(old, id)
-			idx.m[nv] = append(idx.m[nv], id)
-		}
-		row[col] = nv
-	}
-	return nil
+	return v.slots[id].visible(v.ts)
 }
 
-// lookupPK returns the rowID for a primary key value.
-func (t *table) lookupPK(key int64) (int, bool) {
+// size reports the slot count of the view (live rows plus tombstones).
+func (v tableView) size() int { return len(v.slots) }
+
+// lookupPK returns the slot hint for a primary key value. The hint may
+// be stale (deleted row, or a row whose key moved); callers must
+// re-check the visible row.
+func (v tableView) lookupPK(key int64) (int, bool) {
+	t := v.tbl
 	if t.pk == nil {
 		return 0, false
 	}
+	t.idxMu.RLock()
 	id, ok := t.pk[key]
+	t.idxMu.RUnlock()
 	return id, ok
 }
 
-// lookupIndex returns rowIDs matching value on an indexed column name.
-func (t *table) lookupIndex(col string, v Value) ([]int, bool) {
+// lookupIndex returns the (immutable) bucket of slot hints for an
+// indexed column value. The returned slice is a stable snapshot: it is
+// never mutated after being handed out.
+func (v tableView) lookupIndex(col string, val Value) ([]int, bool) {
+	t := v.tbl
+	t.idxMu.RLock()
 	idx, ok := t.indexes[col]
 	if !ok {
+		t.idxMu.RUnlock()
 		return nil, false
 	}
-	return idx.m[v], true
+	ids := idx.m[val]
+	t.idxMu.RUnlock()
+	return ids, true
 }
 
 // hasIndex reports whether col is the primary key or a secondary index.
@@ -158,18 +184,197 @@ func (t *table) hasIndex(col string) bool {
 	return ok
 }
 
-func (idx *hashIndex) remove(v Value, id int) {
-	ids := idx.m[v]
-	for i, got := range ids {
-		if got == id {
-			ids[i] = ids[len(ids)-1]
-			ids = ids[:len(ids)-1]
+// ---- commit-side mutation (all callers hold db.commitMu) ----
+
+// slotAt returns the current slot for id.
+func (t *table) slotAt(id int) *rowSlot { return (*t.slots.Load())[id] }
+
+// latestBegin reports the commit timestamp of the newest version of a
+// slot — what first-writer-wins validation compares against the
+// writer's snapshot.
+func (t *table) latestBegin(id int) int64 {
+	if v := t.slotAt(id).head.Load(); v != nil {
+		return v.begin
+	}
+	return 0
+}
+
+// appendSlot publishes a new slot at the end of the arena. Readers
+// holding an older published header never index past their captured
+// length, so reusing spare capacity of the shared backing array is safe;
+// the atomic Store orders the element write before any reader that can
+// see it.
+func (t *table) appendSlot(s *rowSlot) int {
+	cur := *t.slots.Load()
+	id := len(cur)
+	next := append(cur, s)
+	t.slots.Store(&next)
+	return id
+}
+
+// checkInsert validates an insert against current state without
+// mutating anything: primary-key type and duplicate checks. Splitting
+// validation from apply keeps a multi-row commit all-or-nothing.
+func (t *table) checkInsert(row []Value) error {
+	if t.pkCol < 0 || row[t.pkCol] == nil {
+		return nil // auto-assigned keys cannot collide
+	}
+	key, ok := row[t.pkCol].(int64)
+	if !ok {
+		return fmt.Errorf("sqldb: table %q: primary key must be an integer", t.schema.Table)
+	}
+	if id, exists := t.pkHint(key); exists {
+		if data := t.slotAt(id).visible(latestTS); data != nil && valuesEqual(data[t.pkCol], key) {
+			return fmt.Errorf("sqldb: table %q: duplicate primary key %d", t.schema.Table, key)
+		}
+		// Stale hint (deleted row or moved key): the insert below remaps it.
+	}
+	return nil
+}
+
+// applyInsert installs a new row at commit timestamp ts and returns its
+// slot id. The caller has run checkInsert; this cannot fail.
+func (t *table) applyInsert(row []Value, ts int64) int {
+	if t.pkCol >= 0 {
+		if row[t.pkCol] == nil {
+			t.nextAuto++
+			row[t.pkCol] = t.nextAuto
+		}
+		key := row[t.pkCol].(int64)
+		if key > t.nextAuto {
+			t.nextAuto = key
+		}
+		slot := &rowSlot{}
+		slot.head.Store(&rowVersion{data: row, begin: ts})
+		id := t.appendSlot(slot)
+		t.idxMu.Lock()
+		t.pk[key] = id
+		for _, idx := range t.indexes {
+			idx.add(row[idx.col], id)
+		}
+		t.idxMu.Unlock()
+		t.live.Add(1)
+		return id
+	}
+	slot := &rowSlot{}
+	slot.head.Store(&rowVersion{data: row, begin: ts})
+	id := t.appendSlot(slot)
+	t.idxMu.Lock()
+	for _, idx := range t.indexes {
+		idx.add(row[idx.col], id)
+	}
+	t.idxMu.Unlock()
+	t.live.Add(1)
+	return id
+}
+
+// checkUpdate validates replacing slot id's row with newRow: primary-key
+// type and duplicate checks against current state.
+func (t *table) checkUpdate(id int, newRow []Value) error {
+	if t.pkCol < 0 {
+		return nil
+	}
+	newKey, ok := newRow[t.pkCol].(int64)
+	if !ok {
+		return fmt.Errorf("sqldb: table %q: primary key must be an integer", t.schema.Table)
+	}
+	old := t.slotAt(id).head.Load().data
+	if old == nil {
+		return fmt.Errorf("sqldb: update of deleted row %d", id)
+	}
+	if oldKey, _ := old[t.pkCol].(int64); oldKey == newKey {
+		return nil
+	}
+	if hid, exists := t.pkHint(newKey); exists && hid != id {
+		if data := t.slotAt(hid).visible(latestTS); data != nil && valuesEqual(data[t.pkCol], newKey) {
+			return fmt.Errorf("sqldb: table %q: duplicate primary key %d", t.schema.Table, newKey)
+		}
+	}
+	return nil
+}
+
+// applyUpdate installs newRow as the next version of slot id at commit
+// timestamp ts, pruning chain versions older than horizon. The caller
+// has run checkUpdate; this cannot fail.
+func (t *table) applyUpdate(id int, newRow []Value, ts, horizon int64) {
+	slot := t.slotAt(id)
+	cur := slot.head.Load()
+	old := cur.data
+	var idxAdds bool
+	for _, idx := range t.indexes {
+		if !valuesEqual(old[idx.col], newRow[idx.col]) {
+			idxAdds = true
 			break
 		}
 	}
-	if len(ids) == 0 {
-		delete(idx.m, v)
-	} else {
-		idx.m[v] = ids
+	pkMoved := false
+	var newKey int64
+	if t.pkCol >= 0 {
+		newKey = newRow[t.pkCol].(int64)
+		if oldKey, _ := old[t.pkCol].(int64); oldKey != newKey {
+			pkMoved = true
+			if newKey > t.nextAuto {
+				t.nextAuto = newKey
+			}
+		}
 	}
+	if idxAdds || pkMoved {
+		t.idxMu.Lock()
+		if pkMoved {
+			// The old key's entry stays as a stale hint: readers at older
+			// snapshots still resolve the row through it, and predicate
+			// re-checks hide it from newer ones.
+			t.pk[newKey] = id
+		}
+		for _, idx := range t.indexes {
+			if !valuesEqual(old[idx.col], newRow[idx.col]) {
+				idx.add(newRow[idx.col], id)
+			}
+		}
+		t.idxMu.Unlock()
+	}
+	nv := &rowVersion{data: newRow, begin: ts}
+	nv.prev.Store(cur)
+	slot.head.Store(nv)
+	pruneChain(cur, horizon)
+}
+
+// applyDelete installs a tombstone for slot id at commit timestamp ts.
+// Index and pk entries stay behind as stale hints.
+func (t *table) applyDelete(id int, ts, horizon int64) {
+	slot := t.slotAt(id)
+	cur := slot.head.Load()
+	if cur == nil || cur.data == nil {
+		return
+	}
+	nv := &rowVersion{begin: ts}
+	nv.prev.Store(cur)
+	slot.head.Store(nv)
+	t.live.Add(-1)
+	pruneChain(cur, horizon)
+}
+
+// pruneChain cuts the version chain below the newest version visible at
+// horizon (the oldest snapshot any active or future reader can hold):
+// everything strictly older is unreachable. The cut is an atomic prev
+// store, safe against readers mid-walk — a reader's snapshot timestamp
+// is >= horizon, so it stops at or before the cut point.
+func pruneChain(from *rowVersion, horizon int64) {
+	for v := from; v != nil; v = v.prev.Load() {
+		if v.begin <= horizon {
+			v.prev.Store(nil)
+			return
+		}
+	}
+}
+
+// pkHint returns the current pk map entry for key, which may be stale.
+func (t *table) pkHint(key int64) (int, bool) {
+	if t.pk == nil {
+		return 0, false
+	}
+	t.idxMu.RLock()
+	id, ok := t.pk[key]
+	t.idxMu.RUnlock()
+	return id, ok
 }

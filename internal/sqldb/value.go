@@ -15,10 +15,26 @@
 //     fast/slow page dichotomy (indexed point queries vs. large scans)
 //     at laptop scale.
 //
-// Concurrency model: any number of connections may execute concurrently;
-// each statement locks the tables it touches (read or write) for its
-// duration, like MySQL's MyISAM table locking that the paper's admin page
-// contends on.
+// Storage is row-versioned: every committed DML statement stamps the
+// versions it installs with a dense per-database commit timestamp, and
+// a statement's rows are all-or-nothing — no reader at any timestamp
+// observes half of a multi-row UPDATE. Two concurrency disciplines
+// interpret that storage, selected by Options.MVCC / DB.SetMVCC:
+//
+//   - mvcc=off (default): any number of connections may execute
+//     concurrently; each statement locks the tables it touches (read or
+//     write) for its duration, like MySQL's MyISAM table locking that
+//     the paper's admin page contends on.
+//   - mvcc=on: SELECTs run lock-free against a pinned snapshot of the
+//     current commit timestamp, and DML commits optimistically with
+//     first-writer-wins conflict detection (ErrWriteConflict, counted
+//     by DB.Conflicts) and transparent retry inside Conn.Exec. Readers
+//     never block writers and writers never block readers; cost-model
+//     sleeps happen outside the engine's commit critical section.
+//
+// Either way every commit appends to the optional versioned replication
+// log (DB.EnableReplLog), which internal/dbtier ships to replicas, and
+// DB.Snapshot / DB.SnapshotAt expose pinned time-travel read views.
 package sqldb
 
 import (

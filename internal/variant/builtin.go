@@ -45,6 +45,19 @@ const (
 	ProbeDBWait = "db.wait"
 	// ProbeDBQueries counts statements executed across all backends.
 	ProbeDBQueries = "db.queries"
+	// ProbeDBConflicts counts MVCC first-writer-wins aborts on the
+	// primary (each is retried transparently inside sqldb).
+	ProbeDBConflicts = "db.conflicts"
+	// ProbeDBSnapshots counts snapshot reads on the primary — SELECTs
+	// that ran against a fixed commit timestamp without table locks.
+	ProbeDBSnapshots = "db.snapshots"
+	// ProbeDBReplLag is the primary-to-slowest-replica commit gap, in
+	// log entries (always 0 under repl=sync).
+	ProbeDBReplLag = "db.repllag"
+	// ProbeDBStmtHits counts primary statement-cache hits.
+	ProbeDBStmtHits = "db.stmtcache.hit"
+	// ProbeDBStmtMiss counts primary statement-cache misses (compiles).
+	ProbeDBStmtMiss = "db.stmtcache.miss"
 )
 
 // tierProbes builds the db.* probe set over a database tier.
@@ -53,7 +66,21 @@ func tierProbes(t *dbtier.Tier) []Probe {
 		{ProbeDBInUse, func() float64 { return float64(t.InUse()) }},
 		{ProbeDBWait, func() float64 { return float64(t.WaitCount()) }},
 		{ProbeDBQueries, func() float64 { return float64(t.QueryCount()) }},
+		{ProbeDBConflicts, func() float64 { return float64(t.Conflicts()) }},
+		{ProbeDBSnapshots, func() float64 { return float64(t.SnapshotReads()) }},
+		{ProbeDBReplLag, func() float64 { return float64(t.ReplLag()) }},
+		{ProbeDBStmtHits, func() float64 { return float64(t.StmtCacheHits()) }},
+		{ProbeDBStmtMiss, func() float64 { return float64(t.StmtCacheMisses()) }},
 	}
+}
+
+// dbEngineSettings decodes the storage-engine settings shared by every
+// variant: mvcc (snapshot reads + optimistic writes, default off) and
+// repl (replica apply mode, sync|async, default sync).
+func dbEngineSettings(d *Decoder) (mvcc, replAsync bool) {
+	mvcc = d.Bool("mvcc", false)
+	replAsync = d.Enum("repl", "sync", "sync", "async") == "async"
+	return mvcc, replAsync
 }
 
 func init() {
@@ -83,13 +110,15 @@ func (i *instance) Probes() []Probe            { return i.probes }
 // Settings: workers (pool size == default connection budget, default
 // 80), queuecap (accept queue bound), replicas (database backends,
 // default 1), dbconns (connection pool size per backend, default
-// workers).
+// workers), mvcc (storage engine concurrency control, on|off), repl
+// (replica apply mode, sync|async).
 func buildUnmodified(env Env) (Instance, error) {
 	d := NewDecoder(env)
 	workers := d.Int("workers", 80)
 	queueCap := d.Int("queuecap", 0)
 	replicas := d.Int("replicas", 1)
 	dbConns := d.Int("dbconns", 0)
+	mvcc, replAsync := dbEngineSettings(d)
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("%s: %w", Unmodified, err)
 	}
@@ -99,6 +128,8 @@ func buildUnmodified(env Env) (Instance, error) {
 		Workers:    workers,
 		Replicas:   replicas,
 		DBConns:    dbConns,
+		MVCC:       mvcc,
+		ReplAsync:  replAsync,
 		QueueCap:   queueCap,
 		Cost:       env.Cost,
 		Clock:      env.Clock,
@@ -125,9 +156,11 @@ func buildUnmodified(env Env) (Instance, error) {
 // queuecap, minreserve, cutoff (quick/lengthy boundary, paper time),
 // noreserve (ablate the t_reserve controller), replicas (database
 // backends, default 1), dbconns (connection pool size per backend,
-// default general+lengthy).
+// default general+lengthy), mvcc (storage engine concurrency control,
+// on|off), repl (replica apply mode, sync|async).
 func buildModified(env Env) (Instance, error) {
 	d := NewDecoder(env)
+	mvcc, replAsync := dbEngineSettings(d)
 	cfg := core.Config{
 		App:            env.App,
 		DB:             env.DB,
@@ -142,6 +175,8 @@ func buildModified(env Env) (Instance, error) {
 		NoReserve:      d.Bool("noreserve", false),
 		Replicas:       d.Int("replicas", 1),
 		DBConns:        d.Int("dbconns", 0),
+		MVCC:           mvcc,
+		ReplAsync:      replAsync,
 		Clock:          env.Clock,
 		Scale:          env.Scale,
 		Cost:           env.Cost,

@@ -157,15 +157,21 @@ func (d *Decoder) Float(key string, def float64) float64 {
 	return f
 }
 
-// Bool reads a boolean setting ("true"/"false"/"1"/"0"); a key set to
-// the empty string reads as true, so "-set noreserve=" works.
+// Bool reads a boolean setting ("true"/"false"/"1"/"0"/"on"/"off"); a
+// key set to the empty string reads as true, so "-set noreserve="
+// works.
 func (d *Decoder) Bool(key string, def bool) bool {
 	v, ok := d.lookup(key)
 	if !ok {
 		return def
 	}
-	if v == "" {
+	switch v {
+	case "":
 		return true
+	case "on":
+		return true
+	case "off":
+		return false
 	}
 	b, err := strconv.ParseBool(v)
 	if err != nil {
@@ -173,6 +179,24 @@ func (d *Decoder) Bool(key string, def bool) bool {
 		return def
 	}
 	return b
+}
+
+// Enum reads a setting constrained to a closed set of values, returning
+// def when unset. Any value outside allowed is a build error, so a typo
+// in "-set repl=asynch" fails loudly instead of silently picking the
+// default.
+func (d *Decoder) Enum(key, def string, allowed ...string) string {
+	v, ok := d.lookup(key)
+	if !ok {
+		return def
+	}
+	for _, a := range allowed {
+		if v == a {
+			return v
+		}
+	}
+	d.fail(key, v, "one of "+strings.Join(allowed, "|"))
+	return def
 }
 
 // Duration reads a Go-syntax duration setting ("2s", "500ms").

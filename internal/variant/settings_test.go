@@ -90,6 +90,47 @@ func TestDecoderTypesAndLayering(t *testing.T) {
 	}
 }
 
+func TestDecoderBoolOnOff(t *testing.T) {
+	d := NewDecoder(Env{Set: Settings{"mvcc": "on", "trace": "off"}})
+	if !d.Bool("mvcc", false) {
+		t.Error(`"on" not true`)
+	}
+	if d.Bool("trace", true) {
+		t.Error(`"off" not false`)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderEnum(t *testing.T) {
+	d := NewDecoder(Env{
+		Set:      Settings{"repl": "async"},
+		Defaults: Settings{"mode": "tpr"},
+	})
+	if got := d.Enum("repl", "sync", "sync", "async"); got != "async" {
+		t.Errorf("explicit enum: got %q", got)
+	}
+	if got := d.Enum("mode", "staged", "staged", "tpr"); got != "tpr" {
+		t.Errorf("default-layer enum: got %q", got)
+	}
+	if got := d.Enum("other", "staged", "staged", "tpr"); got != "staged" {
+		t.Errorf("unset enum: got %q", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	bad := NewDecoder(Env{Set: Settings{"repl": "asynch"}})
+	if got := bad.Enum("repl", "sync", "sync", "async"); got != "sync" {
+		t.Errorf("bad enum did not return default: %q", got)
+	}
+	err := bad.Finish()
+	if err == nil || !strings.Contains(err.Error(), "sync|async") {
+		t.Fatalf("Finish error %v does not name allowed values", err)
+	}
+}
+
 func TestDecoderErrors(t *testing.T) {
 	d := NewDecoder(Env{Set: Settings{"workers": "many", "bogus": "1"}})
 	if got := d.Int("workers", 5); got != 5 {
