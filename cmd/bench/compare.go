@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// throughputRate is the figure the trajectory guard tracks: completed
+// interactions per wall millisecond. Normalizing by the measured wall
+// duration makes full and -quick artifacts comparable, so CI can guard
+// a committed full-run baseline with a quick PR run.
+func throughputRate(e EngineResult) float64 {
+	if e.WallDurationMilli <= 0 {
+		return 0
+	}
+	return float64(e.Interactions) / float64(e.WallDurationMilli)
+}
+
+// compareEngines checks every baseline engine row against the current
+// artifact, matching rows by engine mode and replica count. It returns
+// one human-readable line per row plus whether any matched engine's
+// throughput rate fell more than tolerance (a fraction, e.g. 0.15)
+// below its baseline. Rows present on only one side are reported but
+// never fail the comparison — a new engine mode has no history, and a
+// retired one has no current number.
+func compareEngines(cur, base Artifact, tolerance float64) (lines []string, regressed bool) {
+	type key struct {
+		engine   string
+		replicas int
+	}
+	current := map[key]EngineResult{}
+	for _, e := range cur.Engines {
+		current[key{e.Engine, e.Replicas}] = e
+	}
+	for _, b := range base.Engines {
+		k := key{b.Engine, b.Replicas}
+		c, ok := current[k]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%-12s replicas=%d: no current result (engine retired?) — skipped", b.Engine, b.Replicas))
+			continue
+		}
+		delete(current, k)
+		baseRate, curRate := throughputRate(b), throughputRate(c)
+		if baseRate <= 0 {
+			lines = append(lines, fmt.Sprintf("%-12s replicas=%d: baseline has no usable throughput — skipped", b.Engine, b.Replicas))
+			continue
+		}
+		delta := (curRate - baseRate) / baseRate
+		line := fmt.Sprintf("%-12s replicas=%d: %.3f -> %.3f interactions/ms (%+.1f%%)",
+			b.Engine, b.Replicas, baseRate, curRate, 100*delta)
+		if delta < -tolerance {
+			line += fmt.Sprintf("  REGRESSION (>%.0f%% below baseline)", 100*tolerance)
+			regressed = true
+		}
+		lines = append(lines, line)
+	}
+	for k := range current {
+		lines = append(lines, fmt.Sprintf("%-12s replicas=%d: no baseline (new engine mode) — skipped", k.engine, k.replicas))
+	}
+	return lines, regressed
+}
+
+// compareAgainst loads the baseline artifact at path and prints the
+// throughput comparison; it returns true when any engine regressed
+// beyond tolerance, which main turns into a nonzero exit so CI fails
+// the PR.
+func compareAgainst(path string, cur Artifact, tolerance float64) (regressed bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base Artifact
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	lines, regressed := compareEngines(cur, base, tolerance)
+	fmt.Fprintf(os.Stderr, "throughput vs %s (tolerance %.0f%%):\n", path, 100*tolerance)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, "  "+l)
+	}
+	return regressed, nil
+}

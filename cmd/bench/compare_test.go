@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func engine(name string, replicas int, interactions int64, wallMS int64) EngineResult {
+	return EngineResult{Engine: name, Replicas: replicas, Interactions: interactions, WallDurationMilli: wallMS}
+}
+
+func TestThroughputRate(t *testing.T) {
+	if got := throughputRate(engine("lock/sync", 4, 1000, 500)); got != 2 {
+		t.Errorf("rate = %v, want 2", got)
+	}
+	if got := throughputRate(engine("lock/sync", 4, 1000, 0)); got != 0 {
+		t.Errorf("rate with zero duration = %v, want 0", got)
+	}
+}
+
+func TestCompareEngines(t *testing.T) {
+	base := Artifact{Engines: []EngineResult{
+		engine("lock/sync", 4, 1000, 1000), // rate 1.0
+		engine("mvcc/sync", 4, 1100, 1000), // rate 1.1
+	}}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := Artifact{Engines: []EngineResult{
+			engine("lock/sync", 4, 900, 1000),  // -10%
+			engine("mvcc/sync", 4, 1200, 1000), // improvement
+		}}
+		lines, regressed := compareEngines(cur, base, 0.15)
+		if regressed {
+			t.Fatalf("regression flagged within tolerance:\n%s", strings.Join(lines, "\n"))
+		}
+		if len(lines) != 2 {
+			t.Fatalf("got %d lines, want 2:\n%s", len(lines), strings.Join(lines, "\n"))
+		}
+	})
+
+	t.Run("drop beyond tolerance fails", func(t *testing.T) {
+		cur := Artifact{Engines: []EngineResult{
+			engine("lock/sync", 4, 800, 1000), // -20%
+			engine("mvcc/sync", 4, 1100, 1000),
+		}}
+		lines, regressed := compareEngines(cur, base, 0.15)
+		if !regressed {
+			t.Fatalf("-20%% not flagged:\n%s", strings.Join(lines, "\n"))
+		}
+		if !strings.Contains(strings.Join(lines, "\n"), "REGRESSION") {
+			t.Errorf("no REGRESSION marker in report:\n%s", strings.Join(lines, "\n"))
+		}
+	})
+
+	t.Run("quick run normalized by wall duration", func(t *testing.T) {
+		// Half the interactions in half the wall time is the same rate.
+		cur := Artifact{Engines: []EngineResult{
+			engine("lock/sync", 4, 500, 500),
+			engine("mvcc/sync", 4, 550, 500),
+		}}
+		if _, regressed := compareEngines(cur, base, 0.15); regressed {
+			t.Fatal("equal rates at different durations flagged as regression")
+		}
+	})
+
+	t.Run("unmatched rows reported but never fail", func(t *testing.T) {
+		cur := Artifact{Engines: []EngineResult{
+			engine("lock/sync", 4, 1000, 1000),
+			engine("lock/sync", 8, 100, 1000),  // replicas mismatch: no baseline
+			engine("mvcc/async", 4, 100, 1000), // new engine: no baseline
+		}}
+		lines, regressed := compareEngines(cur, base, 0.15)
+		if regressed {
+			t.Fatalf("unmatched rows failed the comparison:\n%s", strings.Join(lines, "\n"))
+		}
+		report := strings.Join(lines, "\n")
+		for _, want := range []string{"no current result", "no baseline"} {
+			if !strings.Contains(report, want) {
+				t.Errorf("report missing %q:\n%s", want, report)
+			}
+		}
+	})
+
+	t.Run("unusable baseline skipped", func(t *testing.T) {
+		zeroBase := Artifact{Engines: []EngineResult{engine("lock/sync", 4, 0, 0)}}
+		cur := Artifact{Engines: []EngineResult{engine("lock/sync", 4, 1, 1000)}}
+		lines, regressed := compareEngines(cur, zeroBase, 0.15)
+		if regressed {
+			t.Fatalf("zero-rate baseline produced a regression:\n%s", strings.Join(lines, "\n"))
+		}
+		if !strings.Contains(strings.Join(lines, "\n"), "skipped") {
+			t.Errorf("zero-rate baseline not reported as skipped:\n%s", strings.Join(lines, "\n"))
+		}
+	})
+}

@@ -9,6 +9,14 @@
 //
 //	bench -o BENCH_PR6.json            # full artifact
 //	bench -quick -o BENCH_PR6.json     # reduced run (seconds)
+//	bench -quick -o BENCH_NEW.json -compare BENCH_PR6.json
+//
+// With -compare, after writing the artifact the run is checked against
+// the baseline artifact: if any engine mode's throughput (interactions
+// per wall millisecond) fell more than -tolerance (default 15%) below
+// the baseline, bench exits nonzero. CI runs this against the committed
+// BENCH_PR6.json so a throughput regression fails the PR instead of
+// hiding in an uploaded artifact.
 package main
 
 import (
@@ -60,10 +68,12 @@ type Artifact struct {
 
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_PR6.json", "output artifact path")
-		quick    = flag.Bool("quick", false, "reduced run (seconds instead of minutes)")
-		replicas = flag.Int("replicas", 4, "database backends in the experiment runs")
-		scale    = flag.Float64("scale", 200, "timescale: paper seconds per wall second")
+		out       = flag.String("o", "BENCH_PR6.json", "output artifact path")
+		quick     = flag.Bool("quick", false, "reduced run (seconds instead of minutes)")
+		replicas  = flag.Int("replicas", 4, "database backends in the experiment runs")
+		scale     = flag.Float64("scale", 200, "timescale: paper seconds per wall second")
+		compare   = flag.String("compare", "", "baseline artifact to compare against; exit nonzero on throughput regression")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop vs -compare baseline")
 	)
 	flag.Parse()
 	art := Artifact{GoVersion: runtime.Version()}
@@ -117,6 +127,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "wrote", *out)
+
+	if *compare != "" {
+		regressed, err := compareAgainst(*compare, art, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			fmt.Fprintln(os.Stderr, "bench: throughput regression vs", *compare)
+			os.Exit(1)
+		}
+	}
 }
 
 // runEngine runs one miniature browsing-mix experiment on the staged

@@ -154,7 +154,9 @@ func run(args []string) error {
 // every probe gauge. The ticker is stopped when the returned function
 // runs, so the goroutine and timer never outlive the server.
 func startStats(inst variant.Instance, every time.Duration) (stop func()) {
-	tk := time.NewTicker(every)
+	// Stats cadence is operator-facing wall time: a human watching a
+	// terminal wants a line every N real seconds regardless of timescale.
+	tk := time.NewTicker(every) //lint:allow wallclock(operator-facing stats cadence is wall time by definition)
 	done := make(chan struct{})
 	go func() {
 		defer tk.Stop()

@@ -81,7 +81,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("driving %s load against %s for %v (paper time)...\n", *loadProf, *addr, *duration)
 	drv.Start()
-	time.Sleep(ts.Wall(*duration))
+	time.Sleep(ts.Wall(*duration)) //lint:allow wallclock(CLI run duration elapses on the operator's wall clock)
 	drv.Stop()
 
 	stats := drv.Stats()

@@ -1,0 +1,43 @@
+// Command vetcheck is the repo's invariant checker: a multichecker over
+// the four custom analyzers in internal/analysis plus the lintallow
+// escape-comment auditor.
+//
+// Two modes share the same analyzers:
+//
+//	go vet -vettool=$(pwd)/vetcheck ./...   # unit mode, driven by the go command
+//	go run ./cmd/vetcheck ./...             # standalone mode, direct package patterns
+//
+// Unit mode speaks the go vet tool protocol (-V=full / -flags /
+// <unit>.cfg) so results integrate with the build cache; standalone
+// mode loads packages itself via `go list -export`. Both exit nonzero
+// if any diagnostic is reported. See the README "Static analysis"
+// section for the invariants and the //lint:allow escape-hatch syntax.
+package main
+
+import (
+	"stagedweb/internal/analysis/framework"
+	"stagedweb/internal/analysis/locksleep"
+	"stagedweb/internal/analysis/probenames"
+	"stagedweb/internal/analysis/settingskeys"
+	"stagedweb/internal/analysis/wallclock"
+)
+
+// Analyzers is the suite vetcheck runs, exported for the self-check
+// test that asserts the repo is clean.
+func analyzers() []*framework.Analyzer {
+	suite := []*framework.Analyzer{
+		wallclock.Analyzer,
+		locksleep.Analyzer,
+		probenames.Analyzer,
+		settingskeys.Analyzer,
+	}
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	return append(suite, framework.LintAllow(names...))
+}
+
+func main() {
+	framework.Main("vetcheck", analyzers()...)
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"stagedweb/internal/analysis/framework"
+)
+
+// TestRepoAnalyzesClean is the self-check CI leans on: the full
+// analyzer suite over every package in the module must report nothing.
+// A finding here means either a new invariant violation or an allowlist
+// comment that stopped suppressing anything — both are failures.
+func TestRepoAnalyzesClean(t *testing.T) {
+	findings, err := framework.Standalone("", analyzers(), "stagedweb/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -41,6 +41,15 @@
 // writers. cmd/experiments -exp mvcc sweeps the engine modes, and
 // cmd/bench persists the benchmark artifact CI uploads on every PR.
 //
+// The invariants none of this encodes in types — timing flows through
+// the injected clock.Clock, nothing sleeps while holding a lock, probe
+// names and settings keys stay in their canonical catalogs — are
+// machine-checked by cmd/vetcheck, a multichecker of four custom
+// analyzers (internal/analysis) that CI runs via go vet -vettool on
+// every push. Genuinely wall-bound sites are exempted in place with
+// //lint:allow analyzer(reason) comments; see the README's "Static
+// analysis" section.
+//
 // See README.md for the architecture, a walkthrough, design notes, and
 // how to run the experiments. The root-level bench_test.go regenerates
 // each table and figure as a Go benchmark.

@@ -89,7 +89,7 @@ func run() error {
 		FetchImages: true, Seed: 7,
 	})
 	gen.Start()
-	time.Sleep(scale.Wall(2 * time.Minute))
+	time.Sleep(scale.Wall(2 * time.Minute)) //lint:allow wallclock(example runs in real time for a human audience)
 	gen.Stop()
 
 	fmt.Printf("\n%-26s %7s %10s\n", "page", "count", "mean (s)")

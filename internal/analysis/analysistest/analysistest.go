@@ -1,0 +1,172 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src directory and checks the reported diagnostics against
+// // want "regexp" comments in the fixture sources, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the in-repo
+// framework.
+//
+// A fixture is one directory testdata/src/<name> holding a small Go
+// package. Lines that should trigger a diagnostic carry a trailing
+//
+//	// want "regexp"
+//
+// comment (several literals for several diagnostics on one line; Go
+// quoted or backquoted strings both work). Run fails the test for every
+// unmatched want and every unexpected diagnostic, so fixtures prove
+// both directions: the analyzer fires where it must and stays silent
+// where it may.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stagedweb/internal/analysis/framework"
+)
+
+// wantComment marks an expected-diagnostic annotation.
+const wantComment = "// want "
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run applies the analyzers to each named fixture package under
+// dir/testdata/src and compares diagnostics with the fixtures' want
+// annotations. Analyzers run together so escape-hatch fixtures can
+// exercise an invariant analyzer and lintallow against the same source.
+func Run(t *testing.T, dir string, analyzers []*framework.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fix := range fixtures {
+		runOne(t, filepath.Join(dir, "testdata", "src", fix), fix, analyzers)
+	}
+}
+
+func runOne(t *testing.T, fixdir, name string, analyzers []*framework.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(fixdir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(fixdir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("fixture %s: no .go files in %s", name, fixdir)
+	}
+	sort.Strings(filenames)
+
+	// The fixture's imports decide which export data we need: list them
+	// (with -deps, so transitive requirements resolve too) and
+	// type-check the fixture against the toolchain's compiled packages.
+	imports, err := fixtureImports(filenames)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	findings, fset, files, err := framework.AnalyzeFiles(name, filenames, imports, analyzers)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+
+	expects := collectWants(t, fset, files)
+	for _, f := range findings {
+		if !match(expects, f) {
+			t.Errorf("fixture %s: unexpected diagnostic %s", name, f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("fixture %s: %s:%d: no diagnostic matched want %q", name, e.file, e.line, e.raw)
+		}
+	}
+}
+
+// fixtureImports parses just the import clauses of the fixture files.
+func fixtureImports(filenames []string) ([]string, error) {
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var paths []string
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// collectWants extracts the want annotations from the parsed fixtures.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may trail other comment content on the same
+				// line (an allow comment under test, say); everything
+				// after it is the expectation literals.
+				idx := strings.Index(c.Text, wantComment)
+				if idx < 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[idx+len(wantComment):])
+				for rest != "" {
+					lit, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q", posn.Filename, posn.Line, c.Text)
+					}
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want literal %s", posn.Filename, posn.Line, lit)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", posn.Filename, posn.Line, pattern, err)
+					}
+					expects = append(expects, &expectation{
+						file: posn.Filename,
+						line: posn.Line,
+						re:   re,
+						raw:  pattern,
+					})
+					rest = strings.TrimSpace(rest[len(lit):])
+				}
+			}
+		}
+	}
+	return expects
+}
+
+func match(expects []*expectation, f framework.Finding) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

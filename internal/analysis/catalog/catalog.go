@@ -1,0 +1,105 @@
+// Package catalog is the canonical registry of the repo's string-keyed
+// name spaces: probe/series names sampled into Result.Series and
+// settings keys decoded through variant.Decoder. The probenames and
+// settingskeys analyzers check every use site against these lists, and
+// catalog_test cross-checks the lists against the declaring constants,
+// the README tables, and the CI artifact assertions — so a name cannot
+// be registered, sampled, asserted, or documented without appearing
+// everywhere it must.
+//
+// Adding a probe or settings key is a three-line change: declare the
+// constant (or decoder call) where it is used, add it here with a short
+// description, and document it in the README table. Any one of the
+// three missing fails the build.
+package catalog
+
+import "regexp"
+
+// ProbeNameRE is the shape every probe/series name must have:
+// dotted lowercase, at least two segments ("db.inuse", not "dbInUse").
+var ProbeNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z0-9]+)+$`)
+
+// SettingsKeyRE is the shape every settings key must have: a single
+// lowercase word ("minreserve", not "min-reserve" or "minReserve").
+var SettingsKeyRE = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
+
+// Probes maps every registered probe/series name to a one-line
+// description. Sources: variant.Instance.Probes registrations
+// (internal/variant/builtin.go), client-side driver probes
+// (internal/load), and the harness-owned throughput series
+// (internal/harness).
+var Probes = map[string]string{
+	// Server-side probes (internal/variant/builtin.go).
+	"queue.single":      "baseline: accepted requests waiting for a worker",
+	"queue.general":     "staged: general dynamic queue depth",
+	"queue.lengthy":     "staged: lengthy dynamic queue depth",
+	"sched.reserve":     "staged: t_reserve spare-worker target",
+	"sched.spare":       "staged: spare dynamic workers right now",
+	"dispatch.general":  "staged: requests dispatched to general workers",
+	"dispatch.lengthy":  "staged: requests dispatched to lengthy workers",
+	"served.total":      "completed interactions since start",
+	"db.inuse":          "database tier: connections checked out",
+	"db.wait":           "database tier: acquisitions that had to wait",
+	"db.queries":        "database tier: statements executed",
+	"db.conflicts":      "mvcc: first-writer-wins write conflicts",
+	"db.snapshots":      "mvcc: snapshot reads taken",
+	"db.repllag":        "replication: max replica lag in commits",
+	"db.stmtcache.hit":  "statement cache hits",
+	"db.stmtcache.miss": "statement cache misses",
+
+	// Client-side probes (internal/load).
+	"client.active":  "emulated browsers currently running",
+	"client.offered": "offered request rate at the driver",
+	"client.errors":  "failed interactions at the driver",
+	"client.wirt":    "rolling worst interaction response time (sec)",
+
+	// Harness-owned series (internal/harness); the "throughput."
+	// prefix is reserved for the harness.
+	"throughput.all":     "completions per paper minute, all pages",
+	"throughput.static":  "completions per paper minute, static pages",
+	"throughput.dynamic": "completions per paper minute, dynamic pages",
+	"throughput.quick":   "completions per paper minute, quick dynamic pages",
+	"throughput.lengthy": "completions per paper minute, lengthy dynamic pages",
+}
+
+// SettingsKeys maps every key decodable through variant.Decoder to a
+// one-line description. Sources: the variant registry
+// (internal/variant/builtin.go) and the load-profile registry
+// (internal/load/builtin.go). Test-only keys in *_test.go files are
+// exempt — the analyzers skip test files.
+var SettingsKeys = map[string]string{
+	// Variant settings (internal/variant/builtin.go).
+	"mvcc":       "storage engine: off = per-table RW locks, on = snapshot MVCC",
+	"repl":       "replication mode: sync | async",
+	"workers":    "baseline worker/connection count",
+	"queuecap":   "bounded queue capacity",
+	"replicas":   "database backends (1 primary + N-1 read replicas)",
+	"dbconns":    "connections per database backend",
+	"header":     "staged header-stage workers",
+	"static":     "staged static-stage workers",
+	"general":    "staged general dynamic workers",
+	"lengthy":    "staged lengthy dynamic workers",
+	"render":     "staged render-stage workers",
+	"minreserve": "floor for the t_reserve controller",
+	"cutoff":     "lengthy-page classification cutoff",
+	"noreserve":  "disable the t_reserve controller",
+
+	// Load-profile settings (internal/load/builtin.go).
+	"ebs":     "base emulated-browser population",
+	"to":      "step/ramp target population",
+	"at":      "step/spike onset (paper time)",
+	"over":    "ramp duration (paper time)",
+	"delay":   "ramp start delay (paper time)",
+	"burst":   "spike peak population",
+	"width":   "spike width (paper time)",
+	"amp":     "wave amplitude (population)",
+	"period":  "wave period (paper time)",
+	"rate":    "open-loop session arrivals per paper second",
+	"session": "open-loop mean session lifetime (paper time)",
+}
+
+// IsProbe reports whether name is a registered probe/series name.
+func IsProbe(name string) bool { _, ok := Probes[name]; return ok }
+
+// IsSettingsKey reports whether key is a registered settings key.
+func IsSettingsKey(key string) bool { _, ok := SettingsKeys[key]; return ok }

@@ -1,0 +1,145 @@
+package framework
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Escape comments. A diagnostic from analyzer NAME is suppressed by
+//
+//	//lint:allow NAME(reason)
+//
+// placed at the end of the offending line or alone on the line above
+// it. The reason is mandatory — an allowlist entry that does not say
+// why it exists is itself a diagnostic (reported by the lintallow
+// analyzer, which owns the comment syntax) — and an allow comment that
+// suppresses nothing is reported as unused by the analyzer it names,
+// so stale escapes cannot accumulate.
+
+// allowRE matches one well-formed allow comment after the "//" marker.
+var allowRE = regexp.MustCompile(`^lint:allow\s+([A-Za-z][A-Za-z0-9]*)\((.*)\)\s*$`)
+
+// AllowPrefix marks a comment as an allowlist entry, well-formed or not.
+const AllowPrefix = "lint:allow"
+
+// stripWant truncates an analysistest "// want" expectation marker from
+// a comment's text, so fixtures can annotate diagnostics reported at
+// the allow comment itself (e.g. the unused-allow check). Production
+// comments never contain the marker.
+func stripWant(text string) string {
+	if i := strings.Index(text, "// want "); i >= 0 {
+		return strings.TrimSpace(text[:i])
+	}
+	return text
+}
+
+// allowEntry is one parsed //lint:allow comment.
+type allowEntry struct {
+	pos    token.Pos
+	file   string
+	line   int
+	name   string
+	reason string
+	used   bool
+}
+
+// Allows indexes the //lint:allow comments of one package for one
+// analyzer.
+type Allows struct {
+	pass    *Pass
+	entries []*allowEntry
+}
+
+// ScanAllows collects the allow comments naming pass.Analyzer. Analyzers
+// call Allowed before reporting and Finish after their walk.
+func ScanAllows(pass *Pass) *Allows {
+	a := &Allows{pass: pass}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := stripWant(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")))
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil || m[1] != pass.Analyzer.Name {
+					continue
+				}
+				posn := pass.Fset.Position(c.Pos())
+				a.entries = append(a.entries, &allowEntry{
+					pos:    c.Pos(),
+					file:   posn.Filename,
+					line:   posn.Line,
+					name:   m[1],
+					reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return a
+}
+
+// Allowed reports whether a diagnostic at pos is suppressed: an allow
+// comment for this analyzer sits on the same line or alone on the line
+// above. Matching entries are marked used even when malformed (empty
+// reason), so the lintallow analyzer reports the missing reason exactly
+// once instead of this analyzer also reporting the site.
+func (a *Allows) Allowed(pos token.Pos) bool {
+	posn := a.pass.Fset.Position(pos)
+	ok := false
+	for _, e := range a.entries {
+		if e.file == posn.Filename && (e.line == posn.Line || e.line == posn.Line-1) {
+			e.used = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// Finish reports allow comments for this analyzer that suppressed no
+// diagnostic — a stale escape is as suspect as a missing one.
+func (a *Allows) Finish() {
+	for _, e := range a.entries {
+		if !e.used {
+			a.pass.Reportf(e.pos, "unused //lint:allow %s comment (suppresses nothing on this or the next line)", e.name)
+		}
+	}
+}
+
+// LintAllow owns the escape-comment syntax itself: every comment
+// starting with lint:allow must be well-formed, name a known analyzer,
+// and carry a non-empty reason. Running it alongside the invariant
+// analyzers makes "allowlist entries without a reason" a CI failure.
+func LintAllow(known ...string) *Analyzer {
+	names := make(map[string]bool, len(known))
+	for _, n := range known {
+		names[n] = true
+	}
+	return &Analyzer{
+		Name: "lintallow",
+		Doc:  "check that //lint:allow escape comments are well-formed, name a known analyzer, and state a reason",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						text := stripWant(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")))
+						if !strings.HasPrefix(text, AllowPrefix) {
+							continue
+						}
+						if pass.InTestFile(c.Pos()) {
+							continue
+						}
+						m := allowRE.FindStringSubmatch(text)
+						switch {
+						case m == nil:
+							pass.Reportf(c.Pos(), "malformed allow comment %q (want //lint:allow analyzer(reason))", text)
+						case !names[m[1]]:
+							pass.Reportf(c.Pos(), "allow comment names unknown analyzer %q", m[1])
+						case strings.TrimSpace(m[2]) == "":
+							pass.Reportf(c.Pos(), "allow comment for %s has no reason — every allowlist entry must say why", m[1])
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

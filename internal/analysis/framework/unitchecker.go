@@ -1,0 +1,221 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file speaks the command-line protocol `go vet -vettool=...`
+// expects of an analysis tool. The go command probes the tool twice
+// before any checking happens:
+//
+//	tool -V=full    report an identity string ending in a content hash,
+//	                folded into build IDs so edits to the tool invalidate
+//	                cached vet results
+//	tool -flags     report supported flags as JSON so the go command can
+//	                forward -vet flags it recognizes
+//
+// and then invokes it once per package unit:
+//
+//	tool <unit>.cfg
+//
+// where the cfg file is a JSON description of one type-checkable unit:
+// its Go files, the import map, and the export-data file of every
+// dependency. Diagnostics go to stderr as "pos: message" lines with exit
+// status 1; a clean unit writes its (for us, empty) .vetx facts file and
+// exits 0.
+
+// vetConfig mirrors the JSON the go command writes to <unit>.cfg.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built on this framework. It
+// handles the protocol flags, runs the analyzers when handed a .cfg
+// file, and falls back to Standalone pattern mode for direct invocation
+// (`vetcheck ./...`). It does not return.
+func Main(progname string, analyzers ...*Analyzer) {
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printVersion := fs.String("V", "", "print version and exit (-V=full includes a content hash)")
+	printFlags := fs.Bool("flags", false, "print flags understood by this tool as JSON and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [package pattern ...]   # standalone mode\n", progname)
+		fmt.Fprintf(os.Stderr, "       %s <unit>.cfg              # invoked by go vet -vettool\n", progname)
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *printVersion != "":
+		versionMain(progname, *printVersion)
+	case *printFlags:
+		// No analyzer-specific flags; the empty list tells the go
+		// command to forward nothing.
+		os.Stdout.WriteString("[]\n")
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitMain(args[0], analyzers)
+	}
+	standaloneMain(analyzers, args)
+}
+
+// versionMain implements -V. The go command requires the full form
+//
+//	<progname> version devel comments-go-here buildID=<hash>
+//
+// where the hash identifies this tool's contents: hashing the executable
+// itself means rebuilding the tool changes the ID and invalidates any
+// cached vet verdicts computed by the old binary.
+func versionMain(progname, mode string) {
+	if mode != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		os.Exit(0)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+	os.Exit(0)
+}
+
+// unitMain analyzes the single package unit described by cfgFile.
+func unitMain(cfgFile string, analyzers []*Analyzer) {
+	findings, err := runUnit(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%v: %s\n", f.Pos, f.Message)
+		}
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func runUnit(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	fset := token.NewFileSet()
+	// Dependencies come pre-compiled: the lookup serves each import's
+	// export data from the file the go command named, resolving vendor
+	// or module aliases through ImportMap first.
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	goFiles := cfg.GoFiles
+	if cfg.Dir != "" {
+		goFiles = make([]string, len(cfg.GoFiles))
+		for i, f := range cfg.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(cfg.Dir, f)
+			}
+			goFiles[i] = f
+		}
+	}
+	files, pkg, info, err := typeCheck(fset, cfg.ImportPath, goFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, err
+	}
+
+	var findings []Finding
+	if !cfg.VetxOnly {
+		findings, err = runAnalyzers(fset, files, pkg, info, analyzers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// These analyzers exchange no facts between packages, but the go
+	// command still expects the promised .vetx output to exist before it
+	// caches the result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	return findings, nil
+}
+
+// standaloneMain runs the analyzers over package patterns directly,
+// outside the go vet protocol.
+func standaloneMain(analyzers []*Analyzer, patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	findings, err := Standalone("", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%v: %s [%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,265 @@
+// Package locksleep defines an analyzer that flags blocking or
+// sleeping calls made while a sync.Mutex or sync.RWMutex acquired in
+// the same function is held.
+//
+// This is the MVCC engine's commit-path invariant from PR 6, promoted
+// from convention to machine check: cost-model sleeps (DB.chargeCost →
+// Clock.Sleep) must happen entirely outside locks, or one charged
+// statement holds commitMu for its full simulated cost and the engine's
+// concurrency collapses to the baseline's. The same reasoning covers
+// any blocking operation — channel receives, replication barriers
+// (Tier.Sync), WaitGroup waits — under any mutex.
+//
+// The analysis is intraprocedural and source-ordered: within one
+// function body it tracks x.Lock()/x.RLock() against x.Unlock()/
+// x.RUnlock() (a deferred unlock holds the lock to function exit) and
+// reports blocking calls made while any tracked lock is held. Deferred
+// blocking calls are reported only when a deferred unlock was
+// registered before them — defers run last-in-first-out, so such a
+// call executes before the lock is released. The lock-engine paths in
+// internal/sqldb sleep under per-table locks by design (that IS the
+// paper's baseline contention model); those sites carry
+// //lint:allow locksleep(reason) comments.
+package locksleep
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"stagedweb/internal/analysis/framework"
+)
+
+// Analyzer is the locksleep pass.
+var Analyzer = &framework.Analyzer{
+	Name: "locksleep",
+	Doc:  "flag blocking or sleeping calls (Clock.Sleep, cost charging, channel receive, Tier.Sync, WaitGroup.Wait) while a sync.Mutex/RWMutex acquired in the same function is held",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	allows := framework.ScanAllows(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && !pass.InTestFile(fn.Pos()) {
+					checkFunc(pass, allows, fn.Body)
+				}
+			case *ast.FuncLit:
+				if !pass.InTestFile(fn.Pos()) {
+					checkFunc(pass, allows, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+	allows.Finish()
+	return nil
+}
+
+// checker walks one function body in source order. Lock state is keyed
+// by the receiver expression's printed form ("mu", "tbl.lock", ...);
+// two spellings of the same lock are tracked separately, which is the
+// usual go/analysis approximation — the invariant cares about the
+// common single-spelling case.
+type checker struct {
+	pass   *framework.Pass
+	allows *framework.Allows
+	held   map[string]bool
+	// deferredUnlocks counts defer x.Unlock() statements seen so far;
+	// a deferred blocking call registered after one runs under the lock.
+	deferredUnlocks int
+}
+
+func checkFunc(pass *framework.Pass, allows *framework.Allows, body *ast.BlockStmt) {
+	c := &checker{pass: pass, allows: allows, held: map[string]bool{}}
+	c.walk(body)
+}
+
+func (c *checker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested function: different dynamic extent, analyzed by
+			// its own checkFunc call from run.
+			return false
+		case *ast.DeferStmt:
+			c.deferStmt(n)
+			return false
+		case *ast.SelectStmt:
+			c.selectStmt(n)
+			return false
+		case *ast.CallExpr:
+			c.call(n, false)
+			return true
+		case *ast.UnaryExpr:
+			if recv, ok := channelReceive(c.pass.TypesInfo, n); ok && c.anyHeld() {
+				c.report(n.Pos(), "channel receive from %s", recv)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: lock-state transition or
+// blocking operation.
+func (c *checker) call(call *ast.CallExpr, deferred bool) {
+	obj := framework.Callee(c.pass.TypesInfo, call)
+	if obj == nil {
+		return
+	}
+	if key, kind, ok := mutexOp(c.pass.TypesInfo, call, obj); ok {
+		switch kind {
+		case "Lock", "RLock":
+			c.held[key] = true
+		case "Unlock", "RUnlock":
+			if deferred {
+				c.deferredUnlocks++
+				// The lock stays held until function exit; keep it
+				// in the held set.
+			} else {
+				delete(c.held, key)
+			}
+		}
+		return
+	}
+	if what, blocking := blockingCall(c.pass.TypesInfo, call, obj); blocking {
+		if deferred {
+			if c.deferredUnlocks > 0 {
+				c.report(call.Pos(), "deferred %s runs before the earlier deferred unlock releases its lock (defers run last-in-first-out)", what)
+			}
+		} else if c.anyHeld() {
+			c.report(call.Pos(), "%s while a mutex acquired in this function is held", what)
+		}
+	}
+}
+
+func (c *checker) deferStmt(d *ast.DeferStmt) {
+	// Arguments are evaluated now; the call itself runs at exit.
+	for _, arg := range d.Call.Args {
+		c.walk(arg)
+	}
+	c.call(d.Call, true)
+}
+
+// selectStmt: a select with a default clause never blocks; without one
+// it blocks like a receive.
+func (c *checker) selectStmt(sel *ast.SelectStmt) {
+	hasDefault := false
+	for _, cl := range sel.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && c.anyHeld() {
+		c.report(sel.Pos(), "blocking select while a mutex acquired in this function is held")
+	}
+	// Walk the clause bodies (not the comm operations themselves —
+	// already accounted for above).
+	for _, cl := range sel.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok {
+			for _, stmt := range comm.Body {
+				c.walk(stmt)
+			}
+		}
+	}
+}
+
+func (c *checker) anyHeld() bool { return len(c.held) > 0 }
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.allows.Allowed(pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// mutexOp recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock where x is
+// a sync.Mutex or sync.RWMutex (possibly behind pointers), returning a
+// stable key for x and the method name.
+func mutexOp(info *types.Info, call *ast.CallExpr, obj types.Object) (key, kind string, ok bool) {
+	switch obj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	tv, found := info.Types[sel.X]
+	if !found {
+		return "", "", false
+	}
+	if !framework.NamedType(tv.Type, "sync", "Mutex") && !framework.NamedType(tv.Type, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), obj.Name(), true
+}
+
+// blockingCall recognizes the repo's blocking/sleeping operations:
+// time.Sleep, any Sleep method from internal/clock (interface or
+// implementation), cost-model charging (a chargeCost method), the
+// replication barrier Tier.Sync, and sync.WaitGroup.Wait /
+// sync.Cond.Wait.
+func blockingCall(info *types.Info, call *ast.CallExpr, obj types.Object) (string, bool) {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	switch {
+	case pkg == "time" && obj.Name() == "Sleep":
+		return "time.Sleep", true
+	case pkg == "stagedweb/internal/clock" && obj.Name() == "Sleep":
+		return "Clock.Sleep", true
+	case obj.Name() == "chargeCost":
+		return "cost-model charge (chargeCost sleeps the statement's simulated cost)", true
+	case pkg == "stagedweb/internal/dbtier" && obj.Name() == "Sync":
+		return "replication barrier Tier.Sync", true
+	case pkg == "sync" && obj.Name() == "Wait" && recvTypeName(obj) == "WaitGroup":
+		// sync.Cond.Wait is deliberately NOT here: it atomically
+		// releases its mutex while blocked, so waiting under the lock
+		// is its contract, not a violation.
+		return "sync.WaitGroup.Wait", true
+	}
+	return "", false
+}
+
+func recvTypeName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "?"
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "?"
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return named.Obj().Name()
+	}
+	return "?"
+}
+
+// channelReceive recognizes a blocking unary receive <-ch.
+func channelReceive(info *types.Info, u *ast.UnaryExpr) (string, bool) {
+	if u.Op != token.ARROW {
+		return "", false
+	}
+	tv, ok := info.Types[u.X]
+	if !ok {
+		return "", false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return "", false
+	}
+	return types.ExprString(u.X), true
+}

@@ -1,0 +1,17 @@
+package locksleep
+
+import (
+	"testing"
+
+	"stagedweb/internal/analysis/analysistest"
+	"stagedweb/internal/analysis/framework"
+)
+
+// TestFixtures covers the commit-path invariant both ways: sleeps,
+// deferred charges, channel receives, WaitGroup joins, and defaultless
+// selects under a held mutex are flagged; the collect-release-charge
+// discipline, polling selects, sync.Cond.Wait, and an allowlisted
+// lock-engine charge are not.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, ".", []*framework.Analyzer{Analyzer}, "locksleep")
+}

@@ -1,0 +1,107 @@
+// Package locksleep mirrors the sqldb commit-path shapes the analyzer
+// audits: cost-model charges, channel waits, and replication barriers
+// under (and correctly outside) per-table mutexes.
+package locksleep
+
+import (
+	"sync"
+	"time"
+)
+
+type engine struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	costNS int64
+}
+
+// chargeCost mimics sqldb.DB.chargeCost — the analyzer recognizes the
+// cost-model charge by this name.
+func (e *engine) chargeCost() {
+	time.Sleep(time.Duration(e.costNS))
+}
+
+// commitBad sleeps while holding the commit lock — the exact MVCC
+// violation the invariant exists for.
+func (e *engine) commitBad() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while a mutex acquired in this function is held`
+}
+
+// deferBad registers the charge after the deferred unlock: LIFO order
+// runs the charge first, under the still-held lock.
+func (e *engine) deferBad() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.chargeCost() // want `deferred cost-model charge .* last-in-first-out`
+}
+
+// commitGood is the MVCC discipline: collect under the lock, release,
+// then charge.
+func (e *engine) commitGood() {
+	e.mu.Lock()
+	cost := e.costNS
+	e.mu.Unlock()
+	time.Sleep(time.Duration(cost))
+}
+
+// deferGood registers the charge before any unlock defer exists; with
+// the explicit unlock above, it runs lock-free at exit.
+func (e *engine) deferGood() {
+	e.mu.Lock()
+	e.costNS++
+	e.mu.Unlock()
+	defer e.chargeCost()
+}
+
+// recvBad parks on a channel while holding a read lock.
+func (e *engine) recvBad(applied chan int) int {
+	e.rw.RLock()
+	defer e.rw.RUnlock()
+	return <-applied // want `channel receive from applied`
+}
+
+// waitBad joins a WaitGroup under the lock.
+func (e *engine) waitBad(wg *sync.WaitGroup) {
+	e.mu.Lock()
+	wg.Wait() // want `sync.WaitGroup.Wait while a mutex`
+	e.mu.Unlock()
+}
+
+// selectBad blocks on a select with no default under the lock.
+func (e *engine) selectBad(ch chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want `blocking select while a mutex`
+	case <-ch:
+	}
+}
+
+// selectGood polls: a default clause means the select cannot block.
+func (e *engine) selectGood(ch chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// condGood: sync.Cond.Wait atomically releases its mutex while parked —
+// waiting under the lock is its contract, not a violation.
+func (e *engine) condGood(c *sync.Cond) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.costNS == 0 {
+		c.Wait()
+	}
+}
+
+// lockEngine is the allowed shape: the paper's baseline engine charges
+// under the table lock by design, and says so.
+func (e *engine) lockEngine() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.chargeCost() //lint:allow locksleep(lock engine charges under the table lock by design)
+	e.costNS++
+}

@@ -1,0 +1,16 @@
+package probenames
+
+import (
+	"testing"
+
+	"stagedweb/internal/analysis/analysistest"
+	"stagedweb/internal/analysis/framework"
+)
+
+// TestFixtures covers the probe-name discipline both ways: registered
+// named constants pass (keyed and positional literal forms); inline
+// literals, computed names, unregistered names, bad shapes, and
+// duplicates are flagged; the escape hatch suppresses.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, ".", []*framework.Analyzer{Analyzer}, "probenames")
+}

@@ -1,0 +1,30 @@
+// Package probenames exercises the probe-name discipline: names are
+// dotted-lowercase named constants registered in the catalog, with no
+// duplicates and no inline literals at registration sites.
+package probenames
+
+import "stagedweb/internal/variant"
+
+const (
+	// ProbeGood is a registered name used the right way.
+	ProbeGood = "queue.single"
+	// ProbeUnregistered is well-shaped but absent from the catalog.
+	ProbeUnregistered = "queue.mystery" // want `probe name "queue.mystery" \(const ProbeUnregistered\) is not registered`
+	// ProbeBadShape is not dotted-lowercase.
+	ProbeBadShape = "QueueDepth" // want `probe name "QueueDepth" \(const ProbeBadShape\) is not dotted-lowercase`
+	// ProbeDup collides with ProbeGood's value.
+	ProbeDup = "queue.single" // want `duplicate probe name "queue.single": already declared by const ProbeGood`
+	// ProbeGrandfathered shows the escape hatch.
+	ProbeGrandfathered = "legacy.series" //lint:allow probenames(grandfathered series kept for old artifact readers)
+)
+
+func dynamicName() string { return "x.y" }
+
+func probes(gauge func() float64) []variant.Probe {
+	return []variant.Probe{
+		{Name: ProbeGood, Gauge: gauge},
+		{ProbeGood, gauge},
+		{Name: "client.active", Gauge: gauge}, // want `probe name "client.active" is an inline literal`
+		{Name: dynamicName(), Gauge: gauge},   // want `probe name must be a string constant`
+	}
+}

@@ -1,0 +1,89 @@
+// Package settingskeys defines an analyzer for the key=value settings
+// surface decoded through variant.Decoder.
+//
+// Settings keys are user-facing API: they arrive via -set flags, ride
+// through variant/load registries, and are documented in README tables.
+// A knob decoded under a key the catalog has never heard of is exactly
+// how `mvcc=`/`repl=`-style switches drift undocumented. The analyzer
+// checks every call to a decoding method on variant.Decoder
+// (Bool/Int/Float/Enum/Duration): the key argument must be a
+// compile-time string constant, lowercase-word shaped, and registered
+// in internal/analysis/catalog — where each key carries its one-line
+// description that the catalog tests cross-check against the README
+// settings tables.
+package settingskeys
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"stagedweb/internal/analysis/catalog"
+	"stagedweb/internal/analysis/framework"
+)
+
+// decodeMethods are the variant.Decoder methods whose first argument is
+// a settings key.
+var decodeMethods = map[string]bool{
+	"Bool":     true,
+	"Int":      true,
+	"Float":    true,
+	"Enum":     true,
+	"Duration": true,
+}
+
+// Analyzer is the settingskeys pass.
+var Analyzer = &framework.Analyzer{
+	Name: "settingskeys",
+	Doc:  "require every key decoded through variant.Decoder to be a constant, lowercase-word string registered in internal/analysis/catalog",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	allows := framework.ScanAllows(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isDecoderCall(pass, call) {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			key := call.Args[0]
+			if allows.Allowed(key.Pos()) {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[key]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(key.Pos(), "settings key must be a compile-time string constant, not a computed value")
+				return true
+			}
+			val := constant.StringVal(tv.Value)
+			if !catalog.SettingsKeyRE.MatchString(val) {
+				pass.Reportf(key.Pos(), "settings key %q is not a lowercase word (want e.g. %q)", val, "minreserve")
+			} else if !catalog.IsSettingsKey(val) {
+				pass.Reportf(key.Pos(), "settings key %q is not registered in internal/analysis/catalog (add it with a description and to the README table)", val)
+			}
+			return true
+		})
+	}
+	allows.Finish()
+	return nil
+}
+
+// isDecoderCall reports whether call invokes a decoding method on
+// variant.Decoder.
+func isDecoderCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !decodeMethods[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return framework.NamedType(tv.Type, "stagedweb/internal/variant", "Decoder")
+}

@@ -1,0 +1,15 @@
+package settingskeys
+
+import (
+	"testing"
+
+	"stagedweb/internal/analysis/analysistest"
+	"stagedweb/internal/analysis/framework"
+)
+
+// TestFixtures covers the settings-key discipline both ways: registered
+// keys decode silently; undeclared, badly shaped, and computed keys are
+// flagged; the escape hatch suppresses.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, ".", []*framework.Analyzer{Analyzer}, "settingskeys")
+}

@@ -1,0 +1,26 @@
+// Package settingskeys exercises the settings-key discipline: every key
+// decoded through variant.Decoder is a constant, lowercase-word string
+// registered in the catalog.
+package settingskeys
+
+import "stagedweb/internal/variant"
+
+func decode(explicit, defaults variant.Settings) error {
+	d := variant.NewSettingsDecoder(explicit, defaults)
+
+	// Registered keys decode without complaint.
+	_ = d.Int("workers", 80)
+	_ = d.Bool("mvcc", false)
+	_ = d.Enum("repl", "sync", "sync", "async")
+
+	// Undeclared, badly shaped, and computed keys are each rejected.
+	_ = d.Int("shards", 4)   // want `settings key "shards" is not registered in internal/analysis/catalog`
+	_ = d.Int("MaxConns", 1) // want `settings key "MaxConns" is not a lowercase word`
+	key := "spelled" + "out"
+	_ = d.Int(key, 1) // want `settings key must be a compile-time string constant`
+
+	// The escape hatch, with the mandatory reason.
+	_ = d.Int("legacy", 0) //lint:allow settingskeys(grandfathered knob read by old run scripts)
+
+	return d.Finish()
+}

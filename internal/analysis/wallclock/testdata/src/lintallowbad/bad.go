@@ -1,0 +1,20 @@
+// Package lintallowbad exercises the lintallow analyzer, which owns the
+// escape-comment syntax: malformed comments, unknown analyzer names,
+// and — the CI-enforced rule — allowlist entries without a reason.
+package lintallowbad
+
+import "time"
+
+//lint:allow wallclock // want `malformed allow comment`
+func malformed() {}
+
+//lint:allow nosuchanalyzer(the analyzer name is checked) // want `unknown analyzer "nosuchanalyzer"`
+func unknown() {}
+
+// reasonless still suppresses the wallclock diagnostic on the next line
+// (so the site is reported exactly once) but lintallow rejects the
+// entry itself: every allowlist entry must say why.
+func reasonless() {
+	//lint:allow wallclock() // want `no reason`
+	time.Sleep(time.Millisecond)
+}

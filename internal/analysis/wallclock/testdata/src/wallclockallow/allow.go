@@ -1,0 +1,22 @@
+// Package wallclockallow exercises the //lint:allow escape hatch: a
+// same-line allow, a line-above allow, and an allow that suppresses
+// nothing (itself a diagnostic — stale escapes must not accumulate).
+package wallclockallow
+
+import "time"
+
+// statsCadence is genuinely wall-bound: same-line allow form.
+func statsCadence() *time.Ticker {
+	return time.NewTicker(time.Second) //lint:allow wallclock(operator-facing cadence is wall time by definition)
+}
+
+// settle uses the line-above allow form.
+func settle() {
+	//lint:allow wallclock(demonstrates the line-above escape form)
+	time.Sleep(time.Millisecond)
+}
+
+//lint:allow wallclock(nothing here calls time) // want `unused //lint:allow wallclock comment`
+func clean(d time.Duration) time.Duration {
+	return 2 * d
+}

@@ -473,6 +473,7 @@ func Run(cfg Config) (*Result, error) {
 	// fleet directly.
 	drv, err := prof.Build(load.Env{
 		Addr:             addr,
+		Clock:            clock.Precise{},
 		Scale:            cfg.Scale,
 		Mix:              mix,
 		Customers:        counts.Customers,

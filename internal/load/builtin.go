@@ -55,6 +55,7 @@ func baseGen(env Env, ebs int) *workload.Generator {
 		FetchImages:      env.FetchImages,
 		ThinkExponential: env.ThinkExponential,
 		Seed:             env.Seed,
+		Clock:            env.clk(),
 	})
 }
 
@@ -71,7 +72,7 @@ func buildSteady(env Env) (Driver, error) {
 	if ebs <= 0 {
 		return nil, fmt.Errorf("%s: ebs must be positive", Steady)
 	}
-	return newDriver(baseGen(env, ebs), env.Scale), nil
+	return newDriver(baseGen(env, ebs), env.Scale, env.clk()), nil
 }
 
 // buildStep constructs a population step.
@@ -201,7 +202,7 @@ func buildOpenLoop(env Env) (Driver, error) {
 		return nil, fmt.Errorf("%s: rate and session must be positive", OpenLoop)
 	}
 	// The fleet starts empty; every EB is an arriving session.
-	drv := newDriver(baseGen(env, 0), env.Scale)
+	drv := newDriver(baseGen(env, 0), env.Scale, env.clk())
 	drv.arrive = &arrivals{
 		rate:    rate,
 		session: session,

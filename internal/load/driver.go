@@ -14,6 +14,7 @@ import (
 type driver struct {
 	gen   *workload.Generator
 	scale clock.Timescale
+	clk   clock.Clock
 
 	// schedule maps paper time since Start to a target closed-loop
 	// population; it is evaluated once per paper second. Nil leaves the
@@ -29,8 +30,8 @@ type driver struct {
 
 // newDriver wraps a generator with an inert controller; builders attach
 // a schedule or arrival process before Start.
-func newDriver(gen *workload.Generator, scale clock.Timescale) *driver {
-	return &driver{gen: gen, scale: scale, stop: make(chan struct{}), done: make(chan struct{})}
+func newDriver(gen *workload.Generator, scale clock.Timescale, clk clock.Clock) *driver {
+	return &driver{gen: gen, scale: scale, clk: clk, stop: make(chan struct{}), done: make(chan struct{})}
 }
 
 // Scheduled builds a Driver whose closed-loop population follows
@@ -39,7 +40,7 @@ func newDriver(gen *workload.Generator, scale clock.Timescale) *driver {
 // step/ramp/spike/wave built-ins compose, exported so custom profiles
 // can too; pass a nil schedule for a fixed fleet.
 func Scheduled(env Env, ebs int, schedule func(time.Duration) int) (Driver, error) {
-	drv := newDriver(baseGen(env, ebs), env.Scale)
+	drv := newDriver(baseGen(env, ebs), env.Scale, env.clk())
 	drv.schedule = schedule
 	return drv, nil
 }
@@ -54,19 +55,25 @@ func (d *driver) control() {
 	defer close(d.done)
 	switch {
 	case d.schedule != nil:
-		tick := time.NewTicker(d.scale.Wall(time.Second))
+		// Pace on the injected clock: under clock.Manual the schedule
+		// re-targets exactly when the test advances time, and under a
+		// dilated experiment clock paper seconds stay paper seconds.
+		// (This controller once used time.Now/time.Since here and
+		// silently ran manual-clock fleets on the wall timeline —
+		// the bug the wallclock analyzer now prevents.)
+		tick := d.clk.NewTicker(d.scale.Wall(time.Second))
 		defer tick.Stop()
-		start := time.Now()
+		start := d.clk.Now()
 		for {
 			select {
 			case <-d.stop:
 				return
-			case <-tick.C:
-				d.gen.SetTarget(d.schedule(d.scale.Paper(time.Since(start))))
+			case <-tick.C():
+				d.gen.SetTarget(d.schedule(d.scale.Paper(d.clk.Since(start))))
 			}
 		}
 	case d.arrive != nil:
-		d.arrive.run(d.stop, d.gen, d.scale)
+		d.arrive.run(d.stop, d.gen, d.scale, d.clk)
 	}
 }
 
@@ -97,15 +104,13 @@ type arrivals struct {
 	rng     *rand.Rand
 }
 
-func (a *arrivals) run(stop chan struct{}, gen *workload.Generator, scale clock.Timescale) {
+func (a *arrivals) run(stop chan struct{}, gen *workload.Generator, scale clock.Timescale, clk clock.Clock) {
 	for {
 		gap := time.Duration(a.rng.ExpFloat64() / a.rate * float64(time.Second))
-		t := time.NewTimer(scale.Wall(gap))
 		select {
 		case <-stop:
-			t.Stop()
 			return
-		case <-t.C:
+		case <-clk.After(scale.Wall(gap)):
 		}
 		gen.SpawnSession(time.Duration(a.rng.ExpFloat64() * float64(a.session)))
 	}

@@ -59,6 +59,12 @@ type Env struct {
 	ThinkExponential bool
 	// Seed makes the fleet and arrival process deterministic.
 	Seed int64
+	// Clock paces population schedules, arrival gaps, think times, and
+	// WIRT measurement. Nil means clock.Real — but the harness injects
+	// its experiment clock, and tests inject clock.Manual to re-target
+	// fleets deterministically; drivers must never fall back to the wall
+	// clock on their own.
+	Clock clock.Clock
 
 	// Set holds explicit profile settings (CLI -load-set key=value,
 	// harness.Config.LoadSet). A key the profile does not understand is
@@ -68,6 +74,14 @@ type Env struct {
 	// deprecated Config.EBs into "ebs" here). A profile applies the keys
 	// it understands and ignores the rest.
 	Defaults variant.Settings
+}
+
+// clk returns the environment's clock, defaulting to the runtime clock.
+func (e Env) clk() clock.Clock {
+	if e.Clock != nil {
+		return e.Clock
+	}
+	return clock.Real{}
 }
 
 // Driver is a built, runnable load shape.

@@ -140,6 +140,48 @@ func TestProfileValidation(t *testing.T) {
 	}
 }
 
+// TestScheduleFollowsInjectedManualClock is the regression test for the
+// wallclock bug this PR fixed: driver.control paced population
+// schedules with time.Now/time.Since, so under clock.Manual the fleet
+// re-targeted on the wall timeline instead of the advanced one. With
+// the injected clock, advancing a Manual clock past the step time must
+// grow the fleet without any real seconds elapsing.
+func TestScheduleFollowsInjectedManualClock(t *testing.T) {
+	mc := clock.NewManual(time.Unix(100, 0))
+	env := Env{
+		// Nothing listens here: EBs fail their dial instantly and park
+		// in think() — on the same manual clock.
+		Addr:  "127.0.0.1:1",
+		Scale: clock.RealTime,
+		Seed:  1,
+		Clock: mc,
+		Set:   variant.Settings{"ebs": "2", "to": "5", "at": "3s"},
+	}
+	d := build(t, Step, env)
+	d.Start()
+	defer d.Stop()
+
+	if got := d.gen.Active(); got != 2 {
+		t.Fatalf("initial fleet = %d, want 2", got)
+	}
+	// Wait for the control loop's ticker to register, then advance
+	// paper time second by second. The wall-paced pre-fix driver would
+	// need 3+ real seconds to take the step; the injected clock takes
+	// it as soon as the advanced timeline crosses at=3s.
+	mc.BlockUntilWaiters(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for d.gen.Active() != 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet = %d after advancing past the step, want 5 (schedule not on the injected clock)", d.gen.Active())
+		}
+		mc.Advance(time.Second)
+		time.Sleep(2 * time.Millisecond) // let the control loop drain the tick
+	}
+	if since := mc.Since(time.Unix(100, 0)); since < 3*time.Second {
+		t.Fatalf("step taken after only %v of manual time", since)
+	}
+}
+
 // startBookstore boots a staged server with a small TPC-W population.
 func startBookstore(t *testing.T) (addr string, counts tpcw.Counts) {
 	t.Helper()

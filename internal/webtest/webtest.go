@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"stagedweb/internal/clock"
 	"stagedweb/internal/httpwire"
 	"stagedweb/internal/server"
 	"stagedweb/internal/template"
@@ -173,14 +174,25 @@ func Listen() (net.Listener, string, error) {
 
 // WaitUntil polls cond every millisecond until it holds or timeout
 // passes, reporting whether it held — the shared wait primitive for
-// tests observing asynchronous server state.
+// tests observing asynchronous server state. It waits on the wall
+// clock; tests pacing a clock.Manual timeline use WaitUntilOn.
 func WaitUntil(timeout time.Duration, cond func() bool) bool {
-	deadline := time.Now().Add(timeout)
+	return WaitUntilOn(clock.Real{}, timeout, cond)
+}
+
+// WaitUntilOn is WaitUntil on an injected clock: the deadline and the
+// poll cadence both follow c, so under clock.Manual the wait consumes
+// exactly the advanced time and under a dilated clock it stretches with
+// the run. Helpers must not hand-roll time.Now deadline loops — that
+// re-anchors the wait to the wall and is exactly what the wallclock
+// analyzer rejects.
+func WaitUntilOn(c clock.Clock, timeout time.Duration, cond func() bool) bool {
+	deadline := c.Now().Add(timeout)
 	for !cond() {
-		if time.Now().After(deadline) {
+		if c.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(time.Millisecond)
+		c.Sleep(time.Millisecond)
 	}
 	return true
 }

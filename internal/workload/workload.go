@@ -41,6 +41,10 @@ type Config struct {
 	Mix *tpcw.Mix
 	// Scale compresses think times and reported response times.
 	Scale clock.Timescale
+	// Clock paces think times, session lifetimes, and WIRT measurement.
+	// Nil means clock.Real; tests inject clock.Manual for deterministic
+	// fleets and the harness injects its experiment clock.
+	Clock clock.Clock
 	// ThinkMin/ThinkMax bound the think time in paper time; zero values
 	// take the TPC-W standard 0.7 s and 7 s.
 	ThinkMin, ThinkMax time.Duration
@@ -77,6 +81,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Scale == 0 {
 		c.Scale = clock.RealTime
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
 	}
 	if c.ThinkMin <= 0 {
 		c.ThinkMin = 700 * time.Millisecond
@@ -169,7 +176,10 @@ func (g *Generator) SetTarget(n int) {
 // external process's clock and leave regardless of server speed.
 func (g *Generator) SpawnSession(lifetime time.Duration) {
 	quit := make(chan struct{})
-	time.AfterFunc(g.cfg.Scale.Wall(lifetime), func() { close(quit) })
+	go func() {
+		g.cfg.Clock.Sleep(g.cfg.Scale.Wall(lifetime))
+		close(quit)
+	}()
 	g.mu.Lock()
 	g.launch(quit)
 	g.mu.Unlock()
@@ -303,7 +313,7 @@ func (b *browser) think() {
 	select {
 	case <-b.stop:
 	case <-b.quit:
-	case <-time.After(wall):
+	case <-b.cfg.Clock.After(wall):
 	}
 }
 
@@ -320,7 +330,7 @@ func (b *browser) fail(page string) {
 func (b *browser) interact(page string) {
 	b.tele.offered.Add(1)
 	url := b.buildURL(page)
-	start := time.Now()
+	start := b.cfg.Clock.Now()
 	conn, err := net.DialTimeout("tcp", b.cfg.Addr, b.cfg.Scale.Wall(b.cfg.DialTimeout))
 	if err != nil {
 		b.fail(page)
@@ -344,7 +354,7 @@ func (b *browser) interact(page string) {
 			}
 		}
 	}
-	wirt := time.Since(start)
+	wirt := b.cfg.Clock.Since(start)
 	if status >= 200 && status < 400 {
 		b.tele.wirtNS.Add(int64(wirt))
 		b.tele.wirtN.Add(1)
