@@ -17,38 +17,50 @@ func throughputRate(e EngineResult) float64 {
 	return float64(e.Interactions) / float64(e.WallDurationMilli)
 }
 
+// rowLabel names one artifact row in comparison output; shards=0 rows
+// (unclustered) omit the shard axis.
+func rowLabel(engine string, replicas, shards int) string {
+	label := fmt.Sprintf("%-12s replicas=%d", engine, replicas)
+	if shards > 0 {
+		label += fmt.Sprintf(" shards=%d", shards)
+	}
+	return label
+}
+
 // compareEngines checks every baseline engine row against the current
-// artifact, matching rows by engine mode and replica count. It returns
-// one human-readable line per row plus whether any matched engine's
-// throughput rate fell more than tolerance (a fraction, e.g. 0.15)
-// below its baseline. Rows present on only one side are reported but
-// never fail the comparison — a new engine mode has no history, and a
-// retired one has no current number.
+// artifact, matching rows by engine mode, replica count, and shard
+// count — two rows that differ only in shard count are distinct cells,
+// not the same row measured twice. It returns one human-readable line
+// per row plus whether any matched row's throughput rate fell more than
+// tolerance (a fraction, e.g. 0.15) below its baseline. Rows present on
+// only one side are reported but never fail the comparison — a new
+// engine mode has no history, and a retired one has no current number.
 func compareEngines(cur, base Artifact, tolerance float64) (lines []string, regressed bool) {
 	type key struct {
 		engine   string
 		replicas int
+		shards   int
 	}
 	current := map[key]EngineResult{}
 	for _, e := range cur.Engines {
-		current[key{e.Engine, e.Replicas}] = e
+		current[key{e.Engine, e.Replicas, e.Shards}] = e
 	}
 	for _, b := range base.Engines {
-		k := key{b.Engine, b.Replicas}
+		k := key{b.Engine, b.Replicas, b.Shards}
 		c, ok := current[k]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("%-12s replicas=%d: no current result (engine retired?) — skipped", b.Engine, b.Replicas))
+			lines = append(lines, fmt.Sprintf("%s: no current result (engine retired?) — skipped", rowLabel(b.Engine, b.Replicas, b.Shards)))
 			continue
 		}
 		delete(current, k)
 		baseRate, curRate := throughputRate(b), throughputRate(c)
 		if baseRate <= 0 {
-			lines = append(lines, fmt.Sprintf("%-12s replicas=%d: baseline has no usable throughput — skipped", b.Engine, b.Replicas))
+			lines = append(lines, fmt.Sprintf("%s: baseline has no usable throughput — skipped", rowLabel(b.Engine, b.Replicas, b.Shards)))
 			continue
 		}
 		delta := (curRate - baseRate) / baseRate
-		line := fmt.Sprintf("%-12s replicas=%d: %.3f -> %.3f interactions/ms (%+.1f%%)",
-			b.Engine, b.Replicas, baseRate, curRate, 100*delta)
+		line := fmt.Sprintf("%s: %.3f -> %.3f interactions/ms (%+.1f%%)",
+			rowLabel(b.Engine, b.Replicas, b.Shards), baseRate, curRate, 100*delta)
 		if delta < -tolerance {
 			line += fmt.Sprintf("  REGRESSION (>%.0f%% below baseline)", 100*tolerance)
 			regressed = true
@@ -56,7 +68,7 @@ func compareEngines(cur, base Artifact, tolerance float64) (lines []string, regr
 		lines = append(lines, line)
 	}
 	for k := range current {
-		lines = append(lines, fmt.Sprintf("%-12s replicas=%d: no baseline (new engine mode) — skipped", k.engine, k.replicas))
+		lines = append(lines, fmt.Sprintf("%s: no baseline (new engine mode) — skipped", rowLabel(k.engine, k.replicas, k.shards)))
 	}
 	return lines, regressed
 }

@@ -81,6 +81,34 @@ func TestCompareEngines(t *testing.T) {
 		}
 	})
 
+	t.Run("rows differing only in shard count are distinct", func(t *testing.T) {
+		shardRow := func(shards int, interactions int64) EngineResult {
+			e := engine("mvcc/sync", 1, interactions, 1000)
+			e.Shards = shards
+			return e
+		}
+		// Before the shard-aware key, these three baseline rows collided
+		// on {engine, replicas} and the last one silently won — a
+		// regression at one shard count could hide behind another.
+		shardBase := Artifact{Engines: []EngineResult{
+			shardRow(1, 1000), shardRow(2, 2000), shardRow(4, 4000),
+		}}
+		cur := Artifact{Engines: []EngineResult{
+			shardRow(1, 1000), shardRow(2, 1000), shardRow(4, 4000),
+		}}
+		lines, regressed := compareEngines(cur, shardBase, 0.15)
+		if !regressed {
+			t.Fatalf("-50%% at shards=2 not flagged:\n%s", strings.Join(lines, "\n"))
+		}
+		if len(lines) != 3 {
+			t.Fatalf("got %d lines, want one per shard count:\n%s", len(lines), strings.Join(lines, "\n"))
+		}
+		report := strings.Join(lines, "\n")
+		if !strings.Contains(report, "shards=2") || strings.Count(report, "REGRESSION") != 1 {
+			t.Errorf("regression not attributed to the shards=2 row:\n%s", report)
+		}
+	})
+
 	t.Run("unusable baseline skipped", func(t *testing.T) {
 		zeroBase := Artifact{Engines: []EngineResult{engine("lock/sync", 4, 0, 0)}}
 		cur := Artifact{Engines: []EngineResult{engine("lock/sync", 4, 1, 1000)}}

@@ -1,21 +1,22 @@
 // Command bench produces the repo's benchmark artifact: a JSON file
 // summarizing server throughput, worst client WIRT, allocations per
 // interaction, and the raw storage-engine numbers, for each engine mode
-// (lock/sync, mvcc/sync, mvcc/async). CI runs it on every PR and
-// uploads the file, so the numbers travel with the change that produced
-// them.
+// (lock/sync, mvcc/sync, mvcc/async) and for the clustered topology at
+// each shard count. CI runs it on every PR and uploads the file, so the
+// numbers travel with the change that produced them.
 //
 // Usage:
 //
-//	bench -o BENCH_PR6.json            # full artifact
-//	bench -quick -o BENCH_PR6.json     # reduced run (seconds)
-//	bench -quick -o BENCH_NEW.json -compare BENCH_PR6.json
+//	bench -o BENCH_PR8.json            # full artifact
+//	bench -quick -o BENCH_PR8.json     # reduced run (seconds)
+//	bench -quick -o BENCH_NEW.json -compare BENCH_PR8.json
 //
 // With -compare, after writing the artifact the run is checked against
-// the baseline artifact: if any engine mode's throughput (interactions
-// per wall millisecond) fell more than -tolerance (default 15%) below
-// the baseline, bench exits nonzero. CI runs this against the committed
-// BENCH_PR6.json so a throughput regression fails the PR instead of
+// the baseline artifact: if any row's throughput (interactions per wall
+// millisecond) fell more than -tolerance (default 15%) below the
+// baseline, bench exits nonzero. Rows match on engine mode, replica
+// count, AND shard count. CI runs this against the committed
+// BENCH_PR8.json so a throughput regression fails the PR instead of
 // hiding in an uploaded artifact.
 package main
 
@@ -39,8 +40,11 @@ import (
 
 // EngineResult is one engine mode's miniature-experiment summary.
 type EngineResult struct {
-	Engine            string  `json:"engine"`
-	Replicas          int     `json:"replicas"`
+	Engine   string `json:"engine"`
+	Replicas int    `json:"replicas"`
+	// Shards is the cluster shard count; 0 means the run was not
+	// clustered (no balancer in front of the server).
+	Shards            int     `json:"shards,omitempty"`
 	Interactions      int64   `json:"interactions"`
 	Errors            int64   `json:"errors"`
 	WorstWIRTSec      float64 `json:"worst_wirt_sec"`
@@ -59,7 +63,7 @@ type MicroResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// Artifact is the file CI persists as BENCH_PR6.json.
+// Artifact is the file CI persists as BENCH_PR8.json.
 type Artifact struct {
 	GoVersion string         `json:"go_version"`
 	Engines   []EngineResult `json:"engines"`
@@ -68,7 +72,7 @@ type Artifact struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_PR6.json", "output artifact path")
+		out       = flag.String("o", "BENCH_PR8.json", "output artifact path")
 		quick     = flag.Bool("quick", false, "reduced run (seconds instead of minutes)")
 		replicas  = flag.Int("replicas", 4, "database backends in the experiment runs")
 		scale     = flag.Float64("scale", 200, "timescale: paper seconds per wall second")
@@ -89,23 +93,27 @@ func main() {
 	}
 	for _, eng := range engines {
 		fmt.Fprintf(os.Stderr, "engine %s (replicas=%d)...\n", eng.name, *replicas)
-		res, allocs, err := runEngine(eng.mvcc, eng.repl, *replicas, *quick, *scale)
+		res, allocs, err := runEngine(eng.mvcc, eng.repl, *replicas, 0, *quick, *scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		art.Engines = append(art.Engines, EngineResult{
-			Engine:            eng.name,
-			Replicas:          *replicas,
-			Interactions:      res.TotalInteractions,
-			Errors:            res.Errors,
-			WorstWIRTSec:      harness.SeriesMax(res.Series[load.ProbeWIRT]),
-			AllocsPerReq:      allocs,
-			Conflicts:         harness.SeriesMax(res.Series[variant.ProbeDBConflicts]),
-			SnapshotReads:     harness.SeriesMax(res.Series[variant.ProbeDBSnapshots]),
-			MaxReplLag:        harness.SeriesMax(res.Series[variant.ProbeDBReplLag]),
-			WallDurationMilli: res.WallDuration.Milliseconds(),
-		})
+		art.Engines = append(art.Engines, engineRow(eng.name, *replicas, 0, res, allocs))
+	}
+
+	// Cluster rows: the default engine behind the consistent-hash
+	// balancer at each shard count, replicas held at 1 so the rows
+	// isolate the shard axis. shards=1 still routes through the
+	// balancer, so its delta vs the unclustered rows above is the
+	// balancer's own overhead.
+	for _, m := range []int{1, 2, 4} {
+		fmt.Fprintf(os.Stderr, "cluster mvcc/sync (shards=%d)...\n", m)
+		res, allocs, err := runEngine(true, "sync", 1, m, *quick, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		art.Engines = append(art.Engines, engineRow("mvcc/sync", 1, m, res, allocs))
 	}
 
 	fmt.Fprintln(os.Stderr, "storage-engine micro-benchmarks...")
@@ -141,11 +149,30 @@ func main() {
 	}
 }
 
+// engineRow summarizes one finished run as an artifact row.
+func engineRow(name string, replicas, shards int, res *harness.Result, allocs float64) EngineResult {
+	return EngineResult{
+		Engine:            name,
+		Replicas:          replicas,
+		Shards:            shards,
+		Interactions:      res.TotalInteractions,
+		Errors:            res.Errors,
+		WorstWIRTSec:      harness.SeriesMax(res.Series[load.ProbeWIRT]),
+		AllocsPerReq:      allocs,
+		Conflicts:         harness.SeriesMax(res.Series[variant.ProbeDBConflicts]),
+		SnapshotReads:     harness.SeriesMax(res.Series[variant.ProbeDBSnapshots]),
+		MaxReplLag:        harness.SeriesMax(res.Series[variant.ProbeDBReplLag]),
+		WallDurationMilli: res.WallDuration.Milliseconds(),
+	}
+}
+
 // runEngine runs one miniature browsing-mix experiment on the staged
 // server under the given engine mode and reports the result plus heap
 // allocations per completed interaction (whole-process mallocs over the
-// run — an upper bound that tracks the per-request figure).
-func runEngine(mvcc bool, repl string, replicas int, quick bool, scale float64) (*harness.Result, float64, error) {
+// run — an upper bound that tracks the per-request figure). shards > 0
+// puts the consistent-hash balancer in front of that many shard-owning
+// instances; 0 runs the server unclustered.
+func runEngine(mvcc bool, repl string, replicas, shards int, quick bool, scale float64) (*harness.Result, float64, error) {
 	cfg := harness.QuickConfig(variant.Modified, clock.Timescale(scale))
 	cfg.EBs = 60
 	cfg.RampUp = 15 * time.Second
@@ -159,6 +186,7 @@ func runEngine(mvcc bool, repl string, replicas int, quick bool, scale float64) 
 	cfg.DBConns = 4
 	cfg.MVCC = mvcc
 	cfg.Repl = repl
+	cfg.Shards = shards
 
 	var before, after runtime.MemStats
 	runtime.GC()

@@ -14,6 +14,7 @@
 //	experiments -exp spike               # flash-crowd comparison across variants
 //	experiments -exp mvcc -variants modified       # storage-engine sweep
 //	experiments -exp scaleout            # replica scale-out sweep
+//	experiments -exp shard -shards 1,2,4           # cluster shard sweep
 //	experiments -scale 100 -ebs 400 -measure 50m   # paper-sized run
 //	experiments -quick                   # reduced run (seconds)
 //	experiments -variants unmodified,modified,modified-noreserve
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"stagedweb/internal/clock"
+	"stagedweb/internal/cluster"
 	"stagedweb/internal/harness"
 	"stagedweb/internal/load"
 	"stagedweb/internal/sched"
@@ -56,7 +58,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep; mvcc runs the storage-engine sweep")
+		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep; mvcc runs the storage-engine sweep; shard runs the cluster shard sweep")
 		scale    = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
 		ebs      = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
 		measure  = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
@@ -69,8 +71,9 @@ func run(args []string, out io.Writer) error {
 		loadProf = fs.String("load", "", "load profile driving the client side (registered: "+strings.Join(load.Names(), ", ")+"; empty = steady)")
 		mix      = fs.String("mix", "", "TPC-W page mix: "+strings.Join(tpcw.MixNames(), ", ")+" (empty = browsing)")
 		ebsSweep = fs.String("ebs-sweep", "", "comma-separated EB levels (e.g. 100,200,300,400): run the saturation ramp across every variant")
-		replicas = fs.String("replicas", "1,2,4", "comma-separated replica counts swept by -exp scaleout and -exp mvcc")
-		dbConns  = fs.Int("dbconns", 0, "connections per database backend in -exp scaleout and -exp mvcc (0 = auto: dynamic budget / 6)")
+		replicas = fs.String("replicas", "1,2,4", "comma-separated replica counts swept by -exp scaleout and -exp mvcc (-exp shard uses the first level only)")
+		shards   = fs.String("shards", "1,2,4", "comma-separated shard counts swept by -exp shard")
+		dbConns  = fs.Int("dbconns", 0, "connections per database backend in -exp scaleout, -exp mvcc, and -exp shard (0 = auto: dynamic budget / 6)")
 		parallel = fs.Int("parallel", 1, "concurrent sweep runs (>1 trades timing fidelity for wall time)")
 		sets     variant.SettingsFlag
 		loadSets variant.SettingsFlag
@@ -134,7 +137,7 @@ func run(args []string, out io.Writer) error {
 	// the saturation-knee table. It cannot be combined with the spike
 	// mode — reject instead of silently dropping one of them.
 	if *ebsSweep != "" {
-		if want["spike"] || want["scaleout"] || want["mvcc"] {
+		if want["spike"] || want["scaleout"] || want["mvcc"] || want["shard"] {
 			return fmt.Errorf("-ebs-sweep and -exp %s are separate modes; run them separately", *exp)
 		}
 		levels, err := parseInts(*ebsSweep)
@@ -159,6 +162,30 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-replicas: %w", err)
 		}
 		return runScaleout(ctx, out, opts, build, names, levels, *dbConns, *csvDir, *jsonDir)
+	}
+
+	// The cluster sweep is its own mode: one variant behind the
+	// consistent-hash balancer at every shard count, held at a fixed
+	// replica count, under the open-loop profile — offered load does not
+	// shrink when one shard saturates, so added shards turn directly
+	// into completed work.
+	if want["shard"] {
+		if len(want) > 1 {
+			return fmt.Errorf("-exp shard is a standalone mode; run other experiments separately")
+		}
+		if *loadProf != "" {
+			return fmt.Errorf("-exp shard runs the open-loop profile; drop -load %s (use -load-set to tune rate/session)", *loadProf)
+		}
+		levels, err := parseInts(*shards)
+		if err != nil {
+			return fmt.Errorf("-shards: %w", err)
+		}
+		repl, err := parseInts(*replicas)
+		if err != nil {
+			return fmt.Errorf("-replicas: %w", err)
+		}
+		return runShard(ctx, out, opts, build, names[0], levels, repl[0],
+			*dbConns, loadSets.Settings, *csvDir, *jsonDir)
 	}
 
 	// The storage-engine sweep is its own mode: one variant across
@@ -477,6 +504,75 @@ func runMVCC(ctx context.Context, out io.Writer, opts harness.SweepOptions,
 			sw.GainPercent(cellName("lock/sync", mix, hi), cellName("mvcc/async", mix, hi)))
 	}
 	fmt.Fprintln(out)
+	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
+}
+
+// runShard runs one variant behind the consistent-hash balancer at
+// every shard count, holding the replica count fixed, under the
+// open-loop profile. Every cell — shards=1 included — routes through
+// the balancer, so the sweep isolates the shard count: under a
+// saturating Poisson arrival rate, throughput should rise monotonically
+// with shards (each shard owns a customer slice plus a full worker and
+// database stack of its own). The shard.route / shard.fanout /
+// shard.imbalance series in each cell's artifacts show what the
+// balancer actually did.
+func runShard(ctx context.Context, out io.Writer, opts harness.SweepOptions,
+	build func(string) harness.Config, name string, levels []int, replicas int,
+	dbConns int, loadSet variant.Settings, csvDir, jsonDir string) error {
+	set := loadSet.Clone()
+	if set == nil {
+		set = variant.Settings{}
+	}
+	if _, ok := set["rate"]; !ok {
+		// Default arrival rate: enough Poisson sessions to saturate a
+		// single shard, so added shards have queued work to absorb.
+		set["rate"] = "8"
+	}
+	base := build(name).With(func(c *harness.Config) {
+		c.Replicas = replicas
+		c.DBConns = dbConns
+		if c.DBConns <= 0 {
+			// Same auto-sizing as -exp scaleout: keep the tier, not the
+			// worker pools, as the ceiling.
+			if budget := c.GeneralWorkers + c.LengthyWorkers; budget > 0 {
+				c.DBConns = max(2, budget/6)
+			} else {
+				c.DBConns = 8
+			}
+		}
+	})
+	scenarios := harness.ShardMatrix(base, levels, []int{replicas},
+		[]harness.LoadSpec{{Profile: load.OpenLoop, Set: set}})
+	fmt.Fprintf(out, "cluster: %s x %d shard levels at %d replica(s) under %s arrivals...\n",
+		name, len(levels), replicas, load.OpenLoop)
+	sw, sweepErr := harness.SweepWith(ctx, opts, scenarios)
+
+	cellName := func(m int) string {
+		return fmt.Sprintf("shards=%d/replicas=%d/%s", m, replicas, load.OpenLoop)
+	}
+	fmt.Fprintf(out, "\nshard scale-out (interactions per measurement window)\n")
+	fmt.Fprintf(out, "%7s %13s %8s %10s %10s %10s\n",
+		"shards", "interactions", "errors", "routed", "fanned-out", "imbalance")
+	fmt.Fprintln(out, strings.Repeat("-", 64))
+	for _, m := range levels {
+		res := sw.Result(cellName(m))
+		if res == nil {
+			fmt.Fprintf(out, "%7d (failed)\n", m)
+			continue
+		}
+		fmt.Fprintf(out, "%7d %13d %8d %10.0f %10.0f %10.2f\n",
+			m, res.TotalInteractions, res.Errors,
+			harness.SeriesMax(res.Series[cluster.ProbeShardRoute]),
+			harness.SeriesMax(res.Series[cluster.ProbeShardFanout]),
+			harness.SeriesMax(res.Series[cluster.ProbeShardImbalance]))
+	}
+	if len(levels) >= 2 {
+		lo, hi := levels[0], levels[len(levels)-1]
+		fmt.Fprintf(out, "throughput gain at %d vs %d shards: %+.1f%%\n",
+			hi, lo, sw.GainPercent(cellName(lo), cellName(hi)))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, sw.Report())
 	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
 }
 

@@ -41,6 +41,20 @@
 // writers. cmd/experiments -exp mvcc sweeps the engine modes, and
 // cmd/bench persists the benchmark artifact CI uploads on every PR.
 //
+// Scaling past one server, internal/cluster puts a consistent-hash
+// load balancer — itself a variant.Instance built on the stage runtime
+// — in front of M shard-owning server instances, each a complete
+// worker-pool/database stack over its slice of the TPC-W data. Routing
+// policy stays with the application (tpcw.ShardKey routes
+// customer-keyed pages by the same customer key
+// tpcw.PopulateShard partitions rows by; best_sellers and
+// admin_response fan out to every shard and wait for all of them,
+// preserving read-your-writes), while the generic ring, balancer
+// stage, keep-alive shard pools, and shard.*/lb.* probe series stay in
+// internal/cluster. shards=M / lb=hash|rr are plain settings;
+// cmd/experiments -exp shard sweeps shard counts under open-loop
+// arrivals.
+//
 // The invariants none of this encodes in types — timing flows through
 // the injected clock.Clock, nothing sleeps while holding a lock, probe
 // names and settings keys stay in their canonical catalogs — are

@@ -47,6 +47,12 @@ var Probes = map[string]string{
 	"db.stmtcache.hit":  "statement cache hits",
 	"db.stmtcache.miss": "statement cache misses",
 
+	// Cluster balancer probes (internal/cluster).
+	"shard.route":     "cluster: requests routed to a single shard",
+	"shard.fanout":    "cluster: requests broadcast to every shard",
+	"shard.imbalance": "cluster: max-shard share over the balanced share",
+	"lb.wait":         "cluster: load-balancer stage queue depth",
+
 	// Client-side probes (internal/load).
 	"client.active":  "emulated browsers currently running",
 	"client.offered": "offered request rate at the driver",
@@ -83,6 +89,10 @@ var SettingsKeys = map[string]string{
 	"minreserve": "floor for the t_reserve controller",
 	"cutoff":     "lengthy-page classification cutoff",
 	"noreserve":  "disable the t_reserve controller",
+
+	// Cluster settings (internal/cluster).
+	"shards": "shard count behind the consistent-hash balancer",
+	"lb":     "key-less routing policy: hash | rr",
 
 	// Load-profile settings (internal/load/builtin.go).
 	"ebs":     "base emulated-browser population",

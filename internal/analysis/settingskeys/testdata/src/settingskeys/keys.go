@@ -14,7 +14,7 @@ func decode(explicit, defaults variant.Settings) error {
 	_ = d.Enum("repl", "sync", "sync", "async")
 
 	// Undeclared, badly shaped, and computed keys are each rejected.
-	_ = d.Int("shards", 4)   // want `settings key "shards" is not registered in internal/analysis/catalog`
+	_ = d.Int("quorum", 4)   // want `settings key "quorum" is not registered in internal/analysis/catalog`
 	_ = d.Int("MaxConns", 1) // want `settings key "MaxConns" is not a lowercase word`
 	key := "spelled" + "out"
 	_ = d.Int(key, 1) // want `settings key must be a compile-time string constant`

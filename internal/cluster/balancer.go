@@ -1,0 +1,494 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stagedweb/internal/httpwire"
+	"stagedweb/internal/stage"
+	"stagedweb/internal/variant"
+	"stagedweb/internal/webtest"
+)
+
+// job is one client request in flight through the LB stage.
+type job struct {
+	req  *httpwire.Request
+	dec  Decision
+	resp *webtest.Response
+	err  error
+	done chan struct{}
+}
+
+// Balancer fronts M shard instances with a consistent-hash LB stage.
+// It implements variant.Instance, so the harness serves, samples, and
+// stops a sharded cluster exactly like a single server.
+type Balancer struct {
+	opts   Options
+	ring   *Ring
+	route  RouteFunc
+	shards []variant.Instance
+
+	lb    *stage.Stage[*job]
+	graph *stage.Graph
+
+	routed  []atomic.Int64 // per-shard routed counts (fan-outs excluded)
+	routeN  atomic.Int64   // total single-shard routed requests
+	fanoutN atomic.Int64   // total fanned-out requests
+	rr      atomic.Int64   // round-robin cursor for lb=rr
+
+	mu       sync.Mutex
+	listener net.Listener
+	shardLs  []net.Listener
+	pools    []*backendPool
+	started  bool
+	stopped  bool
+	connWG   sync.WaitGroup
+}
+
+var _ variant.Instance = (*Balancer)(nil)
+
+// New builds an unstarted Balancer over the shard instances. The shard
+// slice length must match opts.Shards; route decides affinity and
+// fan-out per request.
+func New(opts Options, shards []variant.Instance, route RouteFunc) (*Balancer, error) {
+	if opts.Shards != len(shards) {
+		return nil, fmt.Errorf("cluster: %d shard instances for shards=%d", len(shards), opts.Shards)
+	}
+	if route == nil {
+		return nil, fmt.Errorf("cluster: nil route func")
+	}
+	switch opts.LB {
+	case "":
+		opts.LB = LBHash
+	case LBHash, LBRR:
+	default:
+		return nil, fmt.Errorf("cluster: unknown lb policy %q (want %s|%s)", opts.LB, LBHash, LBRR)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 16
+	}
+	ring, err := NewRing(opts.Shards, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	b := &Balancer{
+		opts:   opts,
+		ring:   ring,
+		route:  route,
+		shards: shards,
+		routed: make([]atomic.Int64, opts.Shards),
+	}
+	b.lb = stage.New(stage.Config[*job]{
+		Name:     "lb",
+		Workers:  opts.Workers,
+		QueueCap: opts.QueueCap,
+		Work:     b.forward,
+	})
+	b.graph = stage.NewGraph().Add(b.lb)
+	return b, nil
+}
+
+// Serve boots every shard on its own loopback listener, starts the LB
+// stage, and accepts client connections on l until Stop. It blocks; the
+// error is nil after a clean Stop.
+func (b *Balancer) Serve(l net.Listener) error {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		_ = l.Close()
+		return nil
+	}
+	b.listener = l
+	for i, inst := range b.shards {
+		sl, addr, err := webtest.Listen()
+		if err != nil {
+			b.mu.Unlock()
+			b.Stop()
+			return err
+		}
+		b.shardLs = append(b.shardLs, sl)
+		b.pools = append(b.pools, &backendPool{addr: addr})
+		inst := inst
+		go func(i int) { _ = inst.Serve(sl) }(i)
+	}
+	b.started = true
+	b.mu.Unlock()
+	b.graph.Start()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			b.mu.Lock()
+			stopped := b.stopped
+			b.mu.Unlock()
+			if stopped {
+				return nil
+			}
+			return err
+		}
+		b.connWG.Add(1)
+		go func() {
+			defer b.connWG.Done()
+			b.handleConn(conn)
+		}()
+	}
+}
+
+// Stop shuts the balancer down: no new client connections, the LB stage
+// drained, every shard instance stopped, backend pools closed.
+// Idempotent, and safe before, during, or after Serve.
+func (b *Balancer) Stop() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.stopped = true
+	l, started := b.listener, b.started
+	shardLs, pools := b.shardLs, b.pools
+	b.mu.Unlock()
+
+	if l != nil {
+		_ = l.Close()
+	}
+	if started {
+		b.graph.Stop()
+	}
+	b.connWG.Wait()
+	// Close the backend pools before stopping the shards: idle pooled
+	// keep-alive connections would otherwise pin the shard servers'
+	// connection handlers until their idle timeout.
+	for _, p := range pools {
+		p.close()
+	}
+	for _, inst := range b.shards {
+		inst.Stop()
+	}
+	for _, sl := range shardLs {
+		_ = sl.Close()
+	}
+}
+
+// Graph exposes the balancer's own stage graph (the LB stage); shard
+// instances keep their own graphs.
+func (b *Balancer) Graph() *stage.Graph { return b.graph }
+
+// Probes lists the balancer's shard.*/lb.* gauges plus every shard
+// probe aggregated (summed) across shards under its original name — so
+// a sharded run's Result.Series has the same db.*/queue.*/served.*
+// families a single-server run has, now cluster-wide totals.
+func (b *Balancer) Probes() []variant.Probe {
+	probes := []variant.Probe{
+		{Name: ProbeShardRoute, Gauge: func() float64 { return float64(b.routeN.Load()) }},
+		{Name: ProbeShardFanout, Gauge: func() float64 { return float64(b.fanoutN.Load()) }},
+		{Name: ProbeShardImbalance, Gauge: b.imbalance},
+		{Name: ProbeLBWait, Gauge: func() float64 { return float64(b.lb.Depth()) }},
+	}
+	type agg struct {
+		name   string
+		gauges []func() float64
+	}
+	var order []*agg
+	byName := map[string]*agg{}
+	for _, inst := range b.shards {
+		for _, p := range inst.Probes() {
+			a, ok := byName[p.Name]
+			if !ok {
+				a = &agg{name: p.Name}
+				byName[p.Name] = a
+				order = append(order, a)
+			}
+			a.gauges = append(a.gauges, p.Gauge)
+		}
+	}
+	for _, a := range order {
+		gauges := a.gauges
+		probes = append(probes, variant.Probe{
+			Name: a.name, //lint:allow probenames(aggregated names originate from the shard instances' own registered probe constants)
+			Gauge: func() float64 {
+				var sum float64
+				for _, g := range gauges {
+					sum += g()
+				}
+				return sum
+			},
+		})
+	}
+	return probes
+}
+
+// imbalance reports max-shard share over the balanced share of routed
+// requests: 1.0 is a perfect spread, Shards means one shard took
+// everything, 0 means no routed traffic yet.
+func (b *Balancer) imbalance() float64 {
+	var total, maxN int64
+	for i := range b.routed {
+		n := b.routed[i].Load()
+		total += n
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(maxN) * float64(len(b.routed)) / float64(total)
+}
+
+// handleConn serves one client connection: parse, route through the LB
+// stage, relay the shard's response, honouring client keep-alive.
+func (b *Balancer) handleConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := httpwire.ReadRequest(br)
+		if err != nil {
+			return // client closed, or unparseable — drop the connection
+		}
+		j := &job{req: req, dec: b.route(req.Line.Path, req.Query), done: make(chan struct{})}
+		if err := b.lb.Submit(j); err != nil {
+			return // balancer stopping
+		}
+		<-j.done
+		keepAlive := req.KeepAlive()
+		if j.err != nil || j.resp == nil {
+			_ = writeResponse(conn, &webtest.Response{
+				Status: 502,
+				Body:   []byte("bad gateway\n"),
+			}, false)
+			return
+		}
+		if err := writeResponse(conn, j.resp, keepAlive); err != nil {
+			return
+		}
+		if !keepAlive {
+			return
+		}
+	}
+}
+
+// forward runs on an LB stage worker: pick the shard (or fan out) and
+// fetch the response.
+func (b *Balancer) forward(j *job) {
+	defer close(j.done)
+	if j.dec.Fanout {
+		b.fanoutN.Add(1)
+		j.resp, j.err = b.fanout(j.req, j.dec)
+		return
+	}
+	shard := b.pick(j)
+	b.routeN.Add(1)
+	b.routed[shard].Add(1)
+	j.resp, j.err = b.send(shard, j.req)
+}
+
+// pick chooses the shard for a single-shard request: ring owner for
+// keyed requests; for key-less ones the configured policy (hash of the
+// request target, or round-robin).
+func (b *Balancer) pick(j *job) int {
+	if j.dec.Key != "" {
+		return b.ring.Owner(j.dec.Key)
+	}
+	if b.opts.LB == LBRR {
+		return int((b.rr.Add(1) - 1) % int64(len(b.shards)))
+	}
+	return b.ring.Owner(j.req.Line.Target)
+}
+
+// fanout broadcasts the request to every shard and waits for all of
+// them; the reply is the owner shard's response (the target-hash owner
+// when the request carries no key). Waiting on every shard is what
+// makes a broadcast write visible to every subsequent routed read.
+func (b *Balancer) fanout(req *httpwire.Request, dec Decision) (*webtest.Response, error) {
+	resps := make([]*webtest.Response, len(b.shards))
+	errs := make([]error, len(b.shards))
+	var wg sync.WaitGroup
+	for i := range b.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = b.send(i, req)
+		}(i)
+	}
+	wg.Wait()
+	owner := b.ring.Owner(req.Line.Target)
+	if dec.Key != "" {
+		owner = b.ring.Owner(dec.Key)
+	}
+	if errs[owner] == nil {
+		return resps[owner], nil
+	}
+	for i := range resps {
+		if errs[i] == nil {
+			return resps[i], nil
+		}
+	}
+	return nil, errs[owner]
+}
+
+// send forwards one request to a shard over a pooled keep-alive backend
+// connection, retrying once on a fresh connection if the pooled one has
+// gone stale.
+func (b *Balancer) send(shard int, req *httpwire.Request) (*webtest.Response, error) {
+	b.mu.Lock()
+	if shard >= len(b.pools) {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("cluster: shard %d not serving", shard)
+	}
+	p := b.pools[shard]
+	b.mu.Unlock()
+	raw := rawRequest(req)
+	for attempt := 0; ; attempt++ {
+		bc, fresh, err := p.get()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := bc.roundTrip(raw)
+		if err == nil {
+			p.put(bc)
+			return resp, nil
+		}
+		bc.close()
+		// A pooled connection may have been closed by the shard between
+		// uses; a freshly dialed one failing is a real error.
+		if fresh || attempt > 0 {
+			return nil, err
+		}
+	}
+}
+
+// rawRequest re-serializes a parsed request for a shard backend: the
+// original method and target on a keep-alive connection, with any form
+// body carried through.
+func rawRequest(req *httpwire.Request) []byte {
+	var sb strings.Builder
+	sb.WriteString(req.Line.Method)
+	sb.WriteByte(' ')
+	sb.WriteString(req.Line.Target)
+	sb.WriteString(" HTTP/1.1\r\nHost: shard\r\nConnection: keep-alive\r\n")
+	if len(req.Body) > 0 {
+		if ct := req.Header.Get("Content-Type"); ct != "" {
+			sb.WriteString("Content-Type: " + ct + "\r\n")
+		}
+		sb.WriteString(fmt.Sprintf("Content-Length: %d\r\n", len(req.Body)))
+	}
+	sb.WriteString("\r\n")
+	sb.Write(req.Body)
+	return []byte(sb.String())
+}
+
+// writeResponse serializes a shard response back to the client,
+// overriding the Connection header with the client's keep-alive choice.
+func writeResponse(w io.Writer, resp *webtest.Response, keepAlive bool) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTTP/1.1 %d %s\r\n", resp.Status, statusText(resp.Status))
+	for k, v := range resp.Header {
+		if k == "Connection" || k == "Content-Length" {
+			continue
+		}
+		sb.WriteString(k + ": " + v + "\r\n")
+	}
+	conn := "close"
+	if keepAlive {
+		conn = "keep-alive"
+	}
+	fmt.Fprintf(&sb, "Connection: %s\r\nContent-Length: %d\r\n\r\n", conn, len(resp.Body))
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	_, err := w.Write(resp.Body)
+	return err
+}
+
+// statusText supplies the reason phrase for relayed status lines.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}
+
+// backendPool hands out keep-alive connections to one shard backend.
+type backendPool struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*backendConn
+	closed bool
+}
+
+type backendConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// get returns an idle pooled connection, or dials a fresh one; fresh
+// reports which, so callers know a failure cannot be a stale keep-alive.
+func (p *backendPool) get() (bc *backendConn, fresh bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("cluster: backend pool %s closed", p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		bc = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return bc, false, nil
+	}
+	p.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", p.addr, 10*time.Second)
+	if err != nil {
+		return nil, true, err
+	}
+	return &backendConn{conn: conn, br: bufio.NewReader(conn)}, true, nil
+}
+
+// put returns a healthy connection to the pool.
+func (p *backendPool) put(bc *backendConn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		bc.close()
+		return
+	}
+	p.idle = append(p.idle, bc)
+	p.mu.Unlock()
+}
+
+// close drops every idle connection and refuses new ones.
+func (p *backendPool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, bc := range idle {
+		bc.close()
+	}
+}
+
+func (bc *backendConn) roundTrip(raw []byte) (*webtest.Response, error) {
+	if _, err := bc.conn.Write(raw); err != nil {
+		return nil, err
+	}
+	return webtest.ReadResponse(bc.br)
+}
+
+func (bc *backendConn) close() { _ = bc.conn.Close() }

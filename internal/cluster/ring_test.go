@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// tpcwCustomerKeys is the key population the balancer actually routes:
+// one key per customer at the paper's scaled-down customer count.
+func tpcwCustomerKeys() []string {
+	const customers = 2880
+	keys := make([]string, 0, customers)
+	for c := 1; c <= customers; c++ {
+		keys = append(keys, fmt.Sprintf("customer/%d", c))
+	}
+	return keys
+}
+
+func TestRingOwnerStable(t *testing.T) {
+	r1, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range tpcwCustomerKeys() {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %q differs across identically built rings", k)
+		}
+	}
+}
+
+// TestRingSpread checks the virtual-node count keeps per-shard load
+// within a modest factor of the balanced share under the TPC-W customer
+// distribution.
+func TestRingSpread(t *testing.T) {
+	keys := tpcwCustomerKeys()
+	for _, shards := range []int{2, 4, 8} {
+		r, err := NewRing(shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, shards)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		ideal := float64(len(keys)) / float64(shards)
+		for s, n := range counts {
+			ratio := float64(n) / ideal
+			if ratio > 1.45 || ratio < 0.55 {
+				t.Errorf("shards=%d: shard %d owns %d keys (%.2fx the balanced share %.0f)",
+					shards, s, n, ratio, ideal)
+			}
+		}
+	}
+}
+
+// TestRingRemapMinimal checks consistent hashing's defining property:
+// growing M shards to M+1 remaps roughly 1/(M+1) of the keys, not a
+// full reshuffle like modular hashing would.
+func TestRingRemapMinimal(t *testing.T) {
+	keys := tpcwCustomerKeys()
+	for _, m := range []int{2, 3, 4} {
+		before, err := NewRing(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(m+1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			if before.Owner(k) != after.Owner(k) {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		expect := 1.0 / float64(m+1)
+		if frac > 1.8*expect {
+			t.Errorf("%d->%d shards moved %.1f%% of keys, want about %.1f%% (<= %.1f%%)",
+				m, m+1, frac*100, expect*100, 1.8*expect*100)
+		}
+		if moved == 0 {
+			t.Errorf("%d->%d shards moved no keys; the new shard owns nothing", m, m+1)
+		}
+	}
+}

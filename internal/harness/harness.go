@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"stagedweb/internal/clock"
+	"stagedweb/internal/cluster"
 	"stagedweb/internal/load"
 	"stagedweb/internal/metrics"
 	"stagedweb/internal/server"
@@ -155,6 +156,19 @@ type Config struct {
 	// setting).
 	MVCC bool   `json:"mvcc,omitempty"`
 	Repl string `json:"repl,omitempty"`
+	// Cluster tier (see internal/cluster): Shards > 0 fronts that many
+	// shard-owning variant instances with the consistent-hash balancer
+	// (lowered into the "shards" setting; even shards=1 routes through
+	// the balancer so sharded sweeps compare like with like). Zero means
+	// no cluster layer at all. LB picks the key-less routing policy
+	// ("lb" setting): cluster.LBHash (default) or cluster.LBRR.
+	Shards int    `json:"shards,omitempty"`
+	LB     string `json:"lb,omitempty"`
+
+	// SLO is the paper-time WIRT threshold for the Result's
+	// SLO-attainment figure; zero takes 3 s (the TPC-W web interaction
+	// response-time constraint for most pages).
+	SLO time.Duration `json:"slo_ns,omitempty"`
 
 	// Set holds explicit variant-setting overrides, layered over the
 	// typed fields above. Unlike the typed fields, a key the variant
@@ -218,6 +232,10 @@ func (c Config) settings() variant.Settings {
 	put("minreserve", c.MinReserve)
 	put("replicas", c.Replicas)
 	put("dbconns", c.DBConns)
+	put("shards", c.Shards)
+	if c.LB != "" {
+		s["lb"] = c.LB
+	}
 	if c.Cutoff > 0 {
 		s["cutoff"] = c.Cutoff.String()
 	}
@@ -345,6 +363,16 @@ type Result struct {
 	// Errors is the count of failed client interactions.
 	Errors int64 `json:"errors"`
 
+	// Tail latency over the whole interaction stream, in paper seconds:
+	// the p99 and p999 client-side WIRT of the measurement window.
+	P99PaperSec  float64 `json:"p99_paper_sec"`
+	P999PaperSec float64 `json:"p999_paper_sec"`
+	// SLOPaperSec is the response-time threshold the run was held to
+	// (Config.SLO, default 3 s) and SLOAttained the fraction of
+	// interactions answered within it.
+	SLOPaperSec float64 `json:"slo_paper_sec"`
+	SLOAttained float64 `json:"slo_attained"`
+
 	// Series holds every time series of the run, keyed by name: the
 	// harness's throughput series ("throughput.*", one bucket per paper
 	// minute) and one series per variant or load-driver probe
@@ -382,17 +410,51 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wallStart := time.Now()
 
-	db := sqldb.Open(sqldb.Options{
-		Clock:     clock.Precise{},
-		Timescale: cfg.Scale,
-		Cost:      &cfg.Cost,
-	})
-	if err := tpcw.CreateTables(db); err != nil {
-		return nil, err
-	}
-	counts, err := tpcw.Populate(db, cfg.Populate)
+	// The cluster tier is pure configuration: the "shards"/"lb" settings
+	// split off here; everything else goes to the shard variant builders
+	// untouched. clustered is true whenever a shards setting is present
+	// (even shards=1), so a sharded sweep's baseline cell pays the same
+	// balancer hop as its scaled cells.
+	clusterOpts, shardSet, clustered, err := cluster.DecodeSettings(cfg.Set, cfg.settings())
 	if err != nil {
 		return nil, err
+	}
+	nShards := 1
+	var ring *cluster.Ring
+	if clustered {
+		nShards = clusterOpts.Shards
+		ring, err = cluster.NewRing(nShards, clusterOpts.VNodes)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// One database per shard: the customer/order slice the ring assigns
+	// it plus the full replicated catalog. The same ring later routes
+	// requests, so a customer's rows and requests meet on one shard by
+	// construction. All shards populate before the measurement window is
+	// anchored — loading M databases takes wall time.
+	dbs := make([]*sqldb.DB, nShards)
+	var counts tpcw.Counts
+	for s := 0; s < nShards; s++ {
+		db := sqldb.Open(sqldb.Options{
+			Clock:     clock.Precise{},
+			Timescale: cfg.Scale,
+			Cost:      &cfg.Cost,
+		})
+		if err := tpcw.CreateTables(db); err != nil {
+			return nil, err
+		}
+		var owns func(int) bool
+		if clustered {
+			s := s
+			owns = func(cID int) bool { return ring.Owner(tpcw.CustomerKey(cID)) == s }
+		}
+		counts, err = tpcw.PopulateShard(db, cfg.Populate, owns)
+		if err != nil {
+			return nil, err
+		}
+		dbs[s] = db
 	}
 	app := tpcw.NewApp(counts, nil)
 
@@ -448,24 +510,56 @@ func Run(cfg Config) (*Result, error) {
 		countMu.Unlock()
 	}
 
-	// Boot the variant under test.
+	// Boot the variant under test: either one instance over the single
+	// database, or nShards instances behind the cluster balancer (which
+	// is itself a variant.Instance, so everything downstream — serving,
+	// probe sampling, shutdown — is identical).
 	l, addr, err := webtest.Listen()
 	if err != nil {
 		return nil, err
 	}
-	inst, err := v.Build(variant.Env{
-		App:        app,
-		DB:         db,
-		Clock:      clock.Precise{},
-		Scale:      cfg.Scale,
-		Cost:       cfg.Work,
-		OnComplete: onComplete,
-		Set:        cfg.Set,
-		Defaults:   cfg.settings(),
-	})
-	if err != nil {
-		_ = l.Close()
-		return nil, err
+	buildShard := func(db *sqldb.DB, set variant.Settings) (variant.Instance, error) {
+		return v.Build(variant.Env{
+			App:        app,
+			DB:         db,
+			Clock:      clock.Precise{},
+			Scale:      cfg.Scale,
+			Cost:       cfg.Work,
+			OnComplete: onComplete,
+			Set:        set,
+			Defaults:   cfg.settings(),
+		})
+	}
+	var inst variant.Instance
+	if clustered {
+		insts := make([]variant.Instance, nShards)
+		for s := 0; s < nShards; s++ {
+			insts[s], err = buildShard(dbs[s], shardSet)
+			if err != nil {
+				for _, built := range insts[:s] {
+					built.Stop()
+				}
+				_ = l.Close()
+				return nil, err
+			}
+		}
+		inst, err = cluster.New(clusterOpts, insts, func(path string, q map[string]string) cluster.Decision {
+			key, fanout := tpcw.ShardKey(path, q)
+			return cluster.Decision{Key: key, Fanout: fanout}
+		})
+		if err != nil {
+			for _, built := range insts {
+				built.Stop()
+			}
+			_ = l.Close()
+			return nil, err
+		}
+	} else {
+		inst, err = buildShard(dbs[0], cfg.Set)
+		if err != nil {
+			_ = l.Close()
+			return nil, err
+		}
 	}
 
 	// The load profile builds the client-side driver against the
@@ -527,20 +621,36 @@ func Run(cfg Config) (*Result, error) {
 	inst.Stop()
 
 	// Assemble per-page stats: client-side WIRT means and errors,
-	// server-side counts.
+	// server-side counts. Clustered runs count client-side instead —
+	// fan-out pages complete on every shard, so server-side counts
+	// would tally one interaction nShards times.
 	countMu.Lock()
 	defer countMu.Unlock()
 	for _, page := range tpcw.Pages {
 		client := drv.Stats().Page(page)
+		count := pageCounts[page]
+		if clustered {
+			count = client.Count
+		}
 		res.Pages[page] = PageStat{
 			Page:         page,
-			Count:        pageCounts[page],
+			Count:        count,
 			Errors:       client.Errors,
 			MeanPaperSec: cfg.Scale.PaperSeconds(client.Mean),
 		}
-		res.TotalInteractions += pageCounts[page]
+		res.TotalInteractions += count
 	}
 	res.Errors = drv.Stats().Errors()
+
+	// Tail latency and SLO attainment over the whole interaction stream.
+	slo := cfg.SLO
+	if slo <= 0 {
+		slo = 3 * time.Second
+	}
+	res.P99PaperSec = cfg.Scale.PaperSeconds(drv.Stats().OverallQuantile(0.99))
+	res.P999PaperSec = cfg.Scale.PaperSeconds(drv.Stats().OverallQuantile(0.999))
+	res.SLOPaperSec = slo.Seconds()
+	res.SLOAttained = drv.Stats().FractionWithin(cfg.Scale.Wall(slo))
 	res.WallDuration = time.Since(wallStart)
 	return res, nil
 }

@@ -146,6 +146,65 @@ func TestExperimentShape(t *testing.T) {
 	}
 }
 
+// TestClusterRun drives a sharded run end to end through the public
+// config surface: Config.Shards puts the consistent-hash balancer in
+// front of shard-owning instances, the balancer's routing series land
+// in Result.Series next to the aggregated server series, and the tail
+// statistics are populated.
+func TestClusterRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead distorts the paper-time calibration")
+	}
+	cfg := QuickConfig(variant.Unmodified, clock.Timescale(200))
+	cfg.EBs = 40
+	cfg.RampUp = 10 * time.Second
+	cfg.Measure = time.Minute
+	cfg.CoolDown = 5 * time.Second
+	cfg.Populate = tpcw.PopulateConfig{Items: 300, Customers: 120, Orders: 100}
+	cfg.Shards = 2
+	cfg.LB = "hash"
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalInteractions == 0 {
+		t.Fatal("clustered run completed no interactions")
+	}
+	for _, name := range []string{"shard.route", "shard.fanout", "shard.imbalance", "lb.wait"} {
+		if res.Series[name] == nil {
+			t.Errorf("clustered run missing %s series", name)
+		}
+	}
+	if SeriesMax(res.Series["shard.route"]) == 0 {
+		t.Error("balancer routed nothing")
+	}
+	// The shard instances' own probes arrive aggregated under their
+	// usual names, so downstream tooling needs no cluster awareness.
+	if res.Series[variant.ProbeQueueSingle] == nil {
+		t.Error("aggregated shard queue.single series missing")
+	}
+	if res.P99PaperSec <= 0 {
+		t.Errorf("p99 not populated: %v", res.P99PaperSec)
+	}
+	if res.P999PaperSec < res.P99PaperSec {
+		t.Errorf("p99.9 (%v) below p99 (%v)", res.P999PaperSec, res.P99PaperSec)
+	}
+	if res.SLOAttained < 0 || res.SLOAttained > 1 {
+		t.Errorf("SLO attainment out of range: %v", res.SLOAttained)
+	}
+
+	// The strict settings surface covers the cluster keys: a bad lb
+	// policy is a build error, not a silent fallback.
+	bad := cfg.With(func(c *Config) { c.LB = "random" })
+	if _, err := Run(bad); err == nil {
+		t.Error("lb=random accepted")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("zero config accepted")

@@ -57,6 +57,38 @@ func Matrix(base Config, variants []string, loads []LoadSpec) []Scenario {
 	return out
 }
 
+// ShardMatrix builds the shards × replicas × load-profile scenario grid
+// from a base config: one cell per combination, named
+// "shards=M/replicas=R/profile". Every cell — shards=1 included — runs
+// through the cluster balancer, so cells differ only in shard count,
+// not in topology. Empty shards or replicas axes collapse to the base
+// config's value.
+func ShardMatrix(base Config, shards, replicas []int, loads []LoadSpec) []Scenario {
+	if len(shards) == 0 {
+		shards = []int{base.Shards}
+	}
+	if len(replicas) == 0 {
+		replicas = []int{base.Replicas}
+	}
+	out := make([]Scenario, 0, len(shards)*len(replicas)*len(loads))
+	for _, m := range shards {
+		for _, r := range replicas {
+			for _, ld := range loads {
+				m, r := m, r
+				cfg := base.With(func(c *Config) {
+					c.Shards = m
+					c.Replicas = r
+					c.Load = ld.Profile
+					c.LoadSet = ld.Set.Clone()
+				})
+				name := fmt.Sprintf("shards=%d/replicas=%d/%s", m, r, cfg.LoadName())
+				out = append(out, Scenario{Name: name, Config: cfg})
+			}
+		}
+	}
+	return out
+}
+
 // SweepRun is one finished (or failed) scenario of a sweep.
 type SweepRun struct {
 	Scenario Scenario
@@ -96,8 +128,9 @@ func (sr *SweepResult) Report() string {
 	}
 	base := sr.Runs[0].Scenario.Name
 	fmt.Fprintf(&sb, "sweep report (gain vs %s)\n", base)
-	fmt.Fprintf(&sb, "%-32s %13s %8s %10s %8s\n", "scenario", "interactions", "errors", "wall", "gain")
-	sb.WriteString(strings.Repeat("-", 76) + "\n")
+	fmt.Fprintf(&sb, "%-32s %13s %8s %8s %8s %7s %10s %8s\n",
+		"scenario", "interactions", "errors", "p99", "p999", "slo", "wall", "gain")
+	sb.WriteString(strings.Repeat("-", 100) + "\n")
 	for _, r := range sr.Runs {
 		if r.Err != nil {
 			fmt.Fprintf(&sb, "%-32s failed: %v\n", r.Scenario.Name, r.Err)
@@ -111,8 +144,9 @@ func (sr *SweepResult) Report() string {
 		if r.Scenario.Name != base {
 			gain = fmt.Sprintf("%+.1f%%", sr.GainPercent(base, r.Scenario.Name))
 		}
-		fmt.Fprintf(&sb, "%-32s %13d %8d %10v %8s\n",
+		fmt.Fprintf(&sb, "%-32s %13d %8d %7.2fs %7.2fs %6.1f%% %10v %8s\n",
 			r.Scenario.Name, r.Result.TotalInteractions, r.Result.Errors,
+			r.Result.P99PaperSec, r.Result.P999PaperSec, r.Result.SLOAttained*100,
 			r.Result.WallDuration.Round(time.Millisecond), gain)
 	}
 	return sb.String()

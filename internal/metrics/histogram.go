@@ -141,6 +141,27 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// FractionAtOrBelow reports the fraction of observations whose bucket
+// lies at or below d's bucket — the SLO-attainment measure: the share
+// of requests answered within the threshold, to bucket resolution.
+// With no observations it reports 1 (an empty window violates nothing).
+func (h *Histogram) FractionAtOrBelow(d time.Duration) float64 {
+	if d < 0 {
+		d = 0
+	}
+	idx := bucketIndex(d)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 1
+	}
+	var cum int64
+	for i := 0; i <= idx; i++ {
+		cum += h.buckets[i]
+	}
+	return float64(cum) / float64(h.count)
+}
+
 // Reset clears all state (used at the start of a measurement window).
 func (h *Histogram) Reset() {
 	h.mu.Lock()

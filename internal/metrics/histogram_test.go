@@ -32,6 +32,28 @@ func TestHistogramSingleObservation(t *testing.T) {
 	}
 }
 
+func TestHistogramFractionAtOrBelow(t *testing.T) {
+	var h Histogram
+	if f := h.FractionAtOrBelow(time.Second); f != 1 {
+		t.Fatalf("empty FractionAtOrBelow = %v, want 1 (nothing violated)", f)
+	}
+	// Widely separated observations land in distinct buckets, so the
+	// fractions are exact despite bucket resolution.
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(10 * time.Second)
+	if f := h.FractionAtOrBelow(100 * time.Millisecond); f != 0.9 {
+		t.Fatalf("FractionAtOrBelow(100ms) = %v, want 0.9", f)
+	}
+	if f := h.FractionAtOrBelow(time.Minute); f != 1 {
+		t.Fatalf("FractionAtOrBelow(1m) = %v, want 1", f)
+	}
+	if f := h.FractionAtOrBelow(-time.Second); f > 0.1 {
+		t.Fatalf("FractionAtOrBelow(negative) = %v, want at most the zero bucket", f)
+	}
+}
+
 func TestHistogramMean(t *testing.T) {
 	var h Histogram
 	h.Observe(time.Second)

@@ -54,6 +54,24 @@ var baseDate = time.Date(2008, 6, 1, 0, 0, 0, 0, time.UTC)
 // Populate fills db (whose tables must already exist) with a
 // deterministic TPC-W dataset and returns the row counts.
 func Populate(db *sqldb.DB, cfg PopulateConfig) (Counts, error) {
+	return PopulateShard(db, cfg, nil)
+}
+
+// PopulateShard fills db with one shard's slice of the deterministic
+// TPC-W dataset: replicated tables (country, author, item, address) in
+// full, partitioned tables (customer, orders, order_line, cc_xacts)
+// restricted to the customers owns reports true for. owns == nil means
+// own everything — a full, unsharded Populate.
+//
+// The returned Counts are GLOBAL (identical for every shard and to an
+// unsharded Populate with the same config): the application sizes its
+// parameter ranges from them, and request parameters span the whole
+// key space no matter which shard serves the request. Row ids are
+// global too — the generator walks the full dataset and skips inserts
+// it doesn't own, drawing the same random values either way, so shard
+// slices are disjoint, union to the full dataset, and stay stable as
+// the shard count changes.
+func PopulateShard(db *sqldb.DB, cfg PopulateConfig, owns func(cID int) bool) (Counts, error) {
 	cfg.fillDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	c := db.Connect()
@@ -72,10 +90,10 @@ func Populate(db *sqldb.DB, cfg PopulateConfig) (Counts, error) {
 	if err := populateAddresses(c, rng, cfg, &counts); err != nil {
 		return counts, err
 	}
-	if err := populateCustomers(c, rng, cfg, &counts); err != nil {
+	if err := populateCustomers(c, rng, cfg, &counts, owns); err != nil {
 		return counts, err
 	}
-	if err := populateOrders(c, rng, cfg, &counts); err != nil {
+	if err := populateOrders(c, rng, cfg, &counts, owns); err != nil {
 		return counts, err
 	}
 	return counts, nil
@@ -208,20 +226,31 @@ func populateAddresses(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts
 	return nil
 }
 
-func populateCustomers(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts) error {
+func populateCustomers(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts, owns func(int) bool) error {
 	for i := 1; i <= cfg.Customers; i++ {
+		// Draw every random value unconditionally (in the argument order of
+		// the unsharded insert) so a shard that skips this customer leaves
+		// the rng stream — and therefore every later row — unchanged.
+		fname := firstNames[rng.Intn(len(firstNames))]
+		lname := lastNames[rng.Intn(len(lastNames))]
+		since := baseDate.AddDate(0, 0, -rng.Intn(730))
+		discount := round2(rng.Float64() * 0.5)
+		addrID := 1 + rng.Intn(cfg.Customers*2)
+		if owns != nil && !owns(i) {
+			continue
+		}
 		if _, err := c.Exec(
 			`INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, c_lname, c_email,
 			 c_since, c_discount, c_addr_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
 			i,
 			Uname(i),
 			fmt.Sprintf("pw%d", i),
-			firstNames[rng.Intn(len(firstNames))],
-			lastNames[rng.Intn(len(lastNames))],
+			fname,
+			lname,
 			fmt.Sprintf("%s@example.com", Uname(i)),
-			baseDate.AddDate(0, 0, -rng.Intn(730)),
-			round2(rng.Float64()*0.5),
-			1+rng.Intn(cfg.Customers*2),
+			since,
+			discount,
+			addrID,
 		); err != nil {
 			return fmt.Errorf("tpcw: customer %d: %w", i, err)
 		}
@@ -230,46 +259,63 @@ func populateCustomers(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts
 	return nil
 }
 
-func populateOrders(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts) error {
+func populateOrders(c *sqldb.Conn, rng *rand.Rand, cfg PopulateConfig, counts *Counts, owns func(int) bool) error {
 	olID := 0
 	for o := 1; o <= cfg.Orders; o++ {
 		cust := 1 + rng.Intn(cfg.Customers)
 		date := baseDate.AddDate(0, 0, -rng.Intn(60))
 		nLines := 1 + rng.Intn(5)
+		// Orders partition with their owning customer. As in
+		// populateCustomers, every random draw below happens whether or not
+		// this shard keeps the rows, and olID advances globally, so ids and
+		// values match the unsharded dataset exactly.
+		keep := owns == nil || owns(cust)
 		subTotal := 0.0
 		for l := 0; l < nLines; l++ {
 			olID++
 			qty := 1 + rng.Intn(3)
-			if _, err := c.Exec(
-				"INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount, ol_comments) VALUES (?, ?, ?, ?, ?, ?)",
-				olID, o, 1+rng.Intn(cfg.Items), qty, round2(rng.Float64()*0.1), randomWords(rng, 5),
-			); err != nil {
-				return fmt.Errorf("tpcw: order line %d: %w", olID, err)
+			item := 1 + rng.Intn(cfg.Items)
+			discount := round2(rng.Float64() * 0.1)
+			comments := randomWords(rng, 5)
+			if keep {
+				if _, err := c.Exec(
+					"INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount, ol_comments) VALUES (?, ?, ?, ?, ?, ?)",
+					olID, o, item, qty, discount, comments,
+				); err != nil {
+					return fmt.Errorf("tpcw: order line %d: %w", olID, err)
+				}
 			}
 			subTotal += float64(qty) * (1 + rng.Float64()*99)
 		}
 		total := round2(subTotal * 1.0825)
-		if _, err := c.Exec(
-			`INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_total, o_ship_type,
-			 o_ship_date, o_bill_addr_id, o_ship_addr_id, o_status)
-			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
-			o, cust, date, round2(subTotal), total,
-			shipTypes[rng.Intn(len(shipTypes))],
-			date.AddDate(0, 0, 1+rng.Intn(7)),
-			1+rng.Intn(cfg.Customers*2),
-			1+rng.Intn(cfg.Customers*2),
-			orderStatus[rng.Intn(len(orderStatus))],
-		); err != nil {
-			return fmt.Errorf("tpcw: order %d: %w", o, err)
+		shipType := shipTypes[rng.Intn(len(shipTypes))]
+		shipDate := date.AddDate(0, 0, 1+rng.Intn(7))
+		billAddr := 1 + rng.Intn(cfg.Customers*2)
+		shipAddr := 1 + rng.Intn(cfg.Customers*2)
+		status := orderStatus[rng.Intn(len(orderStatus))]
+		if keep {
+			if _, err := c.Exec(
+				`INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_total, o_ship_type,
+				 o_ship_date, o_bill_addr_id, o_ship_addr_id, o_status)
+				 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+				o, cust, date, round2(subTotal), total,
+				shipType, shipDate, billAddr, shipAddr, status,
+			); err != nil {
+				return fmt.Errorf("tpcw: order %d: %w", o, err)
+			}
 		}
-		if _, err := c.Exec(
-			"INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expire, cx_xact_amt, cx_xact_date, cx_co_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-			o, ccTypes[rng.Intn(len(ccTypes))],
-			fmt.Sprintf("%016d", rng.Int63n(1e15)),
-			firstNames[rng.Intn(len(firstNames))]+" "+lastNames[rng.Intn(len(lastNames))],
-			date.AddDate(2, 0, 0), total, date, 1+rng.Intn(len(countryNames)),
-		); err != nil {
-			return fmt.Errorf("tpcw: cc_xact %d: %w", o, err)
+		ccType := ccTypes[rng.Intn(len(ccTypes))]
+		ccNum := fmt.Sprintf("%016d", rng.Int63n(1e15))
+		ccName := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+		ccCo := 1 + rng.Intn(len(countryNames))
+		if keep {
+			if _, err := c.Exec(
+				"INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expire, cx_xact_amt, cx_xact_date, cx_co_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+				o, ccType, ccNum, ccName,
+				date.AddDate(2, 0, 0), total, date, ccCo,
+			); err != nil {
+				return fmt.Errorf("tpcw: cc_xact %d: %w", o, err)
+			}
 		}
 	}
 	counts.Orders = cfg.Orders

@@ -1,0 +1,62 @@
+package tpcw
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file is the TPC-W sharding policy: which tables partition, which
+// replicate, and how a request maps to its owning partition key. The
+// cluster balancer is generic — it consumes these primitives through a
+// RouteFunc adapter (see internal/harness) and never imports tpcw.
+//
+// Partitioning follows the data's natural affinity:
+//
+//   - customer, orders, order_line, cc_xacts partition by the owning
+//     customer id — every registered-user interaction names its customer
+//     (c_id or uname), so carts, checkouts, and order displays are
+//     single-shard.
+//   - country, author, item, address replicate to every shard — the
+//     catalog is read by every page, and the one page that writes it
+//     (admin_response) fans out so the update applies on every shard.
+//   - best_sellers fans out because it aggregates order_line, which is
+//     partitioned; each shard answers over its own order slice.
+
+// CustomerKey is the partition key for a customer id; the same key
+// drives both data placement (PopulateShard's owns func) and request
+// routing (ShardKey), so a customer's rows and requests land on the
+// same shard by construction.
+func CustomerKey(cID int) string { return "customer/" + strconv.Itoa(cID) }
+
+// customerForUname inverts Uname ("user17" -> 17).
+func customerForUname(uname string) (int, bool) {
+	rest, ok := strings.CutPrefix(uname, "user")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// ShardKey maps one request (path plus query) to its partition key and
+// reports whether it must instead fan out to every shard. An empty key
+// with fanout false means the request has no affinity (any shard can
+// answer it from replicated tables).
+func ShardKey(path string, query map[string]string) (key string, fanout bool) {
+	switch path {
+	case PageBestSellers, PageAdminResponse:
+		return "", true
+	}
+	if cid := intParam(query, "c_id", 0); cid > 0 {
+		return CustomerKey(cid), false
+	}
+	if uname := query["uname"]; uname != "" {
+		if cid, ok := customerForUname(uname); ok {
+			return CustomerKey(cid), false
+		}
+	}
+	return "", false
+}

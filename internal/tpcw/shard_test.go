@@ -1,0 +1,186 @@
+package tpcw
+
+import (
+	"testing"
+
+	"stagedweb/internal/sqldb"
+)
+
+// shardOwns builds a simple modular owner function for partition tests;
+// the real harness uses the cluster ring, but the partitioner contract
+// only needs SOME deterministic owns predicate.
+func shardOwns(shard, shards int) func(int) bool {
+	return func(cID int) bool { return cID%shards == shard }
+}
+
+func populateOneShard(t *testing.T, shard, shards int) (*sqldb.DB, Counts) {
+	t.Helper()
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
+	if err := CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := PopulateShard(db, smallCfg, shardOwns(shard, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, counts
+}
+
+// TestPopulateShardPartition checks the partitioner's core contract:
+// shard slices of the partitioned tables are disjoint and union to the
+// full dataset, replicated tables appear in full on every shard, and
+// the reported counts stay global.
+func TestPopulateShardPartition(t *testing.T) {
+	const shards = 3
+
+	full := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
+	if err := CreateTables(full); err != nil {
+		t.Fatal(err)
+	}
+	fullCounts, err := Populate(full, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	partitioned := []string{TableCustomer, TableOrders, TableOrderLn, TableCCXacts}
+	replicated := []string{TableCountry, TableAuthor, TableItem, TableAddress}
+	sums := map[string]int{}
+	for s := 0; s < shards; s++ {
+		db, counts := populateOneShard(t, s, shards)
+		if counts != fullCounts {
+			t.Fatalf("shard %d counts = %+v, want the global %+v", s, counts, fullCounts)
+		}
+		for _, table := range partitioned {
+			n, err := db.TableSize(table)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Errorf("shard %d owns no %s rows", s, table)
+			}
+			sums[table] += n
+		}
+		for _, table := range replicated {
+			n, err := db.TableSize(table)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := full.TableSize(table)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != want {
+				t.Errorf("shard %d has %d %s rows, want the full %d (replicated)", s, n, table, want)
+			}
+		}
+	}
+	for _, table := range partitioned {
+		want, err := full.TableSize(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sums[table] != want {
+			t.Errorf("%s shard slices sum to %d rows, want %d (disjoint union of the full table)",
+				table, sums[table], want)
+		}
+	}
+}
+
+// TestPopulateShardRowsMatchFull checks rng-stream stability: the rows a
+// shard owns are byte-for-byte the rows a full Populate generates —
+// skipped inserts must not shift the random value stream.
+func TestPopulateShardRowsMatchFull(t *testing.T) {
+	full := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
+	if err := CreateTables(full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Populate(full, smallCfg); err != nil {
+		t.Fatal(err)
+	}
+	fc := full.Connect()
+	defer fc.Close()
+
+	db, _ := populateOneShard(t, 1, 2)
+	sc := db.Connect()
+	defer sc.Close()
+
+	// Every customer the shard owns must match the full dataset's row,
+	// random fields included.
+	rows, err := sc.Query("SELECT c_id, c_fname, c_lname, c_discount, c_addr_id FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() == 0 {
+		t.Fatal("shard owns no customers")
+	}
+	for i := 0; i < rows.Len(); i++ {
+		cID := rows.Int(i, "c_id")
+		want, err := fc.Query(
+			"SELECT c_fname, c_lname, c_discount, c_addr_id FROM customer WHERE c_id = ?", cID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Len() != 1 {
+			t.Fatalf("customer %d missing from the full dataset", cID)
+		}
+		if rows.Str(i, "c_fname") != want.Str(0, "c_fname") ||
+			rows.Str(i, "c_lname") != want.Str(0, "c_lname") ||
+			rows.Int(i, "c_addr_id") != want.Int(0, "c_addr_id") {
+			t.Errorf("customer %d differs between sharded and full population (rng stream shifted?)", cID)
+		}
+	}
+
+	// Same for the shard's orders: ids and randomized columns line up.
+	orders, err := sc.Query("SELECT o_id, o_c_id, o_ship_type, o_bill_addr_id FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders.Len() == 0 {
+		t.Fatal("shard owns no orders")
+	}
+	for i := 0; i < orders.Len(); i++ {
+		oID := orders.Int(i, "o_id")
+		want, err := fc.Query(
+			"SELECT o_c_id, o_ship_type, o_bill_addr_id FROM orders WHERE o_id = ?", oID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Len() != 1 {
+			t.Fatalf("order %d missing from the full dataset", oID)
+		}
+		if orders.Int(i, "o_c_id") != want.Int(0, "o_c_id") ||
+			orders.Str(i, "o_ship_type") != want.Str(0, "o_ship_type") ||
+			orders.Int(i, "o_bill_addr_id") != want.Int(0, "o_bill_addr_id") {
+			t.Errorf("order %d differs between sharded and full population (rng stream shifted?)", oID)
+		}
+		if cID := int(orders.Int(i, "o_c_id")); !shardOwns(1, 2)(cID) {
+			t.Errorf("order %d belongs to customer %d, which shard 1 does not own", oID, cID)
+		}
+	}
+}
+
+func TestShardKey(t *testing.T) {
+	cases := []struct {
+		path   string
+		query  map[string]string
+		key    string
+		fanout bool
+	}{
+		{PageBestSellers, map[string]string{"subject": "ARTS"}, "", true},
+		{PageAdminResponse, map[string]string{"i_id": "3", "cost": "9.99"}, "", true},
+		{PageHome, map[string]string{"c_id": "17"}, CustomerKey(17), false},
+		{PageShoppingCart, map[string]string{"c_id": "4", "i_id": "9"}, CustomerKey(4), false},
+		{PageOrderDisplay, map[string]string{"uname": Uname(23), "passwd": "pw23"}, CustomerKey(23), false},
+		{PageBuyRequest, map[string]string{"uname": Uname(8), "c_id": "8"}, CustomerKey(8), false},
+		{PageProductDetail, map[string]string{"i_id": "12"}, "", false},
+		{PageSearchRequest, nil, "", false},
+		{"/img/thumb_1.gif", nil, "", false},
+	}
+	for _, c := range cases {
+		key, fanout := ShardKey(c.path, c.query)
+		if key != c.key || fanout != c.fanout {
+			t.Errorf("ShardKey(%s, %v) = (%q, %v), want (%q, %v)",
+				c.path, c.query, key, fanout, c.key, c.fanout)
+		}
+	}
+}

@@ -20,6 +20,11 @@ type Stats struct {
 	counts   map[string]*int64
 	errs     map[string]*int64
 	errTotal atomic.Int64
+
+	// overall aggregates WIRT across all pages — the distribution tail
+	// quantiles (p99/p999) and SLO attainment are computed over the whole
+	// interaction stream, not per page.
+	overall metrics.Histogram
 }
 
 func newStats() *Stats {
@@ -43,6 +48,7 @@ func (s *Stats) Reset() {
 	s.counts = make(map[string]*int64, 16)
 	s.errs = make(map[string]*int64, 16)
 	s.errTotal.Store(0)
+	s.overall.Reset()
 }
 
 func (s *Stats) record(page string, wirt time.Duration) {
@@ -50,7 +56,20 @@ func (s *Stats) record(page string, wirt time.Duration) {
 		return
 	}
 	s.histogram(page).Observe(wirt)
+	s.overall.Observe(wirt)
 	atomic.AddInt64(s.counter(page), 1)
+}
+
+// OverallQuantile reports an approximate q-quantile of WIRT across all
+// pages (wall time; divide through the timescale for paper seconds).
+func (s *Stats) OverallQuantile(q float64) time.Duration {
+	return s.overall.Quantile(q)
+}
+
+// FractionWithin reports the fraction of completed interactions (all
+// pages) whose WIRT was at or below d — SLO attainment for threshold d.
+func (s *Stats) FractionWithin(d time.Duration) float64 {
+	return s.overall.FractionAtOrBelow(d)
 }
 
 // recordError attributes one failed interaction to the page whose

@@ -406,10 +406,15 @@ func (b *browser) buildURL(page string) string {
 	case tpcw.PageShoppingCart:
 		q["i_id"] = itoa(1 + b.rng.Intn(b.cfg.Items))
 		q["qty"] = itoa(1 + b.rng.Intn(3))
+		// The customer id rides along on every cart-flow page so a sharded
+		// cluster can pin the whole checkout (cart rows included) to the
+		// customer's shard — carts are per-shard local state.
+		q["c_id"] = itoa(b.cID)
 		if b.scID > 0 {
 			q["sc_id"] = itoa(b.scID)
 		}
 	case tpcw.PageCustomerReg, tpcw.PageBuyRequest:
+		q["c_id"] = itoa(b.cID)
 		if b.scID > 0 {
 			q["sc_id"] = itoa(b.scID)
 		}
