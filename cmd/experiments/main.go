@@ -15,6 +15,7 @@
 //	experiments -exp mvcc -variants modified       # storage-engine sweep
 //	experiments -exp scaleout            # replica scale-out sweep
 //	experiments -exp shard -shards 1,2,4           # cluster shard sweep
+//	experiments -exp faults              # dependability scenario pack
 //	experiments -scale 100 -ebs 400 -measure 50m   # paper-sized run
 //	experiments -quick                   # reduced run (seconds)
 //	experiments -variants unmodified,modified,modified-noreserve
@@ -41,6 +42,7 @@ import (
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/cluster"
+	"stagedweb/internal/faults"
 	"stagedweb/internal/harness"
 	"stagedweb/internal/load"
 	"stagedweb/internal/sched"
@@ -58,7 +60,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep; mvcc runs the storage-engine sweep; shard runs the cluster shard sweep")
+		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep; mvcc runs the storage-engine sweep; shard runs the cluster shard sweep; faults runs the fault-injection comparison")
 		scale    = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
 		ebs      = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
 		measure  = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
@@ -137,7 +139,7 @@ func run(args []string, out io.Writer) error {
 	// the saturation-knee table. It cannot be combined with the spike
 	// mode — reject instead of silently dropping one of them.
 	if *ebsSweep != "" {
-		if want["spike"] || want["scaleout"] || want["mvcc"] || want["shard"] {
+		if want["spike"] || want["scaleout"] || want["mvcc"] || want["shard"] || want["faults"] {
 			return fmt.Errorf("-ebs-sweep and -exp %s are separate modes; run them separately", *exp)
 		}
 		levels, err := parseInts(*ebsSweep)
@@ -186,6 +188,16 @@ func run(args []string, out io.Writer) error {
 		}
 		return runShard(ctx, out, opts, build, names[0], levels, repl[0],
 			*dbConns, loadSets.Settings, *csvDir, *jsonDir)
+	}
+
+	// The dependability pack is its own mode: one variant on the sharded
+	// replicated stack, {no-fault, replica-kill, shard-down} × {sync,
+	// async}, reporting failover behavior and recovery time per cell.
+	if want["faults"] {
+		if len(want) > 1 {
+			return fmt.Errorf("-exp faults is a standalone mode; run other experiments separately")
+		}
+		return runFaults(ctx, out, opts, build, names[0], *dbConns, *csvDir, *jsonDir)
 	}
 
 	// The storage-engine sweep is its own mode: one variant across
@@ -570,6 +582,108 @@ func runShard(ctx context.Context, out io.Writer, opts harness.SweepOptions,
 		lo, hi := levels[0], levels[len(levels)-1]
 		fmt.Fprintf(out, "throughput gain at %d vs %d shards: %+.1f%%\n",
 			hi, lo, sw.GainPercent(cellName(lo), cellName(hi)))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, sw.Report())
+	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
+}
+
+// faultModes are the dependability cells swept by -exp faults: a
+// fault-free control, a replica kill inside the database tier, and a
+// whole-shard outage at the balancer. Each runs under both replica
+// apply modes — synchronous fan-out feels an ejected replica directly,
+// asynchronous shipping hides it behind the log.
+var faultModes = []struct {
+	key  string
+	plan string
+}{
+	{"none", ""},
+	{"replica-kill", faults.ReplicaKill},
+	{"shard-down", faults.ShardDown},
+}
+
+// runFaults runs one variant on the full sharded, replicated stack
+// through the dependability pack: {no-fault, replica-kill, shard-down}
+// × {sync, async}. Faults strike one paper minute into the measurement
+// window and heal a minute later; the report shows what the failover
+// machinery did (injections, replica ejections and resyncs, balancer
+// retries and breaker opens) and how long SLO attainment took to come
+// back.
+func runFaults(ctx context.Context, out io.Writer, opts harness.SweepOptions,
+	build func(string) harness.Config, name string, dbConns int,
+	csvDir, jsonDir string) error {
+	repls := []string{"sync", "async"}
+	cellName := func(mode, repl string) string { return mode + "/" + repl }
+	var scenarios []harness.Scenario
+	for _, mode := range faultModes {
+		for _, repl := range repls {
+			mode, repl := mode, repl
+			cfg := build(name).With(func(c *harness.Config) {
+				c.Shards = 2
+				c.Replicas = 2
+				c.Repl = repl
+				c.DBConns = dbConns
+				if c.DBConns <= 0 {
+					// Same auto-sizing as -exp scaleout: keep the tier, not
+					// the worker pools, as the ceiling.
+					if budget := c.GeneralWorkers + c.LengthyWorkers; budget > 0 {
+						c.DBConns = max(2, budget/6)
+					} else {
+						c.DBConns = 8
+					}
+				}
+				if mode.plan != "" {
+					c.Faults = mode.plan
+					c.FaultSet = variant.Settings{"at": "60s", "restart": "60s"}
+				}
+			})
+			scenarios = append(scenarios, harness.Scenario{
+				Name:   cellName(mode.key, repl),
+				Config: cfg,
+			})
+		}
+	}
+	fmt.Fprintf(out, "dependability: %s x %d fault modes x {sync, async} at 2 shards, 2 replicas...\n",
+		name, len(faultModes))
+	sw, sweepErr := harness.SweepWith(ctx, opts, scenarios)
+
+	fmt.Fprintf(out, "\nfault injection (failover machinery and recovery per cell)\n")
+	fmt.Fprintf(out, "%-24s %13s %8s %9s %8s %8s %8s %8s %9s\n",
+		"cell", "interactions", "errors", "injected", "ejected", "resyncs", "retries", "breaker", "recovery")
+	fmt.Fprintln(out, strings.Repeat("-", 104))
+	for _, mode := range faultModes {
+		for _, repl := range repls {
+			res := sw.Result(cellName(mode.key, repl))
+			if res == nil {
+				fmt.Fprintf(out, "%-24s (failed)\n", cellName(mode.key, repl))
+				continue
+			}
+			rec := "-"
+			if res.FaultPlan != "" {
+				switch {
+				case res.FaultPaperSec < 0:
+					rec = "no-inj"
+				case res.RecoveryPaperSec < 0:
+					rec = "never"
+				default:
+					rec = fmt.Sprintf("%.0fs", res.RecoveryPaperSec)
+				}
+			}
+			fmt.Fprintf(out, "%-24s %13d %8d %9.0f %8.0f %8.0f %8.0f %8.0f %9s\n",
+				cellName(mode.key, repl), res.TotalInteractions, res.Errors,
+				harness.SeriesMax(res.Series[faults.ProbeInjected]),
+				harness.SeriesMax(res.Series[variant.ProbeDBEjected]),
+				harness.SeriesMax(res.Series[variant.ProbeDBResync]),
+				harness.SeriesMax(res.Series[cluster.ProbeLBRetry]),
+				harness.SeriesMax(res.Series[cluster.ProbeLBBreaker]),
+				rec)
+		}
+	}
+	for _, repl := range repls {
+		fmt.Fprintf(out, "replica-kill throughput cost (%s): %+.1f%%\n", repl,
+			sw.GainPercent(cellName("none", repl), cellName("replica-kill", repl)))
+		fmt.Fprintf(out, "shard-down throughput cost (%s): %+.1f%%\n", repl,
+			sw.GainPercent(cellName("none", repl), cellName("shard-down", repl)))
 	}
 	fmt.Fprintln(out)
 	fmt.Fprintln(out, sw.Report())

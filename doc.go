@@ -55,6 +55,23 @@
 // cmd/experiments -exp shard sweeps shard counts under open-loop
 // arrivals.
 //
+// Failure itself is a named, replayable input: internal/faults is a
+// fault-plan registry symmetric with the load profiles (replica-kill,
+// shard-down, slow-backend, conn-drop, leak), scheduling every
+// injection on the injected clock in paper time so plans replay
+// deterministically under clock.Manual. The system survives them by
+// construction — dbtier health-checks its replicas, ejects dead or
+// pathologically slow ones from the read rotation, and reintegrates
+// them by replication-log catch-up (or a snapshot resync when the log
+// has been truncated past their watermark); connection acquisition and
+// cross-shard fan-outs are deadline-bounded; the cluster balancer
+// retries with backoff, trips per-shard circuit breakers, and routes
+// key-less traffic around down shards. Faulted runs report an
+// MTTR-style recovery time (paper seconds from injection until SLO
+// attainment returns to its pre-fault baseline), and cmd/experiments
+// -exp faults sweeps {no-fault, replica-kill, shard-down} across both
+// replication modes. See the README's "Dependability" section.
+//
 // The invariants none of this encodes in types — timing flows through
 // the injected clock.Clock, nothing sleeps while holding a lock, probe
 // names and settings keys stay in their canonical catalogs — are

@@ -26,8 +26,8 @@ var SettingsKeyRE = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
 // Probes maps every registered probe/series name to a one-line
 // description. Sources: variant.Instance.Probes registrations
 // (internal/variant/builtin.go), client-side driver probes
-// (internal/load), and the harness-owned throughput series
-// (internal/harness).
+// (internal/load), fault-injector probes (internal/faults), and the
+// harness-owned throughput series (internal/harness).
 var Probes = map[string]string{
 	// Server-side probes (internal/variant/builtin.go).
 	"queue.single":      "baseline: accepted requests waiting for a worker",
@@ -46,12 +46,19 @@ var Probes = map[string]string{
 	"db.repllag":        "replication: max replica lag in commits",
 	"db.stmtcache.hit":  "statement cache hits",
 	"db.stmtcache.miss": "statement cache misses",
+	"db.ejected":        "failover: replicas ejected from the read rotation",
+	"db.resync":         "failover: replicas reintegrated after catch-up or resync",
 
 	// Cluster balancer probes (internal/cluster).
 	"shard.route":     "cluster: requests routed to a single shard",
 	"shard.fanout":    "cluster: requests broadcast to every shard",
 	"shard.imbalance": "cluster: max-shard share over the balanced share",
 	"lb.wait":         "cluster: load-balancer stage queue depth",
+	"lb.retry":        "cluster: forward re-attempts (stale conn or backoff retry)",
+	"lb.breaker":      "cluster: per-shard circuit-breaker opens",
+
+	// Fault-injector probes (internal/faults).
+	"fault.injected": "fault plan: injections executed so far",
 
 	// Client-side probes (internal/load).
 	"client.active":  "emulated browsers currently running",
@@ -94,10 +101,19 @@ var SettingsKeys = map[string]string{
 	"shards": "shard count behind the consistent-hash balancer",
 	"lb":     "key-less routing policy: hash | rr",
 
+	// Fault-plan settings (internal/faults).
+	"faults":   "fault plan injected during the measurement window (none = off)",
+	"faultset": "fault-plan settings as key=value,key=value pairs",
+	"target":   "fault target index (backend or shard)",
+	"restart":  "delay from injection to healing (paper time; 0 = never)",
+	"slow":     "added per-statement latency for slow-backend (paper time)",
+	"every":    "conn-drop repeat interval (paper time)",
+	"conns":    "connections leaked per tier (0 = all idle)",
+
 	// Load-profile settings (internal/load/builtin.go).
 	"ebs":     "base emulated-browser population",
 	"to":      "step/ramp target population",
-	"at":      "step/spike onset (paper time)",
+	"at":      "step/spike/fault onset (paper time)",
 	"over":    "ramp duration (paper time)",
 	"delay":   "ramp start delay (paper time)",
 	"burst":   "spike peak population",

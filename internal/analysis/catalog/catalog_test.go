@@ -42,7 +42,7 @@ func TestShapes(t *testing.T) {
 // fails (it would be a series nobody can sample).
 func TestProbesMatchDeclaringConstants(t *testing.T) {
 	declared := map[string]string{}
-	for _, dir := range []string{"internal/variant", "internal/load", "internal/harness", "internal/cluster"} {
+	for _, dir := range []string{"internal/variant", "internal/load", "internal/harness", "internal/cluster", "internal/faults"} {
 		for name, val := range probeConstants(t, filepath.Join(repoRoot, dir)) {
 			declared[val] = name
 		}
@@ -65,9 +65,9 @@ func TestProbesMatchDeclaringConstants(t *testing.T) {
 // nothing, and a decoded key outside the catalog is undocumented drift
 // (also caught per-call-site by the settingskeys analyzer).
 func TestSettingsKeysMatchDecoderCalls(t *testing.T) {
-	decodeRE := regexp.MustCompile(`\.(Bool|Int|Float|Enum|Duration)\("([a-z][a-z0-9]*)"`)
+	decodeRE := regexp.MustCompile(`\.(Bool|Int|Float|Enum|Duration|String)\("([a-z][a-z0-9]*)"`)
 	decoded := map[string]bool{}
-	for _, dir := range []string{"internal/variant", "internal/load", "internal/cluster"} {
+	for _, dir := range []string{"internal/variant", "internal/load", "internal/cluster", "internal/faults"} {
 		for _, src := range nonTestSources(t, filepath.Join(repoRoot, dir)) {
 			for _, m := range decodeRE.FindAllStringSubmatch(src, -1) {
 				decoded[m[2]] = true
@@ -113,7 +113,7 @@ func TestReadmeDocumentsCatalog(t *testing.T) {
 // assertion cannot silently test a series nobody emits.
 func TestCIAssertionsUseCatalogNames(t *testing.T) {
 	ci := readFile(t, filepath.Join(repoRoot, ".github/workflows/ci.yml"))
-	prefixes := []string{"queue.", "sched.", "dispatch.", "served.", "db.", "client.", "throughput.", "shard.", "lb."}
+	prefixes := []string{"queue.", "sched.", "dispatch.", "served.", "db.", "client.", "throughput.", "shard.", "lb.", "fault."}
 	tokenRE := regexp.MustCompile(`[a-z][a-z0-9]*(\.[a-z0-9]+)+`)
 	for _, tok := range tokenRE.FindAllString(ci, -1) {
 		for _, p := range prefixes {

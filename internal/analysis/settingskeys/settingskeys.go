@@ -29,6 +29,7 @@ var decodeMethods = map[string]bool{
 	"Float":    true,
 	"Enum":     true,
 	"Duration": true,
+	"String":   true,
 }
 
 // Analyzer is the settingskeys pass.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -10,11 +11,41 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stagedweb/internal/clock"
 	"stagedweb/internal/httpwire"
 	"stagedweb/internal/stage"
 	"stagedweb/internal/variant"
 	"stagedweb/internal/webtest"
 )
+
+// ErrShardDown is returned by forwards to a shard marked down (fault
+// injection) or skipped by an open circuit breaker. Key-less requests
+// fail over past it; keyed and fanned-out requests surface it for the
+// down shard's slice of the data.
+var ErrShardDown = errors.New("cluster: shard down")
+
+// ErrFanoutDeadline marks shards that had not answered a fan-out when
+// its paper-time deadline expired — the bounded-wait replacement for
+// wedging reply-after-all forever on a dead shard.
+var ErrFanoutDeadline = errors.New("cluster: fan-out deadline exceeded")
+
+// Failover defaults, in paper time where durations.
+const (
+	defaultFanoutDeadline   = 10 * time.Second
+	defaultRetries          = 2
+	defaultRetryBackoff     = 100 * time.Millisecond
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 10 * time.Second
+)
+
+// breaker is one shard's circuit breaker: consecutive forward failures
+// open it for a cooldown, during which the shard is skipped; the first
+// request after the cooldown is the half-open trial — success closes
+// the breaker, failure re-opens it.
+type breaker struct {
+	fails     atomic.Int32
+	openUntil atomic.Int64 // clock nanos; 0 = closed
+}
 
 // job is one client request in flight through the LB stage.
 type job struct {
@@ -33,6 +64,8 @@ type Balancer struct {
 	ring   *Ring
 	route  RouteFunc
 	shards []variant.Instance
+	clk    clock.Clock
+	scale  clock.Timescale
 
 	lb    *stage.Stage[*job]
 	graph *stage.Graph
@@ -41,6 +74,11 @@ type Balancer struct {
 	routeN  atomic.Int64   // total single-shard routed requests
 	fanoutN atomic.Int64   // total fanned-out requests
 	rr      atomic.Int64   // round-robin cursor for lb=rr
+
+	down     []atomic.Bool // per-shard fault-injected down flags
+	breakers []breaker     // per-shard circuit breakers
+	retryN   atomic.Int64  // cumulative forward re-attempts
+	breakerN atomic.Int64  // cumulative breaker opens
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -73,16 +111,43 @@ func New(opts Options, shards []variant.Instance, route RouteFunc) (*Balancer, e
 	if opts.Workers <= 0 {
 		opts.Workers = 16
 	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = clock.RealTime
+	}
+	if opts.FanoutDeadline == 0 {
+		opts.FanoutDeadline = defaultFanoutDeadline
+	}
+	if opts.Retries == 0 {
+		opts.Retries = defaultRetries
+	} else if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = defaultRetryBackoff
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = defaultBreakerThreshold
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = defaultBreakerCooldown
+	}
 	ring, err := NewRing(opts.Shards, opts.VNodes)
 	if err != nil {
 		return nil, err
 	}
 	b := &Balancer{
-		opts:   opts,
-		ring:   ring,
-		route:  route,
-		shards: shards,
-		routed: make([]atomic.Int64, opts.Shards),
+		opts:     opts,
+		ring:     ring,
+		route:    route,
+		shards:   shards,
+		clk:      opts.Clock,
+		scale:    opts.Scale,
+		routed:   make([]atomic.Int64, opts.Shards),
+		down:     make([]atomic.Bool, opts.Shards),
+		breakers: make([]breaker, opts.Shards),
 	}
 	b.lb = stage.New(stage.Config[*job]{
 		Name:     "lb",
@@ -189,6 +254,8 @@ func (b *Balancer) Probes() []variant.Probe {
 		{Name: ProbeShardFanout, Gauge: func() float64 { return float64(b.fanoutN.Load()) }},
 		{Name: ProbeShardImbalance, Gauge: b.imbalance},
 		{Name: ProbeLBWait, Gauge: func() float64 { return float64(b.lb.Depth()) }},
+		{Name: ProbeLBRetry, Gauge: func() float64 { return float64(b.retryN.Load()) }},
+		{Name: ProbeLBBreaker, Gauge: func() float64 { return float64(b.breakerN.Load()) }},
 	}
 	type agg struct {
 		name   string
@@ -241,6 +308,92 @@ func (b *Balancer) imbalance() float64 {
 	return float64(maxN) * float64(len(b.routed)) / float64(total)
 }
 
+// ---- fault injection surface ----
+
+// Shards reports the number of shard instances fronted.
+func (b *Balancer) Shards() int { return len(b.shards) }
+
+// SetShardDown marks shard i down (fault injection): forwards to it
+// fail fast with ErrShardDown, its idle pooled connections are reset,
+// key-less requests route around it, and cross-shard fan-outs degrade
+// to the remaining shards. Marking it up again clears its breaker so
+// traffic returns immediately.
+func (b *Balancer) SetShardDown(i int, down bool) error {
+	if i < 0 || i >= len(b.shards) {
+		return fmt.Errorf("cluster: no shard %d", i)
+	}
+	b.down[i].Store(down)
+	if down {
+		b.mu.Lock()
+		var p *backendPool
+		if i < len(b.pools) {
+			p = b.pools[i]
+		}
+		b.mu.Unlock()
+		if p != nil {
+			p.reset()
+		}
+		return nil
+	}
+	b.breakers[i].fails.Store(0)
+	b.breakers[i].openUntil.Store(0)
+	return nil
+}
+
+// ShardDown reports whether shard i is currently marked down.
+func (b *Balancer) ShardDown(i int) bool {
+	return i >= 0 && i < len(b.down) && b.down[i].Load()
+}
+
+// ResetBackendConns closes every idle pooled keep-alive connection to
+// every shard (the conn-drop fault plan), reporting how many were
+// dropped. Pools refill on demand; forwards caught on a dropped
+// connection retry on a fresh one.
+func (b *Balancer) ResetBackendConns() int {
+	b.mu.Lock()
+	pools := append([]*backendPool(nil), b.pools...)
+	b.mu.Unlock()
+	n := 0
+	for _, p := range pools {
+		n += p.reset()
+	}
+	return n
+}
+
+// Retries reports cumulative forward re-attempts.
+func (b *Balancer) Retries() int64 { return b.retryN.Load() }
+
+// BreakerOpens reports cumulative circuit-breaker opens.
+func (b *Balancer) BreakerOpens() int64 { return b.breakerN.Load() }
+
+// breakerOpen reports whether shard i's breaker currently rejects
+// forwards. The first load keeps the healthy path to one atomic read.
+func (b *Balancer) breakerOpen(i int) bool {
+	ou := b.breakers[i].openUntil.Load()
+	if ou == 0 {
+		return false
+	}
+	return b.clk.Now().UnixNano() < ou
+}
+
+// noteForward records a forward outcome against shard i's breaker:
+// success closes it, enough consecutive failures open it for the
+// cooldown.
+func (b *Balancer) noteForward(i int, ok bool) {
+	br := &b.breakers[i]
+	if ok {
+		br.fails.Store(0)
+		if br.openUntil.Load() != 0 {
+			br.openUntil.Store(0)
+		}
+		return
+	}
+	if br.fails.Add(1) >= int32(b.opts.BreakerThreshold) {
+		br.openUntil.Store(b.clk.Now().Add(b.scale.Wall(b.opts.BreakerCooldown)).UnixNano())
+		b.breakerN.Add(1)
+	}
+}
+
 // handleConn serves one client connection: parse, route through the LB
 // stage, relay the shard's response, honouring client keep-alive.
 func (b *Balancer) handleConn(conn net.Conn) {
@@ -289,43 +442,85 @@ func (b *Balancer) forward(j *job) {
 }
 
 // pick chooses the shard for a single-shard request: ring owner for
-// keyed requests; for key-less ones the configured policy (hash of the
-// request target, or round-robin).
+// keyed requests (the data lives there — no shard can stand in);
+// for key-less ones the configured policy (hash of the request target,
+// or round-robin), failing over past down or breaker-open shards.
 func (b *Balancer) pick(j *job) int {
 	if j.dec.Key != "" {
 		return b.ring.Owner(j.dec.Key)
 	}
+	n := len(b.shards)
+	var first int
 	if b.opts.LB == LBRR {
-		return int((b.rr.Add(1) - 1) % int64(len(b.shards)))
+		first = int((b.rr.Add(1) - 1) % int64(n))
+	} else {
+		first = b.ring.Owner(j.req.Line.Target)
 	}
-	return b.ring.Owner(j.req.Line.Target)
+	for k := 0; k < n; k++ {
+		s := (first + k) % n
+		if !b.down[s].Load() && !b.breakerOpen(s) {
+			return s
+		}
+	}
+	return first // every shard unhealthy: fail on the policy's choice
 }
 
 // fanout broadcasts the request to every shard and waits for all of
-// them; the reply is the owner shard's response (the target-hash owner
-// when the request carries no key). Waiting on every shard is what
-// makes a broadcast write visible to every subsequent routed read.
+// them, up to the paper-time fan-out deadline; the reply is the owner
+// shard's response (the target-hash owner when the request carries no
+// key). Waiting on every shard is what makes a broadcast write visible
+// to every subsequent routed read; the deadline is what keeps a dead
+// shard from wedging every cross-shard page forever — shards that miss
+// it are treated as failed and the page degrades to the responses in
+// hand.
 func (b *Balancer) fanout(req *httpwire.Request, dec Decision) (*webtest.Response, error) {
-	resps := make([]*webtest.Response, len(b.shards))
-	errs := make([]error, len(b.shards))
-	var wg sync.WaitGroup
-	for i := range b.shards {
-		wg.Add(1)
+	n := len(b.shards)
+	type result struct {
+		i    int
+		resp *webtest.Response
+		err  error
+	}
+	// Buffered to n: a shard answering after the deadline parks its
+	// result here and the goroutine exits — nothing leaks.
+	ch := make(chan result, n)
+	for i := 0; i < n; i++ {
 		go func(i int) {
-			defer wg.Done()
-			resps[i], errs[i] = b.send(i, req)
+			resp, err := b.send(i, req)
+			ch <- result{i, resp, err}
 		}(i)
 	}
-	wg.Wait()
+	resps := make([]*webtest.Response, n)
+	errs := make([]error, n)
+	var deadline <-chan time.Time
+	if d := b.opts.FanoutDeadline; d > 0 {
+		deadline = b.clk.After(b.scale.Wall(d))
+	}
+	timedOut := false
+	for got := 0; got < n && !timedOut; {
+		select {
+		case r := <-ch:
+			resps[r.i], errs[r.i] = r.resp, r.err
+			got++
+		case <-deadline:
+			timedOut = true
+		}
+	}
+	if timedOut {
+		for i := range errs {
+			if resps[i] == nil && errs[i] == nil {
+				errs[i] = fmt.Errorf("cluster: shard %d: %w", i, ErrFanoutDeadline)
+			}
+		}
+	}
 	owner := b.ring.Owner(req.Line.Target)
 	if dec.Key != "" {
 		owner = b.ring.Owner(dec.Key)
 	}
-	if errs[owner] == nil {
+	if errs[owner] == nil && resps[owner] != nil {
 		return resps[owner], nil
 	}
 	for i := range resps {
-		if errs[i] == nil {
+		if errs[i] == nil && resps[i] != nil {
 			return resps[i], nil
 		}
 	}
@@ -333,9 +528,18 @@ func (b *Balancer) fanout(req *httpwire.Request, dec Decision) (*webtest.Respons
 }
 
 // send forwards one request to a shard over a pooled keep-alive backend
-// connection, retrying once on a fresh connection if the pooled one has
-// gone stale.
+// connection: fail fast when the shard is down or its breaker is open,
+// retry immediately on a stale pooled connection, and retry with
+// paper-time backoff on transient errors up to the configured budget.
+// Every re-attempt counts toward lb.retry; the outcome feeds the
+// shard's breaker.
 func (b *Balancer) send(shard int, req *httpwire.Request) (*webtest.Response, error) {
+	if b.down[shard].Load() {
+		return nil, fmt.Errorf("cluster: shard %d: %w", shard, ErrShardDown)
+	}
+	if b.breakerOpen(shard) {
+		return nil, fmt.Errorf("cluster: shard %d: breaker open: %w", shard, ErrShardDown)
+	}
 	b.mu.Lock()
 	if shard >= len(b.pools) {
 		b.mu.Unlock()
@@ -344,6 +548,31 @@ func (b *Balancer) send(shard int, req *httpwire.Request) (*webtest.Response, er
 	p := b.pools[shard]
 	b.mu.Unlock()
 	raw := rawRequest(req)
+	var lastErr error
+	for try := 0; try <= b.opts.Retries; try++ {
+		if try > 0 {
+			b.retryN.Add(1)
+			b.clk.Sleep(b.scale.Wall(b.opts.RetryBackoff))
+			if b.down[shard].Load() {
+				lastErr = fmt.Errorf("cluster: shard %d: %w", shard, ErrShardDown)
+				break
+			}
+		}
+		resp, err := b.sendOnce(p, raw)
+		if err == nil {
+			b.noteForward(shard, true)
+			return resp, nil
+		}
+		lastErr = err
+	}
+	b.noteForward(shard, false)
+	return nil, lastErr
+}
+
+// sendOnce makes a single forward over one shard's pool: use an idle
+// pooled connection (falling back to a fresh dial if it has gone stale
+// — that fallback counts as a retry), or dial fresh.
+func (b *Balancer) sendOnce(p *backendPool, raw []byte) (*webtest.Response, error) {
 	for attempt := 0; ; attempt++ {
 		bc, fresh, err := p.get()
 		if err != nil {
@@ -360,6 +589,7 @@ func (b *Balancer) send(shard int, req *httpwire.Request) (*webtest.Response, er
 		if fresh || attempt > 0 {
 			return nil, err
 		}
+		b.retryN.Add(1)
 	}
 }
 
@@ -470,6 +700,20 @@ func (p *backendPool) put(bc *backendConn) {
 	}
 	p.idle = append(p.idle, bc)
 	p.mu.Unlock()
+}
+
+// reset closes every idle connection without closing the pool: the
+// next get dials fresh. Fault plans use it to simulate keep-alive
+// connection drops.
+func (p *backendPool) reset() int {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, bc := range idle {
+		bc.close()
+	}
+	return len(idle)
 }
 
 // close drops every idle connection and refuses new ones.

@@ -19,40 +19,16 @@ import (
 // clock — no timer ever needs to fire, so the test is deterministic.
 func bootCluster(t *testing.T, manual *clock.Manual, n int, lb string) (*cluster.Balancer, string) {
 	t.Helper()
-	ring, err := cluster.NewRing(n, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	popCfg := tpcw.PopulateConfig{Items: 60, Customers: 40, Orders: 30}
-	insts := make([]variant.Instance, n)
-	for s := 0; s < n; s++ {
-		cost := sqldb.CostModel{}
-		db := sqldb.Open(sqldb.Options{Clock: manual, Timescale: clock.RealTime, Cost: &cost})
-		if err := tpcw.CreateTables(db); err != nil {
-			t.Fatal(err)
-		}
-		s := s
-		counts, err := tpcw.PopulateShard(db, popCfg, func(cID int) bool {
-			return ring.Owner(tpcw.CustomerKey(cID)) == s
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		v, ok := variant.Lookup(variant.Unmodified)
-		if !ok {
-			t.Fatal("unmodified variant not registered")
-		}
-		insts[s], err = v.Build(variant.Env{
-			App:   tpcw.NewApp(counts, manual),
-			DB:    db,
-			Clock: manual,
-			Scale: clock.RealTime,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-	b, err := cluster.New(cluster.Options{Shards: n, LB: lb}, insts, func(path string, q map[string]string) cluster.Decision {
+	return bootClusterOpts(t, manual, cluster.Options{Shards: n, LB: lb})
+}
+
+// bootClusterOpts is bootCluster with the full balancer option surface
+// exposed — the failover tests shorten fan-out deadlines, retry
+// backoffs, and breaker cooldowns so failure paths fire in test time.
+func bootClusterOpts(t *testing.T, clk clock.Clock, opts cluster.Options) (*cluster.Balancer, string) {
+	t.Helper()
+	insts := buildShardInsts(t, clk, opts.Shards, opts.VNodes)
+	b, err := cluster.New(opts, insts, func(path string, q map[string]string) cluster.Decision {
 		key, fanout := tpcw.ShardKey(path, q)
 		return cluster.Decision{Key: key, Fanout: fanout}
 	})
@@ -72,6 +48,46 @@ func bootCluster(t *testing.T, manual *clock.Manual, n int, lb string) (*cluster
 		t.Fatal("cluster did not come up")
 	}
 	return b, addr
+}
+
+// buildShardInsts builds n unmodified-variant shard instances over
+// consistently-partitioned TPC-W databases, all on the given clock.
+func buildShardInsts(t *testing.T, clk clock.Clock, n, vnodes int) []variant.Instance {
+	t.Helper()
+	ring, err := cluster.NewRing(n, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popCfg := tpcw.PopulateConfig{Items: 60, Customers: 40, Orders: 30}
+	insts := make([]variant.Instance, n)
+	for s := 0; s < n; s++ {
+		cost := sqldb.CostModel{}
+		db := sqldb.Open(sqldb.Options{Clock: clk, Timescale: clock.RealTime, Cost: &cost})
+		if err := tpcw.CreateTables(db); err != nil {
+			t.Fatal(err)
+		}
+		s := s
+		counts, err := tpcw.PopulateShard(db, popCfg, func(cID int) bool {
+			return ring.Owner(tpcw.CustomerKey(cID)) == s
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := variant.Lookup(variant.Unmodified)
+		if !ok {
+			t.Fatal("unmodified variant not registered")
+		}
+		insts[s], err = v.Build(variant.Env{
+			App:   tpcw.NewApp(counts, clk),
+			DB:    db,
+			Clock: clk,
+			Scale: clock.RealTime,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return insts
 }
 
 // TestClusterReadYourWrites drives the cross-shard write path through

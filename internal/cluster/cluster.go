@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/variant"
@@ -33,6 +34,14 @@ const (
 	// ProbeLBWait is the load-balancer stage's current queue depth —
 	// requests parsed but not yet forwarded to a shard.
 	ProbeLBWait = "lb.wait"
+	// ProbeLBRetry counts forward re-attempts — a pooled keep-alive
+	// connection gone stale, or a transient shard error retried after
+	// backoff (cumulative).
+	ProbeLBRetry = "lb.retry"
+	// ProbeLBBreaker counts per-shard circuit-breaker opens: a shard
+	// that failed BreakerThreshold consecutive forwards is skipped
+	// until its cooldown expires (cumulative).
+	ProbeLBBreaker = "lb.breaker"
 )
 
 // Options configures a Balancer.
@@ -49,8 +58,29 @@ type Options struct {
 	Workers int
 	// QueueCap bounds the LB stage queue (0 = stage default).
 	QueueCap int
-	// Clock is used for backend dial pacing; nil means clock.Real.
+	// Clock schedules the balancer's paper-time deadlines (fan-out
+	// deadline, retry backoff, breaker cooldown); nil means clock.Real.
 	Clock clock.Clock
+	// Scale converts those paper-time deadlines to wall time; <= 0
+	// means clock.RealTime.
+	Scale clock.Timescale
+	// FanoutDeadline bounds how long a cross-shard fan-out waits for
+	// every shard, in paper time, before degrading to the responses in
+	// hand. Zero means the 10 s default; negative disables the deadline
+	// (the old reply-after-all-forever behavior).
+	FanoutDeadline time.Duration
+	// Retries is how many times a failed forward is re-attempted after
+	// backoff. Zero means the default of 2; negative disables retries.
+	Retries int
+	// RetryBackoff is the paper-time pause before each re-attempt
+	// (0 = 100 ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold opens a shard's circuit breaker after that many
+	// consecutive forward failures (0 = 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker skips a shard before
+	// letting a trial request through, in paper time (0 = 10 s).
+	BreakerCooldown time.Duration
 }
 
 // DecodeSettings splits the cluster-owned settings out of a config's

@@ -1,0 +1,232 @@
+package cluster_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/cluster"
+	"stagedweb/internal/stage"
+	"stagedweb/internal/tpcw"
+	"stagedweb/internal/variant"
+	"stagedweb/internal/webtest"
+)
+
+// customerOwnedBy finds a populated customer whose consistent-hash
+// owner is the given shard — the ring construction is deterministic,
+// so rebuilding it here matches the balancer's routing exactly.
+func customerOwnedBy(t *testing.T, shards, shard int) int {
+	t.Helper()
+	ring, err := cluster.NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c <= 40; c++ {
+		if ring.Owner(tpcw.CustomerKey(c)) == shard {
+			return c
+		}
+	}
+	t.Fatalf("no customer in 1..40 owned by shard %d", shard)
+	return 0
+}
+
+func orderDisplayPath(c int) string {
+	return fmt.Sprintf("%s?uname=%s&passwd=pw%d", tpcw.PageOrderDisplay, tpcw.Uname(c), c)
+}
+
+// TestShardDownKeyedFailFastAndRejoin: with a shard marked down, pages
+// keyed to its customers fail fast (bounded wall time, 502 — the data
+// lives nowhere else) while everyone else's pages and key-less reads
+// keep working; marking the shard up restores its customers.
+func TestShardDownKeyedFailFastAndRejoin(t *testing.T) {
+	const shards = 2
+	b, addr := bootClusterOpts(t, clock.Real{}, cluster.Options{
+		Shards: shards, LB: cluster.LBHash,
+		// Compress the paper-time failover knobs so nothing in this
+		// test waits for real seconds.
+		Scale: 1000,
+	})
+	defer b.Stop()
+
+	downC := customerOwnedBy(t, shards, 1)
+	liveC := customerOwnedBy(t, shards, 0)
+
+	if err := b.SetShardDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := webtest.Get(addr, orderDisplayPath(downC))
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("keyed request to a down shard took %v — not a fast failure", elapsed)
+	}
+	if err != nil {
+		t.Fatalf("keyed request to a down shard should get a response, not a transport error: %v", err)
+	}
+	if resp.Status != 502 {
+		t.Fatalf("keyed request to a down shard: status %d, want 502", resp.Status)
+	}
+
+	// Other customers and key-less reads are untouched by the outage.
+	if resp, err := webtest.Get(addr, orderDisplayPath(liveC)); err != nil || resp.Status != 200 {
+		t.Fatalf("live shard's customer during outage: status %v, err %v", resp, err)
+	}
+	for i := 0; i < 10; i++ {
+		if resp, err := webtest.Get(addr, tpcw.PageProductDetail+"?i_id=3"); err != nil || resp.Status != 200 {
+			t.Fatalf("key-less read %d during outage: %v, err %v", i, resp, err)
+		}
+	}
+
+	if err := b.SetShardDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := webtest.Get(addr, orderDisplayPath(downC)); err != nil || resp.Status != 200 {
+		t.Fatalf("rejoined shard's customer: %v, err %v", resp, err)
+	}
+}
+
+// TestShardDownFanoutDegrades: a cross-shard broadcast with a dead
+// shard answers from the survivors within bounded time instead of
+// wedging, and the write is visible on the shards that took it.
+func TestShardDownFanoutDegrades(t *testing.T) {
+	const shards = 2
+	b, addr := bootClusterOpts(t, clock.Real{}, cluster.Options{
+		Shards: shards, LB: cluster.LBHash,
+		Scale: 1000, // 10 paper-second fan-out deadline -> 10 ms wall
+	})
+	defer b.Stop()
+
+	if err := b.SetShardDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := webtest.Get(addr, tpcw.PageAdminResponse+"?i_id=7&cost=42.50")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fan-out with a down shard took %v — wedged past the deadline", elapsed)
+	}
+	if err != nil {
+		t.Fatalf("degraded fan-out: %v", err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("degraded fan-out: status %d, want 200 from the surviving shard", resp.Status)
+	}
+	// The surviving shard applied the broadcast; key-less reads route
+	// around the corpse, so the new price is immediately readable.
+	resp, err = webtest.Get(addr, tpcw.PageProductDetail+"?i_id=7")
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("read after degraded broadcast: %v, err %v", resp, err)
+	}
+	if !strings.Contains(string(resp.Body), "$42.50") {
+		t.Error("surviving shard does not show the broadcast write")
+	}
+}
+
+// unresponsiveShard is a variant.Instance that accepts connections and
+// slams them shut — every forward to it fails at the wire, exercising
+// the retry budget and the circuit breaker rather than the down flag.
+type unresponsiveShard struct{ stop chan struct{} }
+
+func newUnresponsiveShard() *unresponsiveShard {
+	return &unresponsiveShard{stop: make(chan struct{})}
+}
+
+func (u *unresponsiveShard) Serve(l net.Listener) error {
+	go func() { <-u.stop; _ = l.Close() }()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return nil
+		}
+		_ = c.Close()
+	}
+}
+
+func (u *unresponsiveShard) Stop() {
+	select {
+	case <-u.stop:
+	default:
+		close(u.stop)
+	}
+}
+
+func (u *unresponsiveShard) Graph() *stage.Graph     { return stage.NewGraph() }
+func (u *unresponsiveShard) Probes() []variant.Probe { return nil }
+
+// TestBreakerOpensOnFailingShard: repeated forward failures to a shard
+// burn the retry budget, trip its breaker, and subsequent requests to
+// it fail fast while the breaker is open.
+func TestBreakerOpensOnFailingShard(t *testing.T) {
+	const shards = 2
+	// Shard 0 is real; shard 1 answers every forward with a slammed
+	// connection. Small retry budget and a 2-failure breaker threshold
+	// keep the test to a handful of requests.
+	insts := buildShardInsts(t, clock.Real{}, shards, 0)
+	insts[1].Stop()
+	insts[1] = newUnresponsiveShard()
+	b, err := cluster.New(cluster.Options{
+		Shards: shards, LB: cluster.LBHash,
+		Retries: 1, RetryBackoff: time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 10 * time.Second,
+	}, insts, func(path string, q map[string]string) cluster.Decision {
+		key, fanout := tpcw.ShardKey(path, q)
+		return cluster.Decision{Key: key, Fanout: fanout}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, addr, err := webtest.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = b.Serve(l) }()
+	defer b.Stop()
+
+	liveC := customerOwnedBy(t, shards, 0)
+	deadC := customerOwnedBy(t, shards, 1)
+	if !webtest.WaitUntil(5*time.Second, func() bool {
+		resp, err := webtest.Get(addr, orderDisplayPath(liveC))
+		return err == nil && resp.Status == 200
+	}) {
+		t.Fatal("cluster did not come up")
+	}
+
+	// Two keyed requests to the broken shard: each burns the retry
+	// budget and counts a forward failure; the second opens the breaker.
+	for i := 0; i < 2; i++ {
+		resp, err := webtest.Get(addr, orderDisplayPath(deadC))
+		if err != nil || resp.Status != 502 {
+			t.Fatalf("request %d to the broken shard: %v, err %v (want 502)", i, resp, err)
+		}
+	}
+	if got := b.Retries(); got < 2 {
+		t.Errorf("Retries = %d, want >= 2 (one per burned retry budget)", got)
+	}
+	if got := b.BreakerOpens(); got < 1 {
+		t.Fatalf("BreakerOpens = %d, want >= 1", got)
+	}
+
+	// Breaker open: the next request fails fast without a forward, and
+	// healthy traffic (keyed to shard 0, and key-less routed around the
+	// open breaker) is unaffected.
+	retriesBefore := b.Retries()
+	start := time.Now()
+	if resp, err := webtest.Get(addr, orderDisplayPath(deadC)); err != nil || resp.Status != 502 {
+		t.Fatalf("breaker-open request: %v, err %v (want 502)", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("breaker-open request took %v — not a fast failure", elapsed)
+	}
+	if got := b.Retries(); got != retriesBefore {
+		t.Errorf("breaker-open request still forwarded: retries %d -> %d", retriesBefore, got)
+	}
+	if resp, err := webtest.Get(addr, orderDisplayPath(liveC)); err != nil || resp.Status != 200 {
+		t.Fatalf("healthy shard while breaker open: %v, err %v", resp, err)
+	}
+	for i := 0; i < 5; i++ {
+		if resp, err := webtest.Get(addr, tpcw.PageHome); err != nil || resp.Status != 200 {
+			t.Fatalf("key-less read %d while breaker open: %v, err %v", i, resp, err)
+		}
+	}
+}

@@ -268,6 +268,7 @@ func New(cfg Config) (*Server, error) {
 		Replicas: cfg.Replicas,
 		Conns:    cfg.DBConns,
 		Clock:    cfg.Clock,
+		Scale:    cfg.Scale,
 		Async:    cfg.ReplAsync,
 	})
 	dbc := s.tier.Conn()

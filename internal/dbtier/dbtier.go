@@ -12,10 +12,10 @@
 // synchronously under the primary's table write lock. Two modes pick
 // the consistency point:
 //
-//   - sync (default): Exec returns once every replica has applied the
-//     statement's CommitTS. Readers anywhere see the write — the old
-//     external behavior — but the wait overlaps across replicas and no
-//     longer serializes the whole tier under a table lock.
+//   - sync (default): Exec returns once every in-rotation replica has
+//     applied the statement's CommitTS. Readers anywhere see the write —
+//     the old external behavior — but the wait overlaps across replicas
+//     and no longer serializes the whole tier under a table lock.
 //   - async: Exec returns at primary commit, waiting only if the
 //     slowest replica is more than MaxLag commits behind (bounded
 //     staleness backpressure). Replica reads may briefly return stale
@@ -23,22 +23,42 @@
 //     write (read-your-writes holds whenever the rotation lands there,
 //     and always holds for data the handler re-reads via the primary).
 //
+// Failover (the dependability half): every replica backend carries a
+// health state — active, ejected, resync. A replica that dies (fault
+// injection via KillBackend, or repeated statement failures) or turns
+// pathologically slow (SetBackendDelay beyond SlowThreshold) is ejected
+// from the read rotation: reads fail over to the next healthy backend,
+// and sync-mode writers stop waiting for it, so a dead replica degrades
+// capacity instead of wedging the tier. While ejected its applied
+// watermark no longer holds back replication-log truncation. When the
+// backend comes back it enters resync: the applier catches up by
+// replaying the log from its watermark, or — when the log has been
+// truncated past that watermark — by swapping in a fresh CloneSnapshot
+// of the primary and replaying from the snapshot point. The replica
+// reintegrates into the rotation only once it has applied everything
+// committed so far (checked under the same lock sync-mode writers use),
+// so read-your-writes still holds across an eject/reintegrate cycle.
+//
 // The tier also owns the "precious database connection resources" the
 // DSN'09 paper husbands: each backend engine has a fixed pool of
 // connections (absorbing the former internal/dbpool package), and every
 // statement acquires one through an instrumented path — an in-use gauge,
 // a wait counter, and a wait-time histogram, surfaced by the server
-// variants as the db.inuse / db.wait / db.queries probes. Applier
-// connections are separate from the pools, so replication never starves
-// read capacity. Because a pooled connection executes one statement at
-// a time, the per-backend pool size is also the engine's statement
-// concurrency.
+// variants as the db.inuse / db.wait / db.queries probes. Acquisition
+// is deadline-bounded (AcquireTimeout, paper time): a pool starved by a
+// dead backend or a connection leak yields ErrAcquireTimeout instead of
+// blocking the handler forever. Applier connections are separate from
+// the pools, so replication never starves read capacity. Because a
+// pooled connection executes one statement at a time, the per-backend
+// pool size is also the engine's statement concurrency.
 package dbtier
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/metrics"
@@ -48,8 +68,33 @@ import (
 // ErrTierClosed is returned by statement execution after Close.
 var ErrTierClosed = errors.New("dbtier: tier closed")
 
+// ErrBackendDown is returned when a statement lands on a backend whose
+// engine is down (fault injection). Reads fail over past it; the error
+// only surfaces when no healthy backend remains.
+var ErrBackendDown = errors.New("dbtier: backend down")
+
+// ErrAcquireTimeout is returned when acquiring a pooled connection
+// exceeds the tier's paper-time deadline — the bounded-wait replacement
+// for blocking forever on a starved pool.
+var ErrAcquireTimeout = errors.New("dbtier: connection acquisition timed out")
+
 // defaultMaxLag bounds async-mode replica staleness, in commits.
 const defaultMaxLag = 256
+
+// Failover defaults, in paper time where durations.
+const (
+	defaultAcquireTimeout = 10 * time.Second
+	defaultFailThreshold  = 3
+	defaultSlowThreshold  = time.Second
+	healthInterval        = time.Second
+)
+
+// Backend health states.
+const (
+	stateActive  int32 = iota // in the read rotation; sync writers wait for it
+	stateEjected              // out of rotation; does not hold back log truncation
+	stateResync               // healthy again, catching up; reintegrates when caught up
+)
 
 // Options configures a Tier.
 type Options struct {
@@ -60,8 +105,13 @@ type Options struct {
 	// Conns is the connection pool size per backend — the per-engine
 	// statement concurrency. It must be positive.
 	Conns int
-	// Clock times acquisition waits; defaults to the real clock.
+	// Clock times acquisition waits and schedules health checks;
+	// defaults to the real clock.
 	Clock clock.Clock
+	// Scale converts the tier's paper-time deadlines (AcquireTimeout,
+	// SlowThreshold, health-check cadence) to wall time; zero or
+	// negative means clock.RealTime.
+	Scale clock.Timescale
 	// Async selects asynchronous replication: Exec returns at primary
 	// commit instead of waiting for every replica to apply. False — the
 	// default — preserves the old synchronous external behavior.
@@ -70,20 +120,47 @@ type Options struct {
 	// primary in async mode before writers are backpressured; <= 0
 	// means defaultMaxLag. Ignored in sync mode.
 	MaxLag int
+	// AcquireTimeout bounds pooled-connection acquisition, in paper
+	// time. Zero means the 10 s default; negative disables the deadline
+	// (the old block-forever behavior).
+	AcquireTimeout time.Duration
+	// FailThreshold is how many consecutive failures (statement errors
+	// on a down backend, or unhealthy health-check ticks) eject a
+	// replica from the read rotation; <= 0 means 3.
+	FailThreshold int
+	// SlowThreshold ejects a replica whose injected statement latency
+	// exceeds it, in paper time; <= 0 means 1 s.
+	SlowThreshold time.Duration
 }
 
-// backend is one engine plus its bounded connection pool.
+// backend is one engine plus its bounded connection pool. The engine
+// and pool are swappable (atomically, under the tier's closeMu) so a
+// resync can replace a stale replica with a fresh snapshot clone while
+// statements are in flight.
 type backend struct {
-	db    *sqldb.DB
-	conns chan *sqldb.Conn
+	dbv   atomic.Pointer[sqldb.DB]
+	connv atomic.Value // chan *sqldb.Conn
+
+	state atomic.Int32 // stateActive / stateEjected / stateResync
+	down  atomic.Bool  // fault injection: engine refuses statements
+	delay atomic.Int64 // injected statement latency, paper ns
+	fails atomic.Int32 // consecutive failures while active
 }
+
+func (b *backend) db() *sqldb.DB          { return b.dbv.Load() }
+func (b *backend) pool() chan *sqldb.Conn { return b.connv.Load().(chan *sqldb.Conn) }
 
 // replica is one read replica's replication state: the applier's
 // dedicated connection and the commit timestamp applied so far.
 type replica struct {
-	db      *sqldb.DB
+	b       *backend
 	apply   *sqldb.Conn
 	applied atomic.Int64
+
+	// upCh parks the applier while the backend is down; closed and
+	// replaced by RestartBackend to wake it.
+	upMu sync.Mutex
+	upCh chan struct{}
 }
 
 // Tier is a replicated database tier. Handlers reach it through Conn
@@ -93,36 +170,57 @@ type Tier struct {
 	replicas []*replica // backends[1:]
 	log      *sqldb.ReplLog
 	clk      clock.Clock
+	scale    clock.Timescale
 	poolSize int
 	async    bool
 	maxLag   int64
+
+	acquireTimeout time.Duration // paper; <= 0 disables
+	failThreshold  int32
+	slowThreshold  time.Duration // paper
 
 	next      atomic.Uint64 // round-robin read cursor
 	done      chan struct{}
 	applyWG   sync.WaitGroup
 	closeOnce sync.Once
-	// closeMu orders release against Close: once closed is set no new
-	// connection can land in a pool channel, so Close's drain is final.
+	// closeMu orders release against Close and against resync engine
+	// swaps: once closed is set no new connection can land in a pool
+	// channel, and release's stale-engine check is atomic with the swap.
 	closeMu sync.Mutex
 	closed  bool
+
+	// stateMu orders replica reintegration against sync-mode waiters:
+	// the "caught up, back in rotation" flip and the "every active
+	// replica applied my commit" check run under it, so a stale replica
+	// can never enter the rotation between a writer's wait completing
+	// and its reader's next statement. Only atomic loads/stores happen
+	// under it.
+	stateMu sync.Mutex
 
 	// progCh broadcasts replica apply progress: closed and replaced
 	// whenever any replica advances, waking CommitTS / lag waiters.
 	progMu sync.Mutex
 	progCh chan struct{}
 
+	// leaked holds pool connections deliberately withheld by the leak
+	// fault plan, so ReleaseLeaked / Close can return or close them.
+	leakMu sync.Mutex
+	leaked []*sqldb.Conn
+
 	inUse      metrics.Gauge
 	waits      metrics.Counter
 	waitTime   metrics.Histogram
 	replayErrs metrics.Counter
+	ejected    metrics.Counter
+	resyncs    metrics.Counter
 }
 
 // New builds a tier over primary. Replicas beyond the first are cloned
 // from the primary's current contents (schema, rows, auto-increment
 // state), so build the tier after the database is populated. With more
 // than one backend the tier enables the primary's replication log and
-// starts one applier goroutine per replica; Close stops them and
-// detaches the log.
+// starts one applier goroutine per replica plus a health-check loop;
+// Close stops them and detaches the log.
 func New(primary *sqldb.DB, opts Options) *Tier {
 	if primary == nil {
 		panic("dbtier: nil primary")
@@ -136,16 +234,32 @@ func New(primary *sqldb.DB, opts Options) *Tier {
 	if opts.Clock == nil {
 		opts.Clock = clock.Real{}
 	}
+	if opts.Scale <= 0 {
+		opts.Scale = clock.RealTime
+	}
 	if opts.MaxLag <= 0 {
 		opts.MaxLag = defaultMaxLag
 	}
+	if opts.AcquireTimeout == 0 {
+		opts.AcquireTimeout = defaultAcquireTimeout
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = defaultFailThreshold
+	}
+	if opts.SlowThreshold <= 0 {
+		opts.SlowThreshold = defaultSlowThreshold
+	}
 	t := &Tier{
-		clk:      opts.Clock,
-		poolSize: opts.Conns,
-		async:    opts.Async,
-		maxLag:   int64(opts.MaxLag),
-		done:     make(chan struct{}),
-		progCh:   make(chan struct{}),
+		clk:            opts.Clock,
+		scale:          opts.Scale,
+		poolSize:       opts.Conns,
+		async:          opts.Async,
+		maxLag:         int64(opts.MaxLag),
+		acquireTimeout: opts.AcquireTimeout,
+		failThreshold:  int32(opts.FailThreshold),
+		slowThreshold:  opts.SlowThreshold,
+		done:           make(chan struct{}),
+		progCh:         make(chan struct{}),
 	}
 	if opts.Replicas > 1 {
 		// Enable the log before cloning: every commit after a clone's
@@ -154,22 +268,29 @@ func New(primary *sqldb.DB, opts Options) *Tier {
 	}
 	for i := 0; i < opts.Replicas; i++ {
 		db := primary
+		b := &backend{}
 		if i > 0 {
 			clone, asOf := primary.CloneSnapshot()
-			r := &replica{db: clone, apply: clone.Connect()}
+			r := &replica{b: b, apply: clone.Connect(), upCh: make(chan struct{})}
 			r.applied.Store(asOf)
 			t.replicas = append(t.replicas, r)
 			db = clone
 		}
-		b := &backend{db: db, conns: make(chan *sqldb.Conn, opts.Conns)}
+		b.dbv.Store(db)
+		pool := make(chan *sqldb.Conn, opts.Conns)
 		for j := 0; j < opts.Conns; j++ {
-			b.conns <- db.Connect()
+			pool <- db.Connect()
 		}
+		b.connv.Store(pool)
 		t.backends = append(t.backends, b)
 	}
 	for _, r := range t.replicas {
 		t.applyWG.Add(1)
 		go t.applyLoop(r)
+	}
+	if len(t.replicas) > 0 {
+		t.applyWG.Add(1)
+		go t.healthLoop()
 	}
 	return t
 }
@@ -195,19 +316,28 @@ func (t *Tier) Close() {
 			r.apply.Close()
 		}
 		if t.log != nil {
-			t.backends[0].db.DisableReplLog()
+			t.backends[0].db().DisableReplLog()
 		}
 		// No release can add to a pool once closed is set, so a single
 		// drain closes every pooled connection for good.
 		for _, b := range t.backends {
+			pool := b.pool()
 			for drained := false; !drained; {
 				select {
-				case c := <-b.conns:
+				case c := <-pool:
 					c.Close()
 				default:
 					drained = true
 				}
 			}
+		}
+		t.leakMu.Lock()
+		leaked := t.leaked
+		t.leaked = nil
+		t.leakMu.Unlock()
+		for _, c := range leaked {
+			t.inUse.Dec()
+			c.Close()
 		}
 	})
 }
@@ -216,12 +346,37 @@ func (t *Tier) Close() {
 // replays each committed statement, in commit order, on the replica's
 // dedicated connection. Replay preserves auto-increment determinism
 // because the replica started from a commit-consistent clone and
-// applies the identical statement stream single-threaded.
+// applies the identical statement stream single-threaded. While the
+// backend is down the applier parks; on revival it catches up from the
+// log, or from a fresh snapshot clone when the log has been truncated
+// past its watermark.
 func (t *Tier) applyLoop(r *replica) {
 	defer t.applyWG.Done()
 	for {
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		if r.b.down.Load() {
+			if !r.waitUp(t.done) {
+				return
+			}
+			continue
+		}
+		if t.log.Base() > r.applied.Load() {
+			// The log no longer reaches back to this replica's
+			// watermark (it was ejected long enough for truncation to
+			// pass it): resync from a fresh snapshot of the primary.
+			if !t.resyncClone(r) {
+				return
+			}
+			t.maybeReintegrate(r)
+			continue
+		}
 		entries, changed := t.log.Since(r.applied.Load())
 		if len(entries) == 0 {
+			t.maybeReintegrate(r)
 			select {
 			case <-t.done:
 				return
@@ -235,6 +390,9 @@ func (t *Tier) applyLoop(r *replica) {
 				return
 			default:
 			}
+			if r.b.down.Load() {
+				break // died mid-batch; park at the top of the loop
+			}
 			args := make([]any, len(e.Args))
 			for i, v := range e.Args {
 				args[i] = v
@@ -245,9 +403,260 @@ func (t *Tier) applyLoop(r *replica) {
 			r.applied.Store(e.TS)
 			t.notifyProgress()
 		}
-		t.log.TruncateThrough(t.minApplied())
+		t.maybeReintegrate(r)
+		t.log.TruncateThrough(t.truncWatermark())
 	}
 }
+
+// waitUp parks the applier until the backend is restarted or the tier
+// closes; false means closed.
+func (r *replica) waitUp(done <-chan struct{}) bool {
+	for r.b.down.Load() {
+		r.upMu.Lock()
+		ch := r.upCh
+		r.upMu.Unlock()
+		if !r.b.down.Load() {
+			return true
+		}
+		select {
+		case <-done:
+			return false
+		case <-ch:
+		}
+	}
+	return true
+}
+
+// resyncClone swaps a stale replica's engine for a fresh snapshot clone
+// of the primary, replacing its connection pool and applier connection;
+// in-flight connections to the old engine are closed as they release.
+// Returns false when the tier closed mid-swap.
+func (t *Tier) resyncClone(r *replica) bool {
+	clone, asOf := t.backends[0].db().CloneSnapshot()
+	newPool := make(chan *sqldb.Conn, t.poolSize)
+	for j := 0; j < t.poolSize; j++ {
+		newPool <- clone.Connect()
+	}
+	t.closeMu.Lock()
+	if t.closed {
+		t.closeMu.Unlock()
+		for drained := false; !drained; {
+			select {
+			case c := <-newPool:
+				c.Close()
+			default:
+				drained = true
+			}
+		}
+		return false
+	}
+	old := r.b.pool()
+	r.b.dbv.Store(clone)
+	r.b.connv.Store(newPool)
+	for drained := false; !drained; {
+		select {
+		case c := <-old:
+			c.Close()
+		default:
+			drained = true
+		}
+	}
+	t.closeMu.Unlock()
+	r.apply.Close()
+	r.apply = clone.Connect()
+	r.applied.Store(asOf)
+	t.notifyProgress()
+	return true
+}
+
+// healthLoop runs the periodic health check: it ejects replicas that
+// are down or pathologically slow, moves revived replicas to resync,
+// and reintegrates caught-up ones. One paper-second cadence on the
+// tier's injected clock, so fault experiments replay deterministically
+// under clock.Manual.
+func (t *Tier) healthLoop() {
+	defer t.applyWG.Done()
+	tick := t.clk.NewTicker(t.scale.Wall(healthInterval))
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C():
+		}
+		for _, r := range t.replicas {
+			t.checkHealth(r)
+		}
+	}
+}
+
+// checkHealth advances one replica's health state machine by one tick.
+func (t *Tier) checkHealth(r *replica) {
+	b := r.b
+	healthy := !b.down.Load() && time.Duration(b.delay.Load()) <= t.slowThreshold
+	switch b.state.Load() {
+	case stateActive:
+		if healthy {
+			b.fails.Store(0)
+			return
+		}
+		if b.fails.Add(1) >= t.failThreshold {
+			t.eject(b)
+		}
+	case stateEjected:
+		if healthy {
+			b.fails.Store(0)
+			t.stateMu.Lock()
+			if b.state.Load() == stateEjected {
+				b.state.Store(stateResync)
+			}
+			t.stateMu.Unlock()
+		}
+	case stateResync:
+		if !healthy {
+			t.stateMu.Lock()
+			if b.state.Load() == stateResync {
+				b.state.Store(stateEjected)
+			}
+			t.stateMu.Unlock()
+			return
+		}
+		t.maybeReintegrate(r)
+	}
+}
+
+// eject removes a replica backend from the read rotation. Waiters are
+// woken so sync-mode writers stop waiting on the dead replica.
+func (t *Tier) eject(b *backend) {
+	t.stateMu.Lock()
+	if b.state.Load() != stateActive {
+		t.stateMu.Unlock()
+		return
+	}
+	b.state.Store(stateEjected)
+	t.stateMu.Unlock()
+	t.ejected.Inc()
+	t.notifyProgress()
+}
+
+// noteFailure records a statement failure against a backend; enough
+// consecutive failures eject a replica without waiting for the next
+// health tick. The primary is never ejected.
+func (t *Tier) noteFailure(b *backend) {
+	if b == t.backends[0] {
+		return
+	}
+	if b.state.Load() != stateActive {
+		return
+	}
+	if b.fails.Add(1) >= t.failThreshold {
+		t.eject(b)
+	}
+}
+
+// maybeReintegrate returns a resyncing replica to the read rotation
+// once it has applied everything committed so far. The check and the
+// state flip happen under stateMu — the same lock sync-mode waiters
+// check under — so a write can never complete its replication wait
+// while a replica that missed it is entering the rotation.
+func (t *Tier) maybeReintegrate(r *replica) {
+	b := r.b
+	if b.state.Load() != stateResync {
+		return
+	}
+	t.stateMu.Lock()
+	if b.state.Load() == stateResync && r.applied.Load() >= t.backends[0].db().CommitTS() {
+		b.state.Store(stateActive)
+		b.fails.Store(0)
+		t.stateMu.Unlock()
+		t.resyncs.Inc()
+		t.notifyProgress()
+		return
+	}
+	t.stateMu.Unlock()
+}
+
+// ---- fault injection surface ----
+
+// KillBackend marks replica backend i (1-based index into Backends;
+// the primary cannot be killed) as down: statements on it fail, its
+// applier parks, and the health loop ejects it from the rotation.
+func (t *Tier) KillBackend(i int) error {
+	if i <= 0 || i >= len(t.backends) {
+		return fmt.Errorf("dbtier: kill: no replica backend %d", i)
+	}
+	t.backends[i].down.Store(true)
+	return nil
+}
+
+// RestartBackend revives a killed replica backend: its applier wakes
+// and catches up (replaying the log, or resyncing from a snapshot
+// clone when the log has been truncated past its watermark), and the
+// replica reintegrates into the rotation once caught up.
+func (t *Tier) RestartBackend(i int) error {
+	if i <= 0 || i >= len(t.backends) {
+		return fmt.Errorf("dbtier: restart: no replica backend %d", i)
+	}
+	t.backends[i].down.Store(false)
+	r := t.replicas[i-1]
+	r.upMu.Lock()
+	close(r.upCh)
+	r.upCh = make(chan struct{})
+	r.upMu.Unlock()
+	return nil
+}
+
+// SetBackendDelay injects d of added paper-time latency into every
+// statement executed on backend i (0 is the primary). Delays beyond
+// SlowThreshold get a replica ejected from the rotation; zero clears
+// the injection.
+func (t *Tier) SetBackendDelay(i int, d time.Duration) error {
+	if i < 0 || i >= len(t.backends) {
+		return fmt.Errorf("dbtier: delay: no backend %d", i)
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.backends[i].delay.Store(int64(d))
+	return nil
+}
+
+// LeakConns withholds up to n primary-pool connections without
+// releasing them (n <= 0 means every currently idle one), simulating a
+// connection leak. Returns how many were taken. Leaked connections
+// count as in-use until ReleaseLeaked or Close.
+func (t *Tier) LeakConns(n int) int {
+	pool := t.backends[0].pool()
+	t.leakMu.Lock()
+	defer t.leakMu.Unlock()
+	got := 0
+	for n <= 0 || got < n {
+		select {
+		case c := <-pool:
+			t.inUse.Inc()
+			t.leaked = append(t.leaked, c)
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ReleaseLeaked returns every leaked connection to the primary pool,
+// reporting how many were released.
+func (t *Tier) ReleaseLeaked() int {
+	t.leakMu.Lock()
+	leaked := t.leaked
+	t.leaked = nil
+	t.leakMu.Unlock()
+	for _, c := range leaked {
+		t.release(t.backends[0], c)
+	}
+	return len(leaked)
+}
+
+// ---- replication waits ----
 
 // notifyProgress wakes everything blocked on replica apply progress.
 func (t *Tier) notifyProgress() {
@@ -265,27 +674,62 @@ func (t *Tier) progress() <-chan struct{} {
 	return ch
 }
 
-// minApplied reports the slowest replica's applied commit timestamp.
-func (t *Tier) minApplied() int64 {
+// minActiveAppliedLocked reports the slowest in-rotation replica's
+// applied commit timestamp; with none in rotation, the primary's
+// CommitTS (writers have nothing to wait for). Callers hold stateMu.
+func (t *Tier) minActiveAppliedLocked() int64 {
 	min := int64(-1)
 	for _, r := range t.replicas {
+		if r.b.state.Load() != stateActive {
+			continue
+		}
 		if a := r.applied.Load(); min < 0 || a < min {
 			min = a
 		}
 	}
 	if min < 0 {
-		return t.backends[0].db.CommitTS()
+		return t.backends[0].db().CommitTS()
 	}
 	return min
 }
 
-// waitApplied blocks until every replica has applied ts, or the tier
-// closes (the write already committed on the primary, so closing is not
-// an error for the writer).
+// minActiveApplied is minActiveAppliedLocked under stateMu.
+func (t *Tier) minActiveApplied() int64 {
+	t.stateMu.Lock()
+	m := t.minActiveAppliedLocked()
+	t.stateMu.Unlock()
+	return m
+}
+
+// truncWatermark reports the replication-log truncation point: the
+// slowest non-ejected replica's applied timestamp. Ejected replicas
+// are excluded — a dead replica must not pin the log forever; if
+// truncation passes its watermark it resyncs from a snapshot clone on
+// revival.
+func (t *Tier) truncWatermark() int64 {
+	min := int64(-1)
+	for _, r := range t.replicas {
+		if r.b.state.Load() == stateEjected {
+			continue
+		}
+		if a := r.applied.Load(); min < 0 || a < min {
+			min = a
+		}
+	}
+	if min < 0 {
+		return t.backends[0].db().CommitTS()
+	}
+	return min
+}
+
+// waitApplied blocks until every in-rotation replica has applied ts,
+// or the tier closes (the write already committed on the primary, so
+// closing is not an error for the writer). Ejection wakes waiters, so
+// a dead replica delays writers by at most the ejection threshold.
 func (t *Tier) waitApplied(ts int64) {
-	for t.minApplied() < ts {
+	for t.minActiveApplied() < ts {
 		ch := t.progress()
-		if t.minApplied() >= ts {
+		if t.minActiveApplied() >= ts {
 			return
 		}
 		select {
@@ -296,12 +740,12 @@ func (t *Tier) waitApplied(ts int64) {
 	}
 }
 
-// waitLag blocks while the slowest replica trails ts by more than
-// MaxLag — async mode's bounded-staleness backpressure.
+// waitLag blocks while the slowest in-rotation replica trails ts by
+// more than MaxLag — async mode's bounded-staleness backpressure.
 func (t *Tier) waitLag(ts int64) {
-	for ts-t.minApplied() > t.maxLag {
+	for ts-t.minActiveApplied() > t.maxLag {
 		ch := t.progress()
-		if ts-t.minApplied() <= t.maxLag {
+		if ts-t.minActiveApplied() <= t.maxLag {
 			return
 		}
 		select {
@@ -312,45 +756,57 @@ func (t *Tier) waitLag(ts int64) {
 	}
 }
 
-// Sync blocks until every replica has applied every statement committed
-// on the primary so far — the barrier tests and direct primary writers
-// use to observe a converged tier.
+// Sync blocks until every in-rotation replica has applied every
+// statement committed on the primary so far — the barrier tests and
+// direct primary writers use to observe a converged tier.
 func (t *Tier) Sync() {
 	if len(t.replicas) == 0 {
 		return
 	}
-	t.waitApplied(t.backends[0].db.CommitTS())
+	t.waitApplied(t.backends[0].db().CommitTS())
 }
 
+// ---- connection pool ----
+
 // acquire obtains a pooled connection to backend b, blocking until one
-// frees up or the tier closes. Waits are counted and timed through the
-// injected clock.
+// frees up, the paper-time acquisition deadline passes, or the tier
+// closes. Waits are counted and timed through the injected clock.
 func (t *Tier) acquire(b *backend) (*sqldb.Conn, error) {
 	select {
 	case <-t.done:
 		return nil, ErrTierClosed
 	default:
 	}
+	pool := b.pool()
 	// Fast path: no blocking.
 	select {
-	case c := <-b.conns:
+	case c := <-pool:
 		t.inUse.Inc()
 		return c, nil
 	default:
 	}
 	t.waits.Inc()
 	start := t.clk.Now()
+	var timeout <-chan time.Time
+	if t.acquireTimeout > 0 {
+		timeout = t.clk.After(t.scale.Wall(t.acquireTimeout))
+	}
 	select {
-	case c := <-b.conns:
+	case c := <-pool:
 		t.waitTime.Observe(t.clk.Since(start))
 		t.inUse.Inc()
 		return c, nil
+	case <-timeout:
+		t.waitTime.Observe(t.clk.Since(start))
+		return nil, ErrAcquireTimeout
 	case <-t.done:
 		return nil, ErrTierClosed
 	}
 }
 
-// release returns a pooled connection; after Close it is closed instead.
+// release returns a pooled connection; after Close, or when the
+// backend's engine was swapped by a resync while the statement ran, the
+// connection is closed instead.
 func (t *Tier) release(b *backend, c *sqldb.Conn) {
 	t.inUse.Dec()
 	t.closeMu.Lock()
@@ -359,8 +815,13 @@ func (t *Tier) release(b *backend, c *sqldb.Conn) {
 		c.Close()
 		return
 	}
+	if c.DB() != b.db() {
+		t.closeMu.Unlock()
+		c.Close()
+		return
+	}
 	select {
-	case b.conns <- c:
+	case b.pool() <- c:
 		t.closeMu.Unlock()
 	default:
 		t.closeMu.Unlock()
@@ -368,11 +829,24 @@ func (t *Tier) release(b *backend, c *sqldb.Conn) {
 	}
 }
 
-// readBackend picks the next backend in the read rotation. The modulo
-// runs in uint64 so the cursor's eventual wrap can never yield a
-// negative index, even where int is 32 bits.
-func (t *Tier) readBackend() *backend {
-	return t.backends[int(t.next.Add(1)%uint64(len(t.backends)))]
+// queryOn executes one SELECT on backend b, applying any injected
+// latency and failing fast when the backend is down.
+func (t *Tier) queryOn(b *backend, sql string, args ...any) (*sqldb.ResultSet, error) {
+	if b.down.Load() {
+		return nil, ErrBackendDown
+	}
+	bc, err := t.acquire(b)
+	if err != nil {
+		return nil, err
+	}
+	defer t.release(b, bc)
+	if d := b.delay.Load(); d > 0 {
+		t.clk.Sleep(t.scale.Wall(time.Duration(d)))
+	}
+	if b.down.Load() {
+		return nil, ErrBackendDown // died while we held the connection
+	}
+	return bc.Query(sql, args...)
 }
 
 // ---- introspection ----
@@ -387,15 +861,28 @@ func (t *Tier) Size() int { return t.poolSize }
 func (t *Tier) Async() bool { return t.async }
 
 // Primary returns the primary engine.
-func (t *Tier) Primary() *sqldb.DB { return t.backends[0].db }
+func (t *Tier) Primary() *sqldb.DB { return t.backends[0].db() }
 
-// Backends lists every engine, primary first.
+// Backends lists every engine, primary first. Resyncs swap replica
+// engines, so the slice reflects the tier at the time of the call.
 func (t *Tier) Backends() []*sqldb.DB {
 	out := make([]*sqldb.DB, len(t.backends))
 	for i, b := range t.backends {
-		out[i] = b.db
+		out[i] = b.db()
 	}
 	return out
+}
+
+// ActiveBackends reports how many backends are in the read rotation,
+// primary included.
+func (t *Tier) ActiveBackends() int {
+	n := 1 // the primary is always in rotation
+	for _, r := range t.replicas {
+		if r.b.state.Load() == stateActive {
+			n++
+		}
+	}
+	return n
 }
 
 // InUse reports how many pooled connections are currently executing,
@@ -414,7 +901,7 @@ func (t *Tier) WaitTimes() *metrics.Histogram { return &t.waitTime }
 func (t *Tier) QueryCount() int64 {
 	var n int64
 	for _, b := range t.backends {
-		n += b.db.QueryCount()
+		n += b.db().QueryCount()
 	}
 	return n
 }
@@ -425,7 +912,7 @@ func (t *Tier) QueryCount() int64 {
 func (t *Tier) Conflicts() int64 {
 	var n int64
 	for _, b := range t.backends {
-		n += b.db.Conflicts()
+		n += b.db().Conflicts()
 	}
 	return n
 }
@@ -435,7 +922,7 @@ func (t *Tier) Conflicts() int64 {
 func (t *Tier) SnapshotReads() int64 {
 	var n int64
 	for _, b := range t.backends {
-		n += b.db.SnapshotReads()
+		n += b.db().SnapshotReads()
 	}
 	return n
 }
@@ -445,7 +932,7 @@ func (t *Tier) SnapshotReads() int64 {
 func (t *Tier) StmtCacheHits() int64 {
 	var n int64
 	for _, b := range t.backends {
-		n += b.db.StmtCacheHits()
+		n += b.db().StmtCacheHits()
 	}
 	return n
 }
@@ -455,20 +942,20 @@ func (t *Tier) StmtCacheHits() int64 {
 func (t *Tier) StmtCacheMisses() int64 {
 	var n int64
 	for _, b := range t.backends {
-		n += b.db.StmtCacheMisses()
+		n += b.db().StmtCacheMisses()
 	}
 	return n
 }
 
-// ReplLag reports how many commits the slowest replica currently trails
-// the primary — zero with no replicas, bounded by MaxLag under async
-// backpressure, and transiently nonzero even in sync mode (the wait
-// happens in Exec, not under a lock).
+// ReplLag reports how many commits the slowest in-rotation replica
+// currently trails the primary — zero with no replicas, bounded by
+// MaxLag under async backpressure, and transiently nonzero even in
+// sync mode (the wait happens in Exec, not under a lock).
 func (t *Tier) ReplLag() int64 {
 	if len(t.replicas) == 0 {
 		return 0
 	}
-	lag := t.backends[0].db.CommitTS() - t.minApplied()
+	lag := t.backends[0].db().CommitTS() - t.minActiveApplied()
 	if lag < 0 {
 		return 0
 	}
@@ -480,6 +967,14 @@ func (t *Tier) ReplLag() int64 {
 // stream from an identical starting state.
 func (t *Tier) ReplayErrors() int64 { return t.replayErrs.Value() }
 
+// Ejected reports replicas ejected from the read rotation so far
+// (cumulative; an eject/reintegrate/eject cycle counts twice).
+func (t *Tier) Ejected() int64 { return t.ejected.Value() }
+
+// Resyncs reports replicas reintegrated into the read rotation after
+// catching up (by log replay or snapshot resync).
+func (t *Tier) Resyncs() int64 { return t.resyncs.Value() }
+
 // Conn is the handler-facing connection facade: the same Query/Exec
 // shape as a *sqldb.Conn, with reads routed round-robin across backends
 // and writes executed on the primary and shipped through the
@@ -488,26 +983,51 @@ type Conn struct {
 	t *Tier
 }
 
-// Query executes a SELECT on the next backend in the read rotation.
+// Query executes a SELECT on the next backend in the read rotation,
+// failing over past ejected, dead, and pool-starved backends: a read
+// only fails once every backend has been tried.
 func (c *Conn) Query(sql string, args ...any) (*sqldb.ResultSet, error) {
-	b := c.t.readBackend()
-	bc, err := c.t.acquire(b)
-	if err != nil {
-		return nil, err
+	t := c.t
+	n := uint64(len(t.backends))
+	cursor := t.next.Add(1)
+	var lastErr error
+	for k := uint64(0); k < n; k++ {
+		idx := int((cursor + k) % n)
+		b := t.backends[idx]
+		if idx != 0 && b.state.Load() != stateActive {
+			continue
+		}
+		res, err := t.queryOn(b, sql, args...)
+		if err == nil {
+			b.fails.Store(0)
+			return res, nil
+		}
+		if errors.Is(err, ErrBackendDown) || errors.Is(err, ErrAcquireTimeout) {
+			t.noteFailure(b)
+			lastErr = err
+			continue
+		}
+		return nil, err // genuine statement error: do not mask it
 	}
-	defer c.t.release(b, bc)
-	return bc.Query(sql, args...)
+	if lastErr == nil {
+		lastErr = ErrBackendDown
+	}
+	return nil, lastErr
 }
 
 // Exec executes a DML statement on the primary. In sync mode it then
-// waits (holding no pooled connection) until every replica has applied
-// the statement; in async mode it returns immediately unless the
-// slowest replica is more than MaxLag commits behind.
+// waits (holding no pooled connection) until every in-rotation replica
+// has applied the statement; in async mode it returns immediately
+// unless the slowest in-rotation replica is more than MaxLag commits
+// behind.
 func (c *Conn) Exec(sql string, args ...any) (sqldb.ExecResult, error) {
 	b := c.t.backends[0]
 	bc, err := c.t.acquire(b)
 	if err != nil {
 		return sqldb.ExecResult{}, err
+	}
+	if d := b.delay.Load(); d > 0 {
+		c.t.clk.Sleep(c.t.scale.Wall(time.Duration(d)))
 	}
 	res, err := bc.Exec(sql, args...)
 	c.t.release(b, bc) // before any replication wait: don't hold the pool slot

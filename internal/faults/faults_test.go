@@ -1,0 +1,202 @@
+package faults_test
+
+import (
+	"testing"
+	"time"
+
+	"stagedweb/internal/clock"
+	"stagedweb/internal/dbtier"
+	"stagedweb/internal/faults"
+	"stagedweb/internal/sqldb"
+	"stagedweb/internal/variant"
+)
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	for _, name := range []string{faults.ReplicaKill, faults.ShardDown, faults.SlowBackend, faults.ConnDrop, faults.Leak} {
+		if _, ok := faults.Lookup(name); !ok {
+			t.Errorf("built-in plan %q is not registered", name)
+		}
+	}
+}
+
+func TestDecodeSettings(t *testing.T) {
+	plan, set, rest, err := faults.DecodeSettings(
+		variant.Settings{"faults": "replica-kill", "faultset": "at=10s,target=1", "workers": "8"},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != faults.ReplicaKill {
+		t.Fatalf("plan = %q", plan)
+	}
+	if set["at"] != "10s" || set["target"] != "1" {
+		t.Fatalf("set = %v", set)
+	}
+	if _, leaked := rest["faults"]; leaked {
+		t.Fatal("faults key leaked into rest")
+	}
+	if rest["workers"] != "8" {
+		t.Fatalf("rest = %v", rest)
+	}
+
+	// "none" and empty both disable.
+	if plan, _, _, err = faults.DecodeSettings(variant.Settings{"faults": "none"}, nil); err != nil || plan != "" {
+		t.Fatalf("faults=none: plan %q, err %v", plan, err)
+	}
+	// Unknown plans and orphaned faultset are build errors.
+	if _, _, _, err = faults.DecodeSettings(variant.Settings{"faults": "nope"}, nil); err == nil {
+		t.Fatal("unknown plan accepted")
+	}
+	if _, _, _, err = faults.DecodeSettings(variant.Settings{"faultset": "at=10s"}, nil); err == nil {
+		t.Fatal("faultset without a plan accepted")
+	}
+	// Plan can arrive through the lowered defaults too.
+	if plan, _, _, err = faults.DecodeSettings(nil, variant.Settings{"faults": "leak"}); err != nil || plan != faults.Leak {
+		t.Fatalf("default plan: %q, err %v", plan, err)
+	}
+}
+
+func newFaultDB(t *testing.T) *sqldb.DB {
+	t.Helper()
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
+	db.MustCreateTable(sqldb.Schema{
+		Table: "kv",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.Int},
+			{Name: "v", Type: sqldb.String},
+		},
+		PrimaryKey: "id",
+	})
+	c := db.Connect()
+	defer c.Close()
+	for i := 1; i <= 3; i++ {
+		if _, err := c.Exec("INSERT INTO kv (id, v) VALUES (?, ?)", i, "seed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// waitCond polls (in wall time) until cond holds — the manual clock
+// fires waiters synchronously, but the woken goroutines still need host
+// scheduler time to act.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// replayReplicaKill drives one full replica-kill run on a manual clock:
+// kill at 5 s, restart at 15 s, then enough health ticks to eject,
+// resync, and reintegrate the replica. It returns the injector's event
+// log and the tier's ejection/reintegration counters.
+func replayReplicaKill(t *testing.T) ([]faults.Event, int64, int64) {
+	t.Helper()
+	db := newFaultDB(t)
+	mc := clock.NewManual(time.Unix(0, 0))
+	tier := dbtier.New(db, dbtier.Options{Replicas: 2, Conns: 2, Clock: mc, Scale: clock.RealTime})
+	defer tier.Close()
+
+	plan, ok := faults.Lookup(faults.ReplicaKill)
+	if !ok {
+		t.Fatal("replica-kill not registered")
+	}
+	inj, err := plan.Build(faults.Env{
+		Clock:   mc,
+		Scale:   clock.RealTime,
+		Targets: faults.Targets{Tiers: []*dbtier.Tier{tier}},
+		Set:     variant.Settings{"at": "5s", "target": "1", "restart": "10s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	defer inj.Stop()
+	// Two injector steps (kill, restart) plus the tier's health ticker.
+	mc.BlockUntilWaiters(3)
+
+	// Advance one paper second at a time so every health tick gets host
+	// time to run before the next fires (undelivered manual ticks are
+	// dropped, like time.Ticker's).
+	advance := func(n int) {
+		for i := 0; i < n; i++ {
+			mc.Advance(time.Second)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	advance(5) // kill fires at 5s
+	waitCond(t, "kill injection", func() bool { return len(inj.Events()) >= 1 })
+	advance(5) // health ticks past the fail threshold
+	waitCond(t, "replica ejection", func() bool { return tier.Ejected() >= 1 })
+	advance(5) // restart fires at 15s
+	waitCond(t, "restart injection", func() bool { return len(inj.Events()) >= 2 })
+	advance(10) // health ticks through resync and reintegration
+	waitCond(t, "replica reintegration", func() bool { return tier.Resyncs() >= 1 })
+	return inj.Events(), tier.Ejected(), tier.Resyncs()
+}
+
+// TestReplicaKillReplayDeterministic replays the same plan twice on
+// fresh manual clocks and demands bit-identical outcomes: the same
+// injection timestamps and the same ejection/reintegration counts —
+// the property that makes fault experiments reproducible.
+func TestReplicaKillReplayDeterministic(t *testing.T) {
+	ev1, ej1, rs1 := replayReplicaKill(t)
+	ev2, ej2, rs2 := replayReplicaKill(t)
+
+	if len(ev1) != 2 || len(ev2) != 2 {
+		t.Fatalf("event counts: %d and %d, want 2 and 2", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Errorf("event %d differs across replays: %+v vs %+v", i, ev1[i], ev2[i])
+		}
+	}
+	if ev1[0].At != 5*time.Second || ev1[1].At != 15*time.Second {
+		t.Errorf("injection offsets = %v, %v; want 5s, 15s", ev1[0].At, ev1[1].At)
+	}
+	if ej1 != ej2 {
+		t.Errorf("ejected counts differ across replays: %d vs %d", ej1, ej2)
+	}
+	if rs1 != rs2 {
+		t.Errorf("resync counts differ across replays: %d vs %d", rs1, rs2)
+	}
+	if ej1 != 1 || rs1 != 1 {
+		t.Errorf("ejected/resyncs = %d/%d, want 1/1", ej1, rs1)
+	}
+}
+
+// TestInjectorStopCancelsPending proves Stop cancels injections that
+// have not fired yet: nothing fires after Stop even if the clock later
+// passes the scheduled offset.
+func TestInjectorStopCancelsPending(t *testing.T) {
+	db := newFaultDB(t)
+	mc := clock.NewManual(time.Unix(0, 0))
+	tier := dbtier.New(db, dbtier.Options{Replicas: 2, Conns: 2, Clock: mc, Scale: clock.RealTime})
+	defer tier.Close()
+
+	plan, _ := faults.Lookup(faults.ReplicaKill)
+	inj, err := plan.Build(faults.Env{
+		Clock:   mc,
+		Scale:   clock.RealTime,
+		Targets: faults.Targets{Tiers: []*dbtier.Tier{tier}},
+		Set:     variant.Settings{"at": "30s", "restart": "0s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	mc.BlockUntilWaiters(2) // kill step + health ticker
+	inj.Stop()
+	mc.Advance(time.Minute)
+	if n := len(inj.Events()); n != 0 {
+		t.Fatalf("%d injections fired after Stop", n)
+	}
+	if tier.Ejected() != 0 {
+		t.Fatal("backend was killed after Stop")
+	}
+}

@@ -17,12 +17,14 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/cluster"
+	"stagedweb/internal/faults"
 	"stagedweb/internal/load"
 	"stagedweb/internal/metrics"
 	"stagedweb/internal/server"
@@ -164,6 +166,13 @@ type Config struct {
 	// ("lb" setting): cluster.LBHash (default) or cluster.LBRR.
 	Shards int    `json:"shards,omitempty"`
 	LB     string `json:"lb,omitempty"`
+	// Fault injection (see internal/faults): Faults names a registered
+	// fault plan started when the measurement window opens (lowered into
+	// the "faults" setting; empty or "none" runs fault-free), FaultSet
+	// holds the plan's settings (lowered into "faultset"; unknown keys
+	// are build errors).
+	Faults   string           `json:"faults,omitempty"`
+	FaultSet variant.Settings `json:"fault_set,omitempty"`
 
 	// SLO is the paper-time WIRT threshold for the Result's
 	// SLO-attainment figure; zero takes 3 s (the TPC-W web interaction
@@ -245,7 +254,29 @@ func (c Config) settings() variant.Settings {
 	if c.Repl != "" {
 		s["repl"] = c.Repl
 	}
+	if c.Faults != "" {
+		s["faults"] = c.Faults
+	}
+	if len(c.FaultSet) > 0 {
+		s["faultset"] = encodeKV(c.FaultSet)
+	}
 	return s
+}
+
+// encodeKV flattens a settings map into the "key=value,key=value" form
+// the faultset setting carries, in sorted key order so the lowering is
+// deterministic.
+func encodeKV(set variant.Settings) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + set[k]
+	}
+	return strings.Join(parts, ",")
 }
 
 // loadDefaults lowers the deprecated EBs field into advisory profile
@@ -373,6 +404,19 @@ type Result struct {
 	SLOPaperSec float64 `json:"slo_paper_sec"`
 	SLOAttained float64 `json:"slo_attained"`
 
+	// Fault injection and recovery (zero values when the run was
+	// fault-free). FaultPlan is the injected plan's name; FaultEvents
+	// the injections it executed; FaultPaperSec the paper-time offset of
+	// the first injection from the start of the measurement window (-1
+	// if the plan never fired). RecoveryPaperSec is the MTTR-style
+	// recovery time: paper seconds from the first injection until
+	// windowed SLO attainment climbs back to recoveryFraction of its
+	// pre-fault level (-1 = never recovered inside the window).
+	FaultPlan        string         `json:"fault_plan,omitempty"`
+	FaultEvents      []faults.Event `json:"fault_events,omitempty"`
+	FaultPaperSec    float64        `json:"fault_paper_sec,omitempty"`
+	RecoveryPaperSec float64        `json:"recovery_paper_sec,omitempty"`
+
 	// Series holds every time series of the run, keyed by name: the
 	// harness's throughput series ("throughput.*", one bucket per paper
 	// minute) and one series per variant or load-driver probe
@@ -410,12 +454,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wallStart := time.Now()
 
+	// The fault plan splits off first: the "faults"/"faultset" settings
+	// are experiment inputs, not server configuration, and must never
+	// reach the cluster or variant decoders.
+	faultPlan, faultSet, runSet, err := faults.DecodeSettings(cfg.Set, cfg.settings())
+	if err != nil {
+		return nil, err
+	}
+
 	// The cluster tier is pure configuration: the "shards"/"lb" settings
 	// split off here; everything else goes to the shard variant builders
 	// untouched. clustered is true whenever a shards setting is present
 	// (even shards=1), so a sharded sweep's baseline cell pays the same
 	// balancer hop as its scaled cells.
-	clusterOpts, shardSet, clustered, err := cluster.DecodeSettings(cfg.Set, cfg.settings())
+	clusterOpts, shardSet, clustered, err := cluster.DecodeSettings(runSet, cfg.settings())
 	if err != nil {
 		return nil, err
 	}
@@ -531,7 +583,10 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 	var inst variant.Instance
+	var targets faults.Targets
 	if clustered {
+		clusterOpts.Clock = clock.Precise{}
+		clusterOpts.Scale = cfg.Scale
 		insts := make([]variant.Instance, nShards)
 		for s := 0; s < nShards; s++ {
 			insts[s], err = buildShard(dbs[s], shardSet)
@@ -543,7 +598,7 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
-		inst, err = cluster.New(clusterOpts, insts, func(path string, q map[string]string) cluster.Decision {
+		bal, err := cluster.New(clusterOpts, insts, func(path string, q map[string]string) cluster.Decision {
 			key, fanout := tpcw.ShardKey(path, q)
 			return cluster.Decision{Key: key, Fanout: fanout}
 		})
@@ -554,9 +609,38 @@ func Run(cfg Config) (*Result, error) {
 			_ = l.Close()
 			return nil, err
 		}
+		inst = bal
+		targets.Balancer = bal
+		for _, si := range insts {
+			if tp, ok := si.(variant.TierProvider); ok && tp.DBTier() != nil {
+				targets.Tiers = append(targets.Tiers, tp.DBTier())
+			}
+		}
 	} else {
-		inst, err = buildShard(dbs[0], cfg.Set)
+		inst, err = buildShard(dbs[0], runSet)
 		if err != nil {
+			_ = l.Close()
+			return nil, err
+		}
+		if tp, ok := inst.(variant.TierProvider); ok && tp.DBTier() != nil {
+			targets.Tiers = append(targets.Tiers, tp.DBTier())
+		}
+	}
+
+	// Build the fault injector against the running system; its schedule
+	// arms when the measurement window opens. Build errors (bad targets,
+	// unknown plan settings) surface before any load is driven.
+	var inj faults.Injector
+	if faultPlan != "" {
+		plan, _ := faults.Lookup(faultPlan)
+		inj, err = plan.Build(faults.Env{
+			Clock:   clock.Precise{},
+			Scale:   cfg.Scale,
+			Targets: targets,
+			Set:     faultSet,
+		})
+		if err != nil {
+			inst.Stop()
 			_ = l.Close()
 			return nil, err
 		}
@@ -584,9 +668,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Every probe the variant instance and the load driver export
-	// becomes a sampled series, one sample per paper second.
+	// Every probe the variant instance, the load driver, and the fault
+	// injector export becomes a sampled series, one sample per paper
+	// second.
 	probes := append(inst.Probes(), drv.Probes()...)
+	if inj != nil {
+		probes = append(probes, inj.Probes()...)
+	}
 	for _, p := range probes {
 		if _, dup := res.Series[p.Name]; dup {
 			inst.Stop()
@@ -598,23 +686,51 @@ func Run(cfg Config) (*Result, error) {
 	}
 	go func() { _ = inst.Serve(l) }()
 	clk := clock.Real{}
-	samplers := make([]*metrics.Sampler, 0, len(probes))
+	samplers := make([]*metrics.Sampler, 0, len(probes)+2)
 	for _, p := range probes {
 		samplers = append(samplers, metrics.StartSampler(clk, second, p.Gauge, res.Series[p.Name]))
 	}
 
-	// Drive load: ramp-up (not recorded), measure, cool-down.
+	// Windowed SLO attainment: the driver's cumulative within/total
+	// counter pair, sampled once per paper second, is the signal the
+	// recovery column is computed from after the run.
+	slo := cfg.SLO
+	if slo <= 0 {
+		slo = 3 * time.Second
+	}
+	drv.Stats().SetSLOThreshold(cfg.Scale.Wall(slo))
+	sloWithin := metrics.NewSeries(measureStart, second, metrics.AggLast)
+	sloTotal := metrics.NewSeries(measureStart, second, metrics.AggLast)
+	samplers = append(samplers,
+		metrics.StartSampler(clk, second, func() float64 {
+			w, _ := drv.Stats().SLOCounts()
+			return float64(w)
+		}, sloWithin),
+		metrics.StartSampler(clk, second, func() float64 {
+			_, t := drv.Stats().SLOCounts()
+			return float64(t)
+		}, sloTotal))
+
+	// Drive load: ramp-up (not recorded), measure, cool-down. The fault
+	// schedule arms when the measurement window opens, so plan offsets
+	// are paper time from the start of measurement.
 	drv.Stats().SetRecording(false)
 	drv.Start()
 
 	time.Sleep(time.Until(measureStart))
 	drv.Stats().Reset()
 	drv.Stats().SetRecording(true)
+	if inj != nil {
+		inj.Start()
+	}
 	time.Sleep(cfg.Scale.Wall(cfg.Measure))
 	drv.Stats().SetRecording(false)
 	time.Sleep(cfg.Scale.Wall(cfg.CoolDown))
 
 	drv.Stop()
+	if inj != nil {
+		inj.Stop()
+	}
 	for _, s := range samplers {
 		s.Stop()
 	}
@@ -643,16 +759,95 @@ func Run(cfg Config) (*Result, error) {
 	res.Errors = drv.Stats().Errors()
 
 	// Tail latency and SLO attainment over the whole interaction stream.
-	slo := cfg.SLO
-	if slo <= 0 {
-		slo = 3 * time.Second
-	}
 	res.P99PaperSec = cfg.Scale.PaperSeconds(drv.Stats().OverallQuantile(0.99))
 	res.P999PaperSec = cfg.Scale.PaperSeconds(drv.Stats().OverallQuantile(0.999))
 	res.SLOPaperSec = slo.Seconds()
 	res.SLOAttained = drv.Stats().FractionWithin(cfg.Scale.Wall(slo))
+
+	// Fault outcome: when the first injection landed and how long SLO
+	// attainment took to come back.
+	if inj != nil {
+		res.FaultPlan = faultPlan
+		res.FaultEvents = inj.Events()
+		res.FaultPaperSec = -1
+		res.RecoveryPaperSec = -1
+		if len(res.FaultEvents) > 0 {
+			fault := res.FaultEvents[0].At
+			res.FaultPaperSec = fault.Seconds()
+			res.RecoveryPaperSec = recoveryPaperSec(sloWithin, sloTotal, fault)
+		}
+	}
 	res.WallDuration = time.Since(wallStart)
 	return res, nil
+}
+
+// Recovery detection: attainment is evaluated over a trailing window of
+// recoveryWindow paper seconds, and the system counts as recovered when
+// the windowed value climbs back to recoveryFraction of the cumulative
+// pre-fault attainment.
+const (
+	recoveryWindow   = 3
+	recoveryFraction = 0.95
+)
+
+// recoveryPaperSec computes the MTTR-style recovery time from the
+// sampled cumulative SLO counters: paper seconds from the fault offset
+// until the first post-fault paper second whose trailing-window SLO
+// attainment reaches recoveryFraction of the pre-fault level. It
+// returns -1 when attainment never recovers inside the sampled window
+// (or there was no pre-fault traffic to set a baseline).
+func recoveryPaperSec(within, total *metrics.Series, fault time.Duration) float64 {
+	w := cumulative(within)
+	t := cumulative(total)
+	n := len(w)
+	if len(t) < n {
+		n = len(t)
+	}
+	// Bucket i covers paper second i of the measurement window (the
+	// series' bucket width is one paper second of wall time).
+	faultIdx := int(fault / time.Second)
+	if faultIdx < 0 || faultIdx >= n || t[faultIdx] == 0 {
+		return -1
+	}
+	baseline := w[faultIdx] / t[faultIdx]
+	if baseline <= 0 {
+		return -1
+	}
+	for s := faultIdx + 1; s < n; s++ {
+		// Trailing window (from, s], clamped so pre-fault seconds never
+		// mask post-fault degradation.
+		from := s - recoveryWindow
+		if from < faultIdx {
+			from = faultIdx
+		}
+		dt := t[s] - t[from]
+		if dt <= 0 {
+			continue
+		}
+		att := (w[s] - w[from]) / dt
+		if att >= recoveryFraction*baseline {
+			return float64(s - faultIdx)
+		}
+	}
+	return -1
+}
+
+// cumulative reads an AggLast-sampled cumulative counter series,
+// forward-filling empty buckets: the counter is non-decreasing, so a
+// bucket reading below its predecessor is a missed sample, not a reset.
+func cumulative(s *metrics.Series) []float64 {
+	pts := s.Points()
+	out := make([]float64, len(pts))
+	prev := 0.0
+	for i, p := range pts {
+		v := p.Value
+		if v < prev {
+			v = prev
+		}
+		out[i] = v
+		prev = v
+	}
+	return out
 }
 
 // ThroughputGainPercent computes the headline number between any pair of

@@ -128,9 +128,9 @@ func (sr *SweepResult) Report() string {
 	}
 	base := sr.Runs[0].Scenario.Name
 	fmt.Fprintf(&sb, "sweep report (gain vs %s)\n", base)
-	fmt.Fprintf(&sb, "%-32s %13s %8s %8s %8s %7s %10s %8s\n",
-		"scenario", "interactions", "errors", "p99", "p999", "slo", "wall", "gain")
-	sb.WriteString(strings.Repeat("-", 100) + "\n")
+	fmt.Fprintf(&sb, "%-32s %13s %8s %8s %8s %7s %9s %10s %8s\n",
+		"scenario", "interactions", "errors", "p99", "p999", "slo", "recovery", "wall", "gain")
+	sb.WriteString(strings.Repeat("-", 110) + "\n")
 	for _, r := range sr.Runs {
 		if r.Err != nil {
 			fmt.Fprintf(&sb, "%-32s failed: %v\n", r.Scenario.Name, r.Err)
@@ -144,12 +144,31 @@ func (sr *SweepResult) Report() string {
 		if r.Scenario.Name != base {
 			gain = fmt.Sprintf("%+.1f%%", sr.GainPercent(base, r.Scenario.Name))
 		}
-		fmt.Fprintf(&sb, "%-32s %13d %8d %7.2fs %7.2fs %6.1f%% %10v %8s\n",
+		fmt.Fprintf(&sb, "%-32s %13d %8d %7.2fs %7.2fs %6.1f%% %9s %10v %8s\n",
 			r.Scenario.Name, r.Result.TotalInteractions, r.Result.Errors,
 			r.Result.P99PaperSec, r.Result.P999PaperSec, r.Result.SLOAttained*100,
+			recoveryCell(r.Result),
 			r.Result.WallDuration.Round(time.Millisecond), gain)
 	}
 	return sb.String()
+}
+
+// recoveryCell renders a run's recovery column: "-" for fault-free
+// runs, "no-inj" when the plan never fired inside the window, "never"
+// when SLO attainment did not come back, and the paper-time recovery
+// otherwise.
+func recoveryCell(res *Result) string {
+	if res.FaultPlan == "" {
+		return "-"
+	}
+	switch {
+	case res.FaultPaperSec < 0:
+		return "no-inj"
+	case res.RecoveryPaperSec < 0:
+		return "never"
+	default:
+		return fmt.Sprintf("%.0fs", res.RecoveryPaperSec)
+	}
 }
 
 // SweepOptions tunes a sweep.

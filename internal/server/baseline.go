@@ -111,6 +111,7 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 		Replicas: cfg.Replicas,
 		Conns:    cfg.DBConns,
 		Clock:    cfg.Clock,
+		Scale:    cfg.Scale,
 		Async:    cfg.ReplAsync,
 	})
 	dbc := s.tier.Conn()

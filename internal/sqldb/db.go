@@ -358,6 +358,12 @@ func (db *DB) Connect() *Conn {
 // shutdown tests use to prove servers release their connection budget.
 func (db *DB) OpenConns() int64 { return db.open.Load() }
 
+// DB reports the engine this connection belongs to. Pool owners use it
+// to detect connections stranded from a backend whose engine has been
+// swapped out (for example by a snapshot resync) and close them instead
+// of pooling them.
+func (c *Conn) DB() *DB { return c.db }
+
 func (c *Conn) enter() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -75,6 +75,16 @@ func (l *ReplLog) LatestTS() int64 {
 	return l.base + int64(len(l.entries))
 }
 
+// Base reports the TS of the newest entry ever truncated (or the
+// enable point): the oldest catch-up point still replayable from the
+// log. A replica whose applied watermark is below Base cannot catch up
+// by replay and must resync from a fresh snapshot clone.
+func (l *ReplLog) Base() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
 // Len reports the number of retained entries.
 func (l *ReplLog) Len() int {
 	l.mu.Lock()

@@ -58,7 +58,20 @@ const (
 	ProbeDBStmtHits = "db.stmtcache.hit"
 	// ProbeDBStmtMiss counts primary statement-cache misses (compiles).
 	ProbeDBStmtMiss = "db.stmtcache.miss"
+	// ProbeDBEjected counts replicas ejected from the read rotation
+	// (dead or pathologically slow backends; cumulative).
+	ProbeDBEjected = "db.ejected"
+	// ProbeDBResync counts replicas reintegrated into the rotation
+	// after catching up by log replay or snapshot resync (cumulative).
+	ProbeDBResync = "db.resync"
 )
+
+// TierProvider is implemented by instances fronting a database tier;
+// fault plans reach the tier through it to kill, slow, or starve
+// backends.
+type TierProvider interface {
+	DBTier() *dbtier.Tier
+}
 
 // tierProbes builds the db.* probe set over a database tier.
 func tierProbes(t *dbtier.Tier) []Probe {
@@ -71,6 +84,8 @@ func tierProbes(t *dbtier.Tier) []Probe {
 		{ProbeDBReplLag, func() float64 { return float64(t.ReplLag()) }},
 		{ProbeDBStmtHits, func() float64 { return float64(t.StmtCacheHits()) }},
 		{ProbeDBStmtMiss, func() float64 { return float64(t.StmtCacheMisses()) }},
+		{ProbeDBEjected, func() float64 { return float64(t.Ejected()) }},
+		{ProbeDBResync, func() float64 { return float64(t.Resyncs()) }},
 	}
 }
 
@@ -98,12 +113,14 @@ type instance struct {
 	stop   func()
 	graph  *stage.Graph
 	probes []Probe
+	tier   *dbtier.Tier
 }
 
 func (i *instance) Serve(l net.Listener) error { return i.serve(l) }
 func (i *instance) Stop()                      { i.stop() }
 func (i *instance) Graph() *stage.Graph        { return i.graph }
 func (i *instance) Probes() []Probe            { return i.probes }
+func (i *instance) DBTier() *dbtier.Tier       { return i.tier }
 
 // buildUnmodified constructs the thread-per-request baseline.
 //
@@ -143,6 +160,7 @@ func buildUnmodified(env Env) (Instance, error) {
 		serve: srv.Serve,
 		stop:  srv.Stop,
 		graph: srv.Graph(),
+		tier:  srv.Tier(),
 		probes: append([]Probe{
 			{ProbeQueueSingle, func() float64 { return float64(srv.QueueLen()) }},
 			{ProbeServed, func() float64 { return float64(srv.Served()) }},
@@ -193,6 +211,7 @@ func buildModified(env Env) (Instance, error) {
 		serve: srv.Serve,
 		stop:  srv.Stop,
 		graph: srv.Graph(),
+		tier:  srv.Tier(),
 		probes: append([]Probe{
 			{ProbeQueueGeneral, func() float64 { return float64(srv.GeneralQueueLen()) }},
 			{ProbeQueueLengthy, func() float64 { return float64(srv.LengthyQueueLen()) }},

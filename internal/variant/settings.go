@@ -181,6 +181,17 @@ func (d *Decoder) Bool(key string, def bool) bool {
 	return b
 }
 
+// String reads a free-form string setting, returning def when unset.
+// Prefer Enum when the value set is closed; String is for open-ended
+// values like a fault-plan name validated against a registry.
+func (d *Decoder) String(key, def string) string {
+	v, ok := d.lookup(key)
+	if !ok {
+		return def
+	}
+	return v
+}
+
 // Enum reads a setting constrained to a closed set of values, returning
 // def when unset. Any value outside allowed is a build error, so a typo
 // in "-set repl=asynch" fails loudly instead of silently picking the

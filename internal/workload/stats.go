@@ -25,6 +25,14 @@ type Stats struct {
 	// quantiles (p99/p999) and SLO attainment are computed over the whole
 	// interaction stream, not per page.
 	overall metrics.Histogram
+
+	// sloThreshold (wall ns; 0 = off) gates the cumulative sloWithin /
+	// sloTotal pair, which the harness samples once per paper second to
+	// compute windowed SLO attainment — the signal its fault-recovery
+	// column is derived from.
+	sloThreshold atomic.Int64
+	sloWithin    atomic.Int64
+	sloTotal     atomic.Int64
 }
 
 func newStats() *Stats {
@@ -49,6 +57,8 @@ func (s *Stats) Reset() {
 	s.errs = make(map[string]*int64, 16)
 	s.errTotal.Store(0)
 	s.overall.Reset()
+	s.sloWithin.Store(0)
+	s.sloTotal.Store(0)
 }
 
 func (s *Stats) record(page string, wirt time.Duration) {
@@ -57,6 +67,12 @@ func (s *Stats) record(page string, wirt time.Duration) {
 	}
 	s.histogram(page).Observe(wirt)
 	s.overall.Observe(wirt)
+	if t := s.sloThreshold.Load(); t > 0 {
+		s.sloTotal.Add(1)
+		if int64(wirt) <= t {
+			s.sloWithin.Add(1)
+		}
+	}
 	atomic.AddInt64(s.counter(page), 1)
 }
 
@@ -70,6 +86,19 @@ func (s *Stats) OverallQuantile(q float64) time.Duration {
 // pages) whose WIRT was at or below d — SLO attainment for threshold d.
 func (s *Stats) FractionWithin(d time.Duration) float64 {
 	return s.overall.FractionAtOrBelow(d)
+}
+
+// SetSLOThreshold arms the cumulative SLO counters: every recorded
+// interaction from now on counts toward SLOCounts, split at wall
+// duration d. Zero disables the counters.
+func (s *Stats) SetSLOThreshold(d time.Duration) { s.sloThreshold.Store(int64(d)) }
+
+// SLOCounts reports how many recorded interactions completed within
+// the armed SLO threshold, and how many were recorded in total, since
+// the last Reset. Sampling both once per paper second yields windowed
+// attainment over time.
+func (s *Stats) SLOCounts() (within, total int64) {
+	return s.sloWithin.Load(), s.sloTotal.Load()
 }
 
 // recordError attributes one failed interaction to the page whose
