@@ -18,11 +18,15 @@ func throughputRate(e EngineResult) float64 {
 }
 
 // rowLabel names one artifact row in comparison output; shards=0 rows
-// (unclustered) omit the shard axis.
-func rowLabel(engine string, replicas, shards int) string {
+// (unclustered) omit the shard axis, and indexes=off rows (the paper
+// schema) omit the index axis.
+func rowLabel(engine string, replicas, shards int, indexes bool) string {
 	label := fmt.Sprintf("%-12s replicas=%d", engine, replicas)
 	if shards > 0 {
 		label += fmt.Sprintf(" shards=%d", shards)
+	}
+	if indexes {
+		label += " indexes=on"
 	}
 	return label
 }
@@ -40,27 +44,28 @@ func compareEngines(cur, base Artifact, tolerance float64) (lines []string, regr
 		engine   string
 		replicas int
 		shards   int
+		indexes  bool
 	}
 	current := map[key]EngineResult{}
 	for _, e := range cur.Engines {
-		current[key{e.Engine, e.Replicas, e.Shards}] = e
+		current[key{e.Engine, e.Replicas, e.Shards, e.Indexes}] = e
 	}
 	for _, b := range base.Engines {
-		k := key{b.Engine, b.Replicas, b.Shards}
+		k := key{b.Engine, b.Replicas, b.Shards, b.Indexes}
 		c, ok := current[k]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("%s: no current result (engine retired?) — skipped", rowLabel(b.Engine, b.Replicas, b.Shards)))
+			lines = append(lines, fmt.Sprintf("%s: no current result (engine retired?) — skipped", rowLabel(b.Engine, b.Replicas, b.Shards, b.Indexes)))
 			continue
 		}
 		delete(current, k)
 		baseRate, curRate := throughputRate(b), throughputRate(c)
 		if baseRate <= 0 {
-			lines = append(lines, fmt.Sprintf("%s: baseline has no usable throughput — skipped", rowLabel(b.Engine, b.Replicas, b.Shards)))
+			lines = append(lines, fmt.Sprintf("%s: baseline has no usable throughput — skipped", rowLabel(b.Engine, b.Replicas, b.Shards, b.Indexes)))
 			continue
 		}
 		delta := (curRate - baseRate) / baseRate
 		line := fmt.Sprintf("%s: %.3f -> %.3f interactions/ms (%+.1f%%)",
-			rowLabel(b.Engine, b.Replicas, b.Shards), baseRate, curRate, 100*delta)
+			rowLabel(b.Engine, b.Replicas, b.Shards, b.Indexes), baseRate, curRate, 100*delta)
 		if delta < -tolerance {
 			line += fmt.Sprintf("  REGRESSION (>%.0f%% below baseline)", 100*tolerance)
 			regressed = true
@@ -68,7 +73,7 @@ func compareEngines(cur, base Artifact, tolerance float64) (lines []string, regr
 		lines = append(lines, line)
 	}
 	for k := range current {
-		lines = append(lines, fmt.Sprintf("%s: no baseline (new engine mode) — skipped", rowLabel(k.engine, k.replicas, k.shards)))
+		lines = append(lines, fmt.Sprintf("%s: no baseline (new engine mode) — skipped", rowLabel(k.engine, k.replicas, k.shards, k.indexes)))
 	}
 	return lines, regressed
 }

@@ -1,23 +1,24 @@
 // Command bench produces the repo's benchmark artifact: a JSON file
 // summarizing server throughput, worst client WIRT, allocations per
 // interaction, and the raw storage-engine numbers, for each engine mode
-// (lock/sync, mvcc/sync, mvcc/async) and for the clustered topology at
-// each shard count. CI runs it on every PR and uploads the file, so the
-// numbers travel with the change that produced them.
+// (lock/sync, mvcc/sync, mvcc/async) with the extra TPC-W secondary
+// indexes off and on, and for the clustered topology at each shard
+// count. CI runs it on every PR and uploads the file, so the numbers
+// travel with the change that produced them.
 //
 // Usage:
 //
-//	bench -o BENCH_PR8.json            # full artifact
-//	bench -quick -o BENCH_PR8.json     # reduced run (seconds)
-//	bench -quick -o BENCH_NEW.json -compare BENCH_PR8.json
+//	bench -o BENCH_PR10.json           # full artifact
+//	bench -quick -o BENCH_PR10.json    # reduced run (seconds)
+//	bench -quick -o BENCH_NEW.json -compare BENCH_PR10.json
 //
 // With -compare, after writing the artifact the run is checked against
 // the baseline artifact: if any row's throughput (interactions per wall
 // millisecond) fell more than -tolerance (default 15%) below the
 // baseline, bench exits nonzero. Rows match on engine mode, replica
-// count, AND shard count. CI runs this against the committed
-// BENCH_PR8.json so a throughput regression fails the PR instead of
-// hiding in an uploaded artifact.
+// count, shard count, AND the indexes flag. CI runs this against the
+// committed BENCH_PR10.json so a throughput regression fails the PR
+// instead of hiding in an uploaded artifact.
 package main
 
 import (
@@ -44,7 +45,11 @@ type EngineResult struct {
 	Replicas int    `json:"replicas"`
 	// Shards is the cluster shard count; 0 means the run was not
 	// clustered (no balancer in front of the server).
-	Shards            int     `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Indexes is whether the extra TPC-W secondary indexes were built
+	// (the indexes=on setting); false is the paper's primary-key-only
+	// schema.
+	Indexes           bool    `json:"indexes,omitempty"`
 	Interactions      int64   `json:"interactions"`
 	Errors            int64   `json:"errors"`
 	WorstWIRTSec      float64 `json:"worst_wirt_sec"`
@@ -63,7 +68,7 @@ type MicroResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// Artifact is the file CI persists as BENCH_PR8.json.
+// Artifact is the file CI persists as BENCH_PR10.json.
 type Artifact struct {
 	GoVersion string         `json:"go_version"`
 	Engines   []EngineResult `json:"engines"`
@@ -72,7 +77,7 @@ type Artifact struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_PR8.json", "output artifact path")
+		out       = flag.String("o", "BENCH_PR10.json", "output artifact path")
 		quick     = flag.Bool("quick", false, "reduced run (seconds instead of minutes)")
 		replicas  = flag.Int("replicas", 4, "database backends in the experiment runs")
 		scale     = flag.Float64("scale", 200, "timescale: paper seconds per wall second")
@@ -91,14 +96,19 @@ func main() {
 		{"mvcc/sync", true, "sync"},
 		{"mvcc/async", true, "async"},
 	}
+	// Each engine mode runs twice: once on the paper's primary-key-only
+	// schema and once with the extra secondary indexes, so the artifact
+	// carries the planner's payoff per engine next to the engine deltas.
 	for _, eng := range engines {
-		fmt.Fprintf(os.Stderr, "engine %s (replicas=%d)...\n", eng.name, *replicas)
-		res, allocs, err := runEngine(eng.mvcc, eng.repl, *replicas, 0, *quick, *scale)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+		for _, indexes := range []bool{false, true} {
+			fmt.Fprintf(os.Stderr, "engine %s (replicas=%d, indexes=%v)...\n", eng.name, *replicas, indexes)
+			res, allocs, err := runEngine(eng.mvcc, eng.repl, *replicas, 0, indexes, *quick, *scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			art.Engines = append(art.Engines, engineRow(eng.name, *replicas, 0, indexes, res, allocs))
 		}
-		art.Engines = append(art.Engines, engineRow(eng.name, *replicas, 0, res, allocs))
 	}
 
 	// Cluster rows: the default engine behind the consistent-hash
@@ -108,12 +118,12 @@ func main() {
 	// balancer's own overhead.
 	for _, m := range []int{1, 2, 4} {
 		fmt.Fprintf(os.Stderr, "cluster mvcc/sync (shards=%d)...\n", m)
-		res, allocs, err := runEngine(true, "sync", 1, m, *quick, *scale)
+		res, allocs, err := runEngine(true, "sync", 1, m, false, *quick, *scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		art.Engines = append(art.Engines, engineRow("mvcc/sync", 1, m, res, allocs))
+		art.Engines = append(art.Engines, engineRow("mvcc/sync", 1, m, false, res, allocs))
 	}
 
 	fmt.Fprintln(os.Stderr, "storage-engine micro-benchmarks...")
@@ -150,11 +160,12 @@ func main() {
 }
 
 // engineRow summarizes one finished run as an artifact row.
-func engineRow(name string, replicas, shards int, res *harness.Result, allocs float64) EngineResult {
+func engineRow(name string, replicas, shards int, indexes bool, res *harness.Result, allocs float64) EngineResult {
 	return EngineResult{
 		Engine:            name,
 		Replicas:          replicas,
 		Shards:            shards,
+		Indexes:           indexes,
 		Interactions:      res.TotalInteractions,
 		Errors:            res.Errors,
 		WorstWIRTSec:      harness.SeriesMax(res.Series[load.ProbeWIRT]),
@@ -171,8 +182,9 @@ func engineRow(name string, replicas, shards int, res *harness.Result, allocs fl
 // allocations per completed interaction (whole-process mallocs over the
 // run — an upper bound that tracks the per-request figure). shards > 0
 // puts the consistent-hash balancer in front of that many shard-owning
-// instances; 0 runs the server unclustered.
-func runEngine(mvcc bool, repl string, replicas, shards int, quick bool, scale float64) (*harness.Result, float64, error) {
+// instances; 0 runs the server unclustered. indexes builds the extra
+// TPC-W secondary indexes before the measurement window.
+func runEngine(mvcc bool, repl string, replicas, shards int, indexes, quick bool, scale float64) (*harness.Result, float64, error) {
 	cfg := harness.QuickConfig(variant.Modified, clock.Timescale(scale))
 	cfg.EBs = 60
 	cfg.RampUp = 15 * time.Second
@@ -187,6 +199,7 @@ func runEngine(mvcc bool, repl string, replicas, shards int, quick bool, scale f
 	cfg.MVCC = mvcc
 	cfg.Repl = repl
 	cfg.Shards = shards
+	cfg.Indexes = indexes
 
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -232,7 +245,56 @@ func microBenches() []MicroResult {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
+	for _, mode := range []struct {
+		name    string
+		indexed bool
+	}{{"secondary-eq/scan", false}, {"secondary-eq/index", true}} {
+		r := testing.Benchmark(func(b *testing.B) { benchSecondaryEq(b, mode.indexed) })
+		out = append(out, MicroResult{
+			Name:        mode.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
 	return out
+}
+
+// benchSecondaryEq measures a point SELECT on a non-key column with and
+// without a secondary hash index — the raw planner payoff, with the
+// cost model zeroed so the figure is engine work, not injected latency.
+func benchSecondaryEq(b *testing.B, indexed bool) {
+	db := sqldb.Open(sqldb.Options{Cost: sqldb.ZeroCostModel()})
+	db.MustCreateTable(sqldb.Schema{
+		Table: "t",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.Int},
+			{Name: "grp", Type: sqldb.Int},
+			{Name: "val", Type: sqldb.Int},
+		},
+		PrimaryKey: "id",
+	})
+	seed := db.Connect()
+	for i := 1; i <= 4096; i++ {
+		if _, err := seed.Exec("INSERT INTO t (id, grp, val) VALUES (?, ?, ?)", i, i%64, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seed.Close()
+	if indexed {
+		if err := db.CreateIndex("t", "grp", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := db.Connect()
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT val FROM t WHERE grp = ?", i%64); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchReadHot(b *testing.B, mvcc bool) {

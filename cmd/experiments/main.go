@@ -13,6 +13,7 @@
 //	experiments -exp fig7,fig8,fig9,fig10
 //	experiments -exp spike               # flash-crowd comparison across variants
 //	experiments -exp mvcc -variants modified       # storage-engine sweep
+//	experiments -exp planner             # secondary-index / query-planner sweep
 //	experiments -exp scaleout            # replica scale-out sweep
 //	experiments -exp shard -shards 1,2,4           # cluster shard sweep
 //	experiments -exp faults              # dependability scenario pack
@@ -60,7 +61,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep; mvcc runs the storage-engine sweep; shard runs the cluster shard sweep; faults runs the fault-injection comparison")
+		exp      = fs.String("exp", "all", "experiments: all, table2, table3, table4, fig7, fig8, fig9, fig10 (comma-separated); spike runs the flash-crowd comparison; scaleout runs the replica sweep; mvcc runs the storage-engine sweep; planner runs the secondary-index sweep; shard runs the cluster shard sweep; faults runs the fault-injection comparison")
 		scale    = fs.Float64("scale", 100, "timescale: paper seconds per wall second")
 		ebs      = fs.Int("ebs", 0, "emulated browsers (0 = config default)")
 		measure  = fs.Duration("measure", 0, "measurement window in paper time (0 = config default)")
@@ -139,7 +140,7 @@ func run(args []string, out io.Writer) error {
 	// the saturation-knee table. It cannot be combined with the spike
 	// mode — reject instead of silently dropping one of them.
 	if *ebsSweep != "" {
-		if want["spike"] || want["scaleout"] || want["mvcc"] || want["shard"] || want["faults"] {
+		if want["spike"] || want["scaleout"] || want["mvcc"] || want["planner"] || want["shard"] || want["faults"] {
 			return fmt.Errorf("-ebs-sweep and -exp %s are separate modes; run them separately", *exp)
 		}
 		levels, err := parseInts(*ebsSweep)
@@ -215,6 +216,19 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-replicas: %w", err)
 		}
 		return runMVCC(ctx, out, opts, build, names[0], levels, *dbConns, *csvDir, *jsonDir)
+	}
+
+	// The planner sweep is its own mode: one variant under both TPC-W
+	// mixes with the extra secondary indexes off and on, re-running the
+	// paper's quick/lengthy page classification under indexing.
+	if want["planner"] {
+		if len(want) > 1 {
+			return fmt.Errorf("-exp planner is a standalone mode; run other experiments separately")
+		}
+		if *mix != "" {
+			return fmt.Errorf("-exp planner sweeps the browsing and ordering mixes itself; drop -mix %s", *mix)
+		}
+		return runPlanner(ctx, out, opts, build, names[0], *dbConns, *csvDir, *jsonDir)
 	}
 
 	// The flash-crowd comparison is its own mode (not part of -exp all):
@@ -517,6 +531,127 @@ func runMVCC(ctx context.Context, out io.Writer, opts harness.SweepOptions,
 	}
 	fmt.Fprintln(out)
 	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
+}
+
+// plannerCutoffPaperSec is the paper's quick/lengthy page boundary in
+// paper seconds: pages whose mean WIRT sits under it belong in the
+// quick class (general pool), over it in the lengthy class.
+const plannerCutoffPaperSec = 2.0
+
+// runPlanner runs one variant under both TPC-W mixes with the extra
+// secondary indexes off and on, re-running the paper's quick/lengthy
+// page classification under indexing. With indexes on, the planner
+// turns the best-sellers window and the subject listings into index
+// range scans and probes — pages whose mean WIRT crosses back under
+// the 2 s cutoff are flagged, because they would now belong in the
+// quick pool. The title/author LIKE searches stay scans, so some
+// lengthy pages must not move. The db.plan.* series in each cell's
+// artifacts show what the planner actually chose.
+func runPlanner(ctx context.Context, out io.Writer, opts harness.SweepOptions,
+	build func(string) harness.Config, name string, dbConns int,
+	csvDir, jsonDir string) error {
+	mixes := []string{"browsing", "ordering"}
+	idxModes := []string{"off", "on"}
+	cellName := func(mix, ix string) string {
+		return fmt.Sprintf("%s/%s/indexes=%s", name, mix, ix)
+	}
+	var scenarios []harness.Scenario
+	for _, mix := range mixes {
+		for _, ix := range idxModes {
+			mix, ix := mix, ix
+			cfg := build(name).With(func(c *harness.Config) {
+				c.Mix = mix
+				c.Indexes = ix == "on"
+				// Light load: the quick/lengthy classification is about each
+				// page's service demand, and a saturated run buries that
+				// under queueing delay. A fifth of the configured browsers
+				// keeps every pool below its knee so the means measure the
+				// queries, not the queues.
+				c.EBs = max(8, c.EBs/5)
+				c.DBConns = dbConns
+				if c.DBConns <= 0 {
+					// Same auto-sizing as -exp scaleout: keep the tier, not
+					// the worker pools, as the ceiling.
+					if budget := c.GeneralWorkers + c.LengthyWorkers; budget > 0 {
+						c.DBConns = max(2, budget/6)
+					} else {
+						c.DBConns = 8
+					}
+				}
+			})
+			scenarios = append(scenarios, harness.Scenario{
+				Name:   cellName(mix, ix),
+				Config: cfg,
+			})
+		}
+	}
+	fmt.Fprintf(out, "query planner: %s x {browsing, ordering} x {indexes off, on}...\n", name)
+	sw, sweepErr := harness.SweepWith(ctx, opts, scenarios)
+
+	fmt.Fprintf(out, "\nplanner behavior (sampled db.plan.* series per cell)\n")
+	fmt.Fprintf(out, "%-36s %13s %10s %10s %12s\n",
+		"cell", "interactions", "scans", "idx-paths", "rows-read")
+	fmt.Fprintln(out, strings.Repeat("-", 86))
+	for _, mix := range mixes {
+		for _, ix := range idxModes {
+			res := sw.Result(cellName(mix, ix))
+			if res == nil {
+				fmt.Fprintf(out, "%-36s (failed)\n", cellName(mix, ix))
+				continue
+			}
+			fmt.Fprintf(out, "%-36s %13d %10.0f %10.0f %12.0f\n",
+				cellName(mix, ix), res.TotalInteractions,
+				harness.SeriesMax(res.Series[variant.ProbeDBPlanScan]),
+				harness.SeriesMax(res.Series[variant.ProbeDBPlanIndex]),
+				harness.SeriesMax(res.Series[variant.ProbeDBPlanRows]))
+		}
+	}
+
+	// The quick/lengthy boundary, re-run under indexing: per-page mean
+	// WIRT with indexes off vs on, against the paper's 2 s cutoff.
+	for _, mix := range mixes {
+		off, on := sw.Result(cellName(mix, "off")), sw.Result(cellName(mix, "on"))
+		if off == nil || on == nil {
+			continue
+		}
+		fmt.Fprintf(out, "\nquick/lengthy boundary under indexing (%s mix, cutoff %.0fs)\n",
+			mix, plannerCutoffPaperSec)
+		fmt.Fprintf(out, "%-36s %12s %12s %9s %18s\n",
+			"web page name", "indexes=off", "indexes=on", "speedup", "class")
+		fmt.Fprintln(out, strings.Repeat("-", 92))
+		crossed := 0
+		for _, page := range tpcw.Pages {
+			o, n := off.Pages[page], on.Pages[page]
+			if o.Count == 0 || n.Count == 0 {
+				continue
+			}
+			speedup := "-"
+			if n.MeanPaperSec > 0 {
+				speedup = fmt.Sprintf("%8.1fx", o.MeanPaperSec/n.MeanPaperSec)
+			}
+			class := classify(o.MeanPaperSec) + " -> " + classify(n.MeanPaperSec)
+			if o.MeanPaperSec > plannerCutoffPaperSec && n.MeanPaperSec <= plannerCutoffPaperSec {
+				class += "  <-- crossed"
+				crossed++
+			}
+			fmt.Fprintf(out, "%-36s %12.2f %12.2f %9s %18s\n",
+				tpcw.PageTitle(page), o.MeanPaperSec, n.MeanPaperSec, speedup, class)
+		}
+		fmt.Fprintf(out, "pages crossing the %.0fs cutoff with indexes on (%s): %d\n",
+			plannerCutoffPaperSec, mix, crossed)
+		fmt.Fprintf(out, "throughput gain from indexing (%s): %+.1f%%\n",
+			mix, sw.GainPercent(cellName(mix, "off"), cellName(mix, "on")))
+	}
+	fmt.Fprintln(out)
+	return errors.Join(sweepErr, writeArtifacts(out, csvDir, jsonDir, sw))
+}
+
+// classify names a page's side of the quick/lengthy boundary.
+func classify(meanPaperSec float64) string {
+	if meanPaperSec > plannerCutoffPaperSec {
+		return "lengthy"
+	}
+	return "quick"
 }
 
 // runShard runs one variant behind the consistent-hash balancer at

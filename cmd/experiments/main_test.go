@@ -257,6 +257,59 @@ func TestExperimentsMVCC(t *testing.T) {
 	}
 }
 
+// TestExperimentsPlanner exercises the secondary-index sweep: one
+// variant under both mixes with indexes off and on, the quick/lengthy
+// boundary tables in the report, and the db.plan.* series in the JSON
+// artifacts of every cell.
+func TestExperimentsPlanner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead swamps the paper-time calibration")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	args := []string{
+		"-quick", "-exp", "planner", "-scale", "400",
+		"-ebs", "30", "-measure", "60s",
+		"-variants", "modified", "-json", dir,
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"query planner", "planner behavior",
+		"browsing/indexes=off", "ordering/indexes=on",
+		"quick/lengthy boundary under indexing",
+		"pages crossing the 2s cutoff",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{
+		"modified_browsing_indexes_off",
+		"modified_browsing_indexes_on",
+		"modified_ordering_indexes_off",
+		"modified_ordering_indexes_on",
+	} {
+		raw, err := os.ReadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("planner artifact missing: %v", err)
+		}
+		for _, probe := range []string{
+			variant.ProbeDBPlanScan, variant.ProbeDBPlanIndex,
+			variant.ProbeDBPlanRows,
+		} {
+			if !strings.Contains(string(raw), `"`+probe+`"`) {
+				t.Errorf("%s.json misses %s series", name, probe)
+			}
+		}
+	}
+}
+
 func TestExperimentsFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-set", "nonsense"}, &buf); err == nil {
@@ -297,6 +350,15 @@ func TestExperimentsFlagValidation(t *testing.T) {
 	if err := run([]string{"-exp", "scaleout", "-mix", "shopping"}, &buf); err == nil ||
 		!strings.Contains(err.Error(), "mixes itself") {
 		t.Errorf("-exp scaleout -mix accepted: %v", err)
+	}
+	// -exp planner is standalone and owns both the mix and index axes.
+	if err := run([]string{"-exp", "planner,table3"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "standalone") {
+		t.Errorf("-exp planner,table3 accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "planner", "-mix", "shopping"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "mixes itself") {
+		t.Errorf("-exp planner -mix accepted: %v", err)
 	}
 	if err := run([]string{"-exp", "scaleout", "-replicas", "1,frog"}, &buf); err == nil {
 		t.Error("malformed -replicas accepted")

@@ -48,6 +48,9 @@ var Probes = map[string]string{
 	"db.stmtcache.miss": "statement cache misses",
 	"db.ejected":        "failover: replicas ejected from the read rotation",
 	"db.resync":         "failover: replicas reintegrated after catch-up or resync",
+	"db.plan.scan":      "planner: full-scan access paths executed",
+	"db.plan.index":     "planner: index access paths executed (point, range, order, join)",
+	"db.plan.rowsread":  "planner: row versions visited by access paths",
 
 	// Cluster balancer probes (internal/cluster).
 	"shard.route":     "cluster: requests routed to a single shard",
@@ -56,6 +59,7 @@ var Probes = map[string]string{
 	"lb.wait":         "cluster: load-balancer stage queue depth",
 	"lb.retry":        "cluster: forward re-attempts (stale conn or backoff retry)",
 	"lb.breaker":      "cluster: per-shard circuit-breaker opens",
+	"lb.halfopen":     "cluster: half-open trial forwards probing an open breaker",
 
 	// Fault-injector probes (internal/faults).
 	"fault.injected": "fault plan: injections executed so far",
@@ -84,6 +88,7 @@ var SettingsKeys = map[string]string{
 	// Variant settings (internal/variant/builtin.go).
 	"mvcc":       "storage engine: off = per-table RW locks, on = snapshot MVCC",
 	"repl":       "replication mode: sync | async",
+	"indexes":    "extra TPC-W secondary indexes: off = paper schema, on = indexed",
 	"workers":    "baseline worker/connection count",
 	"queuecap":   "bounded queue capacity",
 	"replicas":   "database backends (1 primary + N-1 read replicas)",

@@ -39,12 +39,17 @@ const (
 )
 
 // breaker is one shard's circuit breaker: consecutive forward failures
-// open it for a cooldown, during which the shard is skipped; the first
-// request after the cooldown is the half-open trial — success closes
-// the breaker, failure re-opens it.
+// open it for a cooldown, during which the shard is skipped. The
+// cooldown expiring does not close the breaker — it only makes the
+// shard probeable: exactly one request (the CAS winner on trial) is
+// let through as the half-open trial. Trial success closes the
+// breaker; trial failure re-arms the cooldown. A recovering shard is
+// therefore re-admitted by observed probe success, never by timer
+// expiry alone.
 type breaker struct {
 	fails     atomic.Int32
 	openUntil atomic.Int64 // clock nanos; 0 = closed
+	trial     atomic.Bool  // a half-open trial forward is in flight
 }
 
 // job is one client request in flight through the LB stage.
@@ -75,10 +80,11 @@ type Balancer struct {
 	fanoutN atomic.Int64   // total fanned-out requests
 	rr      atomic.Int64   // round-robin cursor for lb=rr
 
-	down     []atomic.Bool // per-shard fault-injected down flags
-	breakers []breaker     // per-shard circuit breakers
-	retryN   atomic.Int64  // cumulative forward re-attempts
-	breakerN atomic.Int64  // cumulative breaker opens
+	down      []atomic.Bool // per-shard fault-injected down flags
+	breakers  []breaker     // per-shard circuit breakers
+	retryN    atomic.Int64  // cumulative forward re-attempts
+	breakerN  atomic.Int64  // cumulative breaker opens
+	halfOpenN atomic.Int64  // cumulative half-open trial forwards
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -256,6 +262,7 @@ func (b *Balancer) Probes() []variant.Probe {
 		{Name: ProbeLBWait, Gauge: func() float64 { return float64(b.lb.Depth()) }},
 		{Name: ProbeLBRetry, Gauge: func() float64 { return float64(b.retryN.Load()) }},
 		{Name: ProbeLBBreaker, Gauge: func() float64 { return float64(b.breakerN.Load()) }},
+		{Name: ProbeLBHalfOpen, Gauge: func() float64 { return float64(b.halfOpenN.Load()) }},
 	}
 	type agg struct {
 		name   string
@@ -337,6 +344,7 @@ func (b *Balancer) SetShardDown(i int, down bool) error {
 	}
 	b.breakers[i].fails.Store(0)
 	b.breakers[i].openUntil.Store(0)
+	b.breakers[i].trial.Store(false)
 	return nil
 }
 
@@ -366,26 +374,65 @@ func (b *Balancer) Retries() int64 { return b.retryN.Load() }
 // BreakerOpens reports cumulative circuit-breaker opens.
 func (b *Balancer) BreakerOpens() int64 { return b.breakerN.Load() }
 
-// breakerOpen reports whether shard i's breaker currently rejects
-// forwards. The first load keeps the healthy path to one atomic read.
-func (b *Balancer) breakerOpen(i int) bool {
-	ou := b.breakers[i].openUntil.Load()
+// HalfOpens reports cumulative half-open trial forwards.
+func (b *Balancer) HalfOpens() int64 { return b.halfOpenN.Load() }
+
+// breakerRejects reports whether shard i's breaker keeps it out of the
+// key-less failover rotation: open and cooling down, or open past the
+// cooldown with a half-open trial already in flight. An open breaker
+// past its cooldown with no trial in flight is probeable — pick may
+// route to it so one request can become the trial. The first load
+// keeps the healthy path to one atomic read.
+func (b *Balancer) breakerRejects(i int) bool {
+	br := &b.breakers[i]
+	ou := br.openUntil.Load()
 	if ou == 0 {
 		return false
 	}
-	return b.clk.Now().UnixNano() < ou
+	if b.clk.Now().UnixNano() < ou {
+		return true
+	}
+	return br.trial.Load()
+}
+
+// admit decides whether a forward to shard i may proceed, and whether
+// it proceeds as the half-open trial. Closed breaker: proceed normally.
+// Open and cooling down: rejected. Open past the cooldown: exactly one
+// caller wins the trial CAS and proceeds as the probe; everyone else is
+// rejected until the probe's outcome is known.
+func (b *Balancer) admit(i int) (trial, ok bool) {
+	br := &b.breakers[i]
+	ou := br.openUntil.Load()
+	if ou == 0 {
+		return false, true
+	}
+	if b.clk.Now().UnixNano() < ou {
+		return false, false
+	}
+	if br.trial.CompareAndSwap(false, true) {
+		b.halfOpenN.Add(1)
+		return true, true
+	}
+	return false, false
 }
 
 // noteForward records a forward outcome against shard i's breaker:
-// success closes it, enough consecutive failures open it for the
-// cooldown.
-func (b *Balancer) noteForward(i int, ok bool) {
+// success closes it (and ends any half-open trial), a failed trial
+// re-arms the cooldown, and enough consecutive normal failures open it.
+func (b *Balancer) noteForward(i int, ok, trial bool) {
 	br := &b.breakers[i]
 	if ok {
 		br.fails.Store(0)
 		if br.openUntil.Load() != 0 {
 			br.openUntil.Store(0)
 		}
+		br.trial.Store(false)
+		return
+	}
+	if trial {
+		br.openUntil.Store(b.clk.Now().Add(b.scale.Wall(b.opts.BreakerCooldown)).UnixNano())
+		br.trial.Store(false)
+		b.breakerN.Add(1)
 		return
 	}
 	if br.fails.Add(1) >= int32(b.opts.BreakerThreshold) {
@@ -458,7 +505,7 @@ func (b *Balancer) pick(j *job) int {
 	}
 	for k := 0; k < n; k++ {
 		s := (first + k) % n
-		if !b.down[s].Load() && !b.breakerOpen(s) {
+		if !b.down[s].Load() && !b.breakerRejects(s) {
 			return s
 		}
 	}
@@ -537,7 +584,8 @@ func (b *Balancer) send(shard int, req *httpwire.Request) (*webtest.Response, er
 	if b.down[shard].Load() {
 		return nil, fmt.Errorf("cluster: shard %d: %w", shard, ErrShardDown)
 	}
-	if b.breakerOpen(shard) {
+	trial, ok := b.admit(shard)
+	if !ok {
 		return nil, fmt.Errorf("cluster: shard %d: breaker open: %w", shard, ErrShardDown)
 	}
 	b.mu.Lock()
@@ -560,12 +608,12 @@ func (b *Balancer) send(shard int, req *httpwire.Request) (*webtest.Response, er
 		}
 		resp, err := b.sendOnce(p, raw)
 		if err == nil {
-			b.noteForward(shard, true)
+			b.noteForward(shard, true, trial)
 			return resp, nil
 		}
 		lastErr = err
 	}
-	b.noteForward(shard, false)
+	b.noteForward(shard, false, trial)
 	return nil, lastErr
 }
 

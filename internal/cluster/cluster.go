@@ -40,8 +40,15 @@ const (
 	ProbeLBRetry = "lb.retry"
 	// ProbeLBBreaker counts per-shard circuit-breaker opens: a shard
 	// that failed BreakerThreshold consecutive forwards is skipped
-	// until its cooldown expires (cumulative).
+	// until its cooldown expires (cumulative; a failed half-open trial
+	// re-arming the cooldown counts as a new open).
 	ProbeLBBreaker = "lb.breaker"
+	// ProbeLBHalfOpen counts half-open trial forwards: after an open
+	// breaker's cooldown, exactly one request is let through to probe the
+	// shard — success closes the breaker, failure re-arms the cooldown.
+	// The shard is re-admitted by probe success, never by timer expiry
+	// alone (cumulative).
+	ProbeLBHalfOpen = "lb.halfopen"
 )
 
 // Options configures a Balancer.

@@ -1,14 +1,18 @@
 package cluster_test
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"stagedweb/internal/clock"
 	"stagedweb/internal/cluster"
+	"stagedweb/internal/httpwire"
 	"stagedweb/internal/stage"
 	"stagedweb/internal/tpcw"
 	"stagedweb/internal/variant"
@@ -228,5 +232,161 @@ func TestBreakerOpensOnFailingShard(t *testing.T) {
 		if resp, err := webtest.Get(addr, tpcw.PageHome); err != nil || resp.Status != 200 {
 			t.Fatalf("key-less read %d while breaker open: %v, err %v", i, resp, err)
 		}
+	}
+}
+
+// recoverableShard is a variant.Instance that slams connections shut
+// while unhealthy (every forward fails at the wire) and answers 200 to
+// anything once healthy — the minimal shard for driving a breaker
+// through open, half-open, and closed.
+type recoverableShard struct {
+	healthy atomic.Bool
+	stop    chan struct{}
+}
+
+func newRecoverableShard() *recoverableShard {
+	return &recoverableShard{stop: make(chan struct{})}
+}
+
+func (r *recoverableShard) Serve(l net.Listener) error {
+	go func() { <-r.stop; _ = l.Close() }()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return nil
+		}
+		if !r.healthy.Load() {
+			_ = c.Close()
+			continue
+		}
+		go r.serveConn(c)
+	}
+}
+
+func (r *recoverableShard) serveConn(c net.Conn) {
+	defer func() { _ = c.Close() }()
+	br := bufio.NewReader(c)
+	for {
+		if _, err := httpwire.ReadRequest(br); err != nil {
+			return
+		}
+		if !r.healthy.Load() {
+			return
+		}
+		_, _ = io.WriteString(c,
+			"HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 3\r\n\r\nok\n")
+	}
+}
+
+func (r *recoverableShard) Stop() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+}
+
+func (r *recoverableShard) Graph() *stage.Graph     { return stage.NewGraph() }
+func (r *recoverableShard) Probes() []variant.Probe { return nil }
+
+// TestBreakerHalfOpenProbeReadmits: an open breaker whose cooldown has
+// expired does not re-admit the shard on timer expiry alone — exactly
+// one half-open trial forward probes it. A failed probe re-arms the
+// cooldown; the shard only rejoins once a probe succeeds.
+func TestBreakerHalfOpenProbeReadmits(t *testing.T) {
+	const shards = 2
+	insts := buildShardInsts(t, clock.Real{}, shards, 0)
+	insts[1].Stop()
+	flaky := newRecoverableShard()
+	insts[1] = flaky
+	b, err := cluster.New(cluster.Options{
+		Shards: shards, LB: cluster.LBHash,
+		Scale:   50, // 10 paper-second cooldown -> 200 ms wall
+		Retries: -1, RetryBackoff: time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 10 * time.Second,
+	}, insts, func(path string, q map[string]string) cluster.Decision {
+		key, fanout := tpcw.ShardKey(path, q)
+		return cluster.Decision{Key: key, Fanout: fanout}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, addr, err := webtest.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = b.Serve(l) }()
+	defer b.Stop()
+
+	liveC := customerOwnedBy(t, shards, 0)
+	deadC := customerOwnedBy(t, shards, 1)
+	if !webtest.WaitUntil(5*time.Second, func() bool {
+		resp, err := webtest.Get(addr, orderDisplayPath(liveC))
+		return err == nil && resp.Status == 200
+	}) {
+		t.Fatal("cluster did not come up")
+	}
+	get := func() int {
+		t.Helper()
+		resp, err := webtest.Get(addr, orderDisplayPath(deadC))
+		if err != nil {
+			t.Fatalf("request to flaky shard: %v", err)
+		}
+		return resp.Status
+	}
+
+	// Trip the breaker while the shard is broken.
+	for i := 0; i < 2; i++ {
+		if got := get(); got != 502 {
+			t.Fatalf("request %d to broken shard: status %d, want 502", i, got)
+		}
+	}
+	if got := b.BreakerOpens(); got < 1 {
+		t.Fatalf("BreakerOpens = %d, want >= 1", got)
+	}
+	if got := b.HalfOpens(); got != 0 {
+		t.Fatalf("HalfOpens = %d before any cooldown expired", got)
+	}
+
+	// Cooldown expires with the shard still broken: the next request is
+	// the half-open trial, it fails, and the breaker re-arms.
+	time.Sleep(300 * time.Millisecond)
+	if got := get(); got != 502 {
+		t.Fatalf("failed trial: status %d, want 502", got)
+	}
+	if got := b.HalfOpens(); got != 1 {
+		t.Fatalf("HalfOpens = %d after expired cooldown, want 1 (the trial)", got)
+	}
+	if got := b.BreakerOpens(); got < 2 {
+		t.Fatalf("BreakerOpens = %d, want >= 2 (failed trial re-arms the cooldown)", got)
+	}
+
+	// Timer expiry alone never re-admits: inside the re-armed cooldown
+	// the shard is still rejected without any forward.
+	if got := get(); got != 502 {
+		t.Fatalf("request inside re-armed cooldown: status %d, want 502", got)
+	}
+	if got := b.HalfOpens(); got != 1 {
+		t.Fatalf("HalfOpens = %d, want 1 — breaker admitted a request on timer expiry alone", got)
+	}
+
+	// The shard recovers. It still serves nothing until the next trial
+	// probes it — and that probe's success is what re-admits it.
+	flaky.healthy.Store(true)
+	time.Sleep(300 * time.Millisecond)
+	if got := get(); got != 200 {
+		t.Fatalf("successful trial: status %d, want 200 (probe response relayed)", got)
+	}
+	if got := b.HalfOpens(); got != 2 {
+		t.Fatalf("HalfOpens = %d after recovery, want 2", got)
+	}
+	// Breaker closed: traffic flows normally, no further trials.
+	for i := 0; i < 3; i++ {
+		if got := get(); got != 200 {
+			t.Fatalf("request %d after re-admission: status %d, want 200", i, got)
+		}
+	}
+	if got := b.HalfOpens(); got != 2 {
+		t.Fatalf("HalfOpens = %d after breaker closed, want 2", got)
 	}
 }

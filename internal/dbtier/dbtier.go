@@ -927,6 +927,36 @@ func (t *Tier) SnapshotReads() int64 {
 	return n
 }
 
+// PlanScans reports full-scan access paths executed across all
+// backends.
+func (t *Tier) PlanScans() int64 {
+	var n int64
+	for _, b := range t.backends {
+		n += b.db().PlanScans()
+	}
+	return n
+}
+
+// PlanIndexLookups reports index access paths executed across all
+// backends.
+func (t *Tier) PlanIndexLookups() int64 {
+	var n int64
+	for _, b := range t.backends {
+		n += b.db().PlanIndexLookups()
+	}
+	return n
+}
+
+// PlanRowsRead reports row versions visited by access paths across all
+// backends.
+func (t *Tier) PlanRowsRead() int64 {
+	var n int64
+	for _, b := range t.backends {
+		n += b.db().PlanRowsRead()
+	}
+	return n
+}
+
 // StmtCacheHits reports prepared-statement cache hits across all
 // backends.
 func (t *Tier) StmtCacheHits() int64 {

@@ -158,6 +158,10 @@ type Config struct {
 	// setting).
 	MVCC bool   `json:"mvcc,omitempty"`
 	Repl string `json:"repl,omitempty"`
+	// Indexes builds the extra TPC-W secondary indexes after population
+	// ("indexes" setting) — the planner experiment's schema axis. The
+	// paper's deliberately index-starved schema is the default.
+	Indexes bool `json:"indexes,omitempty"`
 	// Cluster tier (see internal/cluster): Shards > 0 fronts that many
 	// shard-owning variant instances with the consistent-hash balancer
 	// (lowered into the "shards" setting; even shards=1 routes through
@@ -250,6 +254,9 @@ func (c Config) settings() variant.Settings {
 	}
 	if c.MVCC {
 		s["mvcc"] = "on"
+	}
+	if c.Indexes {
+		s["indexes"] = "on"
 	}
 	if c.Repl != "" {
 		s["repl"] = c.Repl
@@ -505,6 +512,14 @@ func Run(cfg Config) (*Result, error) {
 		counts, err = tpcw.PopulateShard(db, cfg.Populate, owns)
 		if err != nil {
 			return nil, err
+		}
+		// The indexes=on axis builds its extra indexes on each shard's
+		// primary before any variant is constructed, so replicas cloned
+		// from it inherit them (CloneSnapshot copies index structures).
+		if variant.IndexesEnabled(cfg.Set, cfg.settings()) {
+			if err := tpcw.CreateExtraIndexes(db); err != nil {
+				return nil, err
+			}
 		}
 		dbs[s] = db
 	}

@@ -132,6 +132,18 @@ type selectStmt struct {
 	OrderBy []orderKey
 	Limit   int // -1 when absent
 	Offset  int
+
+	// plan is the physical plan chosen at prepare time, immutable once
+	// the statement is published through the cache. Nil for statements
+	// executed without preparation (direct parse in tests); the executor
+	// plans those on the fly.
+	plan *selectPlan
+}
+
+// explainStmt is "EXPLAIN SELECT ...": it never executes, it renders
+// the inner statement's chosen physical plan, one operator per row.
+type explainStmt struct {
+	Sel *selectStmt
 }
 
 // insertStmt is a parsed INSERT.
@@ -155,7 +167,8 @@ type deleteStmt struct {
 	Where boolExpr // may be nil
 }
 
-func (*selectStmt) isStmt() {}
-func (*insertStmt) isStmt() {}
-func (*updateStmt) isStmt() {}
-func (*deleteStmt) isStmt() {}
+func (*selectStmt) isStmt()  {}
+func (*explainStmt) isStmt() {}
+func (*insertStmt) isStmt()  {}
+func (*updateStmt) isStmt()  {}
+func (*deleteStmt) isStmt()  {}

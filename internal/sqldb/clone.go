@@ -54,6 +54,7 @@ func (t *table) cloneAt(ts int64) *table {
 		pkCol:    t.pkCol,
 		nextAuto: t.nextAuto,
 		indexes:  make(map[string]*hashIndex, len(t.indexes)),
+		ordered:  make(map[string]*orderedIndex, len(t.ordered)),
 	}
 	slots := *t.slots.Load()
 	ns := make([]*rowSlot, len(slots))
@@ -75,6 +76,9 @@ func (t *table) cloneAt(ts int64) *table {
 	}
 	for name, idx := range t.indexes {
 		nt.indexes[name] = &hashIndex{col: idx.col, m: maps.Clone(idx.m)}
+	}
+	for name, idx := range t.ordered {
+		nt.ordered[name] = idx.clone()
 	}
 	return nt
 }

@@ -164,9 +164,81 @@ func TestWriterWaitsForReaders(t *testing.T) {
 	}
 }
 
+// TestIndexedEqualityChargesLess closes a long-standing blind spot:
+// TestIndexMatchesScanProperty proves the indexed path returns the
+// right rows, but nothing asserted it is *charged* less than the scan
+// it replaces. Here an equality query on an indexed column must
+// accumulate far less modeled cost than the same-shaped query on an
+// unindexed column — under both storage engines, for both a value
+// that exists (pay per entry visited) and one that does not (pay the
+// probe, nearly nothing else).
+func TestIndexedEqualityChargesLess(t *testing.T) {
+	for _, mvcc := range []bool{false, true} {
+		name := "lock"
+		if mvcc {
+			name = "mvcc"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := Open(Options{Cost: ZeroCostModel(), MVCC: mvcc})
+			db.MustCreateTable(Schema{
+				Table: "t",
+				Columns: []Column{
+					{Name: "id", Type: Int},
+					{Name: "grp", Type: Int},
+					{Name: "val", Type: Int},
+				},
+				PrimaryKey: "id",
+				Indexes:    []string{"grp"},
+			})
+			c := db.Connect()
+			defer c.Close()
+			for i := 1; i <= 5000; i++ {
+				mustExec(t, c, "INSERT INTO t (id, grp, val) VALUES (?, ?, ?)", i, i%50, i%50)
+			}
+			m := DefaultCostModel()
+
+			charge := func(sql string, arg int64) time.Duration {
+				t.Helper()
+				s, err := parseSQL(sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := &execCtx{args: []Value{arg}}
+				if _, err := db.execSelect(s.(*selectStmt), ctx); err != nil {
+					t.Fatal(err)
+				}
+				return ctx.cost.total(m)
+			}
+
+			scanHit := charge("SELECT id FROM t WHERE val = ?", 7)
+			scanMiss := charge("SELECT id FROM t WHERE val = ?", 999)
+			idxHit := charge("SELECT id FROM t WHERE grp = ?", 7)
+			idxMiss := charge("SELECT id FROM t WHERE grp = ?", 999)
+
+			// The index must not merely win — it must win by enough to
+			// move a page across the paper's quick/lengthy boundary.
+			if scanHit < 20*idxHit {
+				t.Fatalf("indexed hit %v is not >=20x cheaper than scan hit %v", idxHit, scanHit)
+			}
+			if scanMiss < 20*idxMiss {
+				t.Fatalf("indexed miss %v is not >=20x cheaper than scan miss %v", idxMiss, scanMiss)
+			}
+			// A miss visits no entries: it may not charge more than a hit,
+			// and the scan pays the full table either way.
+			if idxMiss > idxHit {
+				t.Fatalf("indexed miss %v charged more than hit %v", idxMiss, idxHit)
+			}
+			if scanMiss < scanHit/2 {
+				t.Fatalf("scan miss %v did not pay the full-table price (hit %v)", scanMiss, scanHit)
+			}
+		})
+	}
+}
+
 // Property: after an arbitrary interleaving of inserts, updates, and
 // deletes, an indexed equality query returns exactly the rows a full scan
-// predicate would.
+// predicate would. (TestIndexedEqualityChargesLess is the cost-side
+// companion: the indexed path must also be charged less.)
 func TestIndexMatchesScanProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))

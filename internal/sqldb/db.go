@@ -82,10 +82,19 @@ type DB struct {
 	// concurrent statements.
 	applyHook atomic.Pointer[ApplyFunc]
 
+	// idxEpoch counts index-availability changes (CreateIndex). Cached
+	// plans carry the epoch they were built under; a bump invalidates
+	// them, so a statement never executes a stale full-scan plan after
+	// an index appears (or a stale index plan after one is replaced).
+	idxEpoch atomic.Int64
+
 	queries       metrics.Counter // statements executed
 	queryTime     metrics.Histogram
 	conflicts     metrics.Counter // first-writer-wins aborts (before retry)
 	snapshotReads metrics.Counter // statements served from an MVCC snapshot
+	planScans     metrics.Counter // full-scan access paths executed
+	planIndex     metrics.Counter // index access paths executed
+	planRows      metrics.Counter // row versions visited by access paths
 	open          atomic.Int64    // connections currently open (gauge)
 }
 
@@ -133,6 +142,22 @@ func (db *DB) Conflicts() int64 { return db.conflicts.Value() }
 // SnapshotReads reports statements served from an MVCC snapshot
 // (snapshot SELECTs plus explicit Snapshot queries).
 func (db *DB) SnapshotReads() int64 { return db.snapshotReads.Value() }
+
+// PlanScans reports executed full-scan access paths: statements (or
+// join inner loops) the planner could not serve from an index.
+func (db *DB) PlanScans() int64 { return db.planScans.Value() }
+
+// PlanIndexLookups reports executed index access paths — point lookups,
+// range scans, index-order scans, and index-nested-loop join inners.
+func (db *DB) PlanIndexLookups() int64 { return db.planIndex.Value() }
+
+// PlanRowsRead reports row versions visited by access paths (scanned
+// slots plus index-probed rows) — the planner's honest I/O volume.
+func (db *DB) PlanRowsRead() int64 { return db.planRows.Value() }
+
+// IndexEpoch reports the index-availability generation; it bumps on
+// every CreateIndex, invalidating cached plans.
+func (db *DB) IndexEpoch() int64 { return db.idxEpoch.Load() }
 
 // StmtCacheHits reports prepared-statement cache hits.
 func (db *DB) StmtCacheHits() int64 { return db.stmts.hits.Value() }
@@ -247,6 +272,28 @@ func (db *DB) CreateTable(s Schema) error {
 	return nil
 }
 
+// CreateIndex builds a secondary index on a live table from the rows
+// visible at the latest commit timestamp and installs it atomically
+// with respect to commits. ordered selects the index type: an ordered
+// index serves equality, ranges, and ORDER BY; a hash index serves
+// equality only. Indexing a column that already carries the other index
+// type replaces it. Statements planned before the install keep running
+// correctly (index entries are stale-tolerant hints either way); the
+// index epoch bump makes every later execution replan.
+func (db *DB) CreateIndex(table, col string, ordered bool) error {
+	tbl, err := db.lookupTable(table)
+	if err != nil {
+		return err
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if err := tbl.buildIndex(col, ordered); err != nil {
+		return err
+	}
+	db.idxEpoch.Add(1)
+	return nil
+}
+
 // MustCreateTable is CreateTable, panicking on error; used by schema
 // definitions whose correctness is static.
 func (db *DB) MustCreateTable(s Schema) {
@@ -294,16 +341,30 @@ func (db *DB) lookupTable(name string) (*table, error) {
 	return tbl, nil
 }
 
-// prepare parses SQL through the per-DB bounded statement cache.
+// prepare parses and plans SQL through the per-DB bounded statement
+// cache. Cached entries are keyed by the index epoch they were planned
+// under: a CreateIndex bumps the epoch, so the next execution of a
+// cached statement replans instead of running a stale access path.
 func (db *DB) prepare(sql string) (stmt, error) {
-	if s, ok := db.stmts.get(sql); ok {
+	epoch := db.idxEpoch.Load()
+	if s, ok := db.stmts.get(sql, epoch); ok {
 		return s, nil
 	}
 	s, err := parseSQL(sql)
 	if err != nil {
 		return nil, err
 	}
-	db.stmts.put(sql, s)
+	switch t := s.(type) {
+	case *selectStmt:
+		if t.plan, err = db.planSelect(t); err != nil {
+			return nil, err
+		}
+	case *explainStmt:
+		if t.Sel.plan, err = db.planSelect(t.Sel); err != nil {
+			return nil, err
+		}
+	}
+	db.stmts.put(sql, s, epoch)
 	return s, nil
 }
 
@@ -408,15 +469,18 @@ func (c *Conn) Query(sql string, args ...any) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := s.(*selectStmt)
-	if !ok {
+	switch t := s.(type) {
+	case *selectStmt:
+		ec, err := newExecCtx(args)
+		if err != nil {
+			return nil, err
+		}
+		return c.db.execSelect(t, ec)
+	case *explainStmt:
+		return t.Sel.plan.resultSet(), nil
+	default:
 		return nil, fmt.Errorf("sqldb: Query requires SELECT, got %q", sql)
 	}
-	ec, err := newExecCtx(args)
-	if err != nil {
-		return nil, err
-	}
-	return c.db.execSelect(sel, ec)
 }
 
 // ExecResult reports the effect of a DML statement.

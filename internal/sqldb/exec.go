@@ -3,7 +3,6 @@ package sqldb
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // binding is one table instance participating in a SELECT (FROM or JOIN),
@@ -210,633 +209,6 @@ func evalBool(e boolExpr, bindings []binding, rows [][]Value, ec *execCtx) (bool
 	}
 }
 
-// eqLookup describes an index-usable equality found in the WHERE clause.
-type eqLookup struct {
-	col string
-	val Value
-}
-
-// findEqLookup walks AND-connected predicates for "col = value" where col
-// belongs to binding b, value is row-independent, and the table has an
-// index on col.
-func findEqLookup(e boolExpr, bindings []binding, b binding, ec *execCtx) *eqLookup {
-	switch t := e.(type) {
-	case andExpr:
-		if l := findEqLookup(t.L, bindings, b, ec); l != nil {
-			return l
-		}
-		return findEqLookup(t.R, bindings, b, ec)
-	case cmpExpr:
-		if t.Op != "=" || (!t.Rhs.IsLit && !t.Rhs.IsPlacehold) {
-			return nil
-		}
-		bi, _, err := resolveCol(bindings, t.Col)
-		if err != nil || bindings[bi].ref.name() != b.ref.name() {
-			return nil
-		}
-		if !b.tbl.hasIndex(t.Col.Column) {
-			return nil
-		}
-		v, err := operandValue(t.Rhs, bindings, nil, ec)
-		if err != nil {
-			return nil
-		}
-		nv, err := normalize(v)
-		if err != nil {
-			return nil
-		}
-		return &eqLookup{col: t.Col.Column, val: nv}
-	default:
-		return nil
-	}
-}
-
-// candidateRows yields the row IDs of table b to visit, using an index
-// when the WHERE clause allows, and charges scan/probe costs. Index
-// results are hints — ids whose visible row no longer matches are
-// filtered by the caller's predicate re-check.
-func candidateRows(where boolExpr, bindings []binding, b binding, ec *execCtx) []int {
-	if where != nil {
-		if lk := findEqLookup(where, bindings, b, ec); lk != nil {
-			return indexedRows(b.view, lk.col, lk.val, ec)
-		}
-	}
-	// Full scan.
-	n := b.view.size()
-	ids := make([]int, 0, n)
-	for id := 0; id < n; id++ {
-		if b.view.row(id) != nil {
-			ids = append(ids, id)
-		}
-	}
-	ec.cost.scanned += n
-	return ids
-}
-
-// indexedRows resolves an equality through the primary key or a secondary
-// index and charges probe costs.
-func indexedRows(v tableView, col string, val Value, ec *execCtx) []int {
-	t := v.tbl
-	if t.pkCol >= 0 && t.schema.Columns[t.pkCol].Name == col {
-		ec.cost.probes++
-		key, ok := val.(int64)
-		if !ok {
-			if f, fok := val.(float64); fok {
-				key, ok = int64(f), true
-			}
-		}
-		if !ok {
-			return nil
-		}
-		if id, found := v.lookupPK(key); found {
-			return []int{id}
-		}
-		return nil
-	}
-	ids, _ := v.lookupIndex(col, val)
-	ec.cost.probes += len(ids) + 1
-	return ids
-}
-
-// execSelect runs a SELECT. In lock mode it holds the read locks of its
-// tables for the whole cost-padded statement (the paper's contention
-// behavior); under MVCC it reads a fixed snapshot lock-free and charges
-// cost with nothing held, so readers never block writers or each other.
-func (db *DB) execSelect(s *selectStmt, ec *execCtx) (*ResultSet, error) {
-	bindings, err := db.resolveBindings(s)
-	if err != nil {
-		return nil, err
-	}
-	if db.mvcc.Load() {
-		ts := db.commitTS.Load()
-		db.snapshotReads.Inc()
-		db.pinSnapshot(ts)
-		defer db.unpinSnapshot(ts)
-		bindViews(bindings, ts)
-		defer db.chargeCost(ec) // no locks held; the sleep delays only this statement
-		return db.runSelect(s, bindings, ec)
-	}
-	unlock := db.lockTables(bindings, false)
-	defer unlock()
-	defer db.chargeCost(ec) // sleep the cost before releasing the locks
-	bindViews(bindings, latestTS)
-	return db.runSelect(s, bindings, ec)
-}
-
-// execSelectAt runs a SELECT lock-free against the snapshot at ts — the
-// engine behind Snapshot.Query, valid in either concurrency mode.
-func (db *DB) execSelectAt(s *selectStmt, ec *execCtx, ts int64) (*ResultSet, error) {
-	bindings, err := db.resolveBindings(s)
-	if err != nil {
-		return nil, err
-	}
-	db.pinSnapshot(ts)
-	defer db.unpinSnapshot(ts)
-	bindViews(bindings, ts)
-	defer db.chargeCost(ec)
-	return db.runSelect(s, bindings, ec)
-}
-
-// runSelect is the mode-independent SELECT core: join planning,
-// predicate pushdown, enumeration, aggregation, ordering, projection.
-// Every row access goes through the bindings' views.
-func (db *DB) runSelect(s *selectStmt, bindings []binding, ec *execCtx) (*ResultSet, error) {
-	// Pre-resolve join sides: joins[i] extends binding i+1.
-	plans := make([]joinPlan, len(s.Joins))
-	for i, j := range s.Joins {
-		inner := bindings[i+1]
-		visible := bindings[:i+1]
-		lInner := colBelongsTo(inner, j.LCol)
-		rInner := colBelongsTo(inner, j.RCol)
-		switch {
-		case lInner && !rInner:
-			plans[i] = joinPlan{innerCol: inner.tbl.schema.colIndex(j.LCol.Column), innerName: j.LCol.Column, outerRef: j.RCol}
-		case rInner && !lInner:
-			plans[i] = joinPlan{innerCol: inner.tbl.schema.colIndex(j.RCol.Column), innerName: j.RCol.Column, outerRef: j.LCol}
-		default:
-			return nil, fmt.Errorf("sqldb: join ON must relate %q to an earlier table", inner.ref.name())
-		}
-		bi, ci, err := resolveCol(visible, plans[i].outerRef)
-		if err != nil {
-			return nil, fmt.Errorf("sqldb: join outer column: %w", err)
-		}
-		plans[i].outerBi, plans[i].outerCi = bi, ci
-	}
-
-	// Compile the WHERE clause once, split into conjuncts applied at the
-	// shallowest join depth possible (predicate pushdown).
-	preds, err := compileWhere(s.Where, bindings)
-	if err != nil {
-		return nil, err
-	}
-
-	// Nested-loop enumeration with pushdown: candidate rows for the FROM
-	// table, then joins, applying each predicate as soon as its deepest
-	// referenced binding is bound.
-	matched, err := db.enumerate(s, bindings, plans, preds, ec)
-	if err != nil {
-		return nil, err
-	}
-
-	hasAgg := false
-	for _, it := range s.Items {
-		if it.Agg != aggNone {
-			hasAgg = true
-			break
-		}
-	}
-
-	var rs *ResultSet
-	if hasAgg || len(s.GroupBy) > 0 {
-		rs, err = db.aggregate(s, bindings, matched, ec)
-		if err != nil {
-			return nil, err
-		}
-		// Aggregated queries order by output columns, including
-		// aggregate aliases (ORDER BY qty DESC).
-		if len(s.OrderBy) > 0 {
-			if err := orderResult(rs, s.OrderBy, ec); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		// Plain queries may order by any table column, projected or not
-		// (ORDER BY i_pub_date DESC with only i_title selected), so sort
-		// the combined rows before projection. Aliases that are not
-		// table columns fall back to a post-projection sort.
-		sortedPre := false
-		if len(s.OrderBy) > 0 {
-			ok, err := orderCombined(matched, bindings, s.OrderBy, ec)
-			if err != nil {
-				return nil, err
-			}
-			sortedPre = ok
-		}
-		rs, err = db.project(s, bindings, matched, ec)
-		if err != nil {
-			return nil, err
-		}
-		if len(s.OrderBy) > 0 && !sortedPre {
-			if err := orderResult(rs, s.OrderBy, ec); err != nil {
-				return nil, err
-			}
-		}
-	}
-	applyLimit(rs, s.Limit, s.Offset)
-	return rs, nil
-}
-
-// orderCombined sorts joined rows by table columns. It reports false
-// (without sorting) when a key does not resolve to a table column, in
-// which case the caller sorts the projected output instead.
-func orderCombined(matched [][][]Value, bindings []binding, keys []orderKey, ec *execCtx) (bool, error) {
-	type sortCol struct {
-		bi, ci int
-		desc   bool
-	}
-	scols := make([]sortCol, len(keys))
-	for i, k := range keys {
-		bi, ci, err := resolveCol(bindings, k.Ref)
-		if err != nil {
-			return false, nil // alias; sort after projection
-		}
-		scols[i] = sortCol{bi: bi, ci: ci, desc: k.Desc}
-	}
-	ec.cost.sorted += len(matched)
-	var sortErr error
-	sort.SliceStable(matched, func(i, j int) bool {
-		for _, sc := range scols {
-			c, err := compare(matched[i][sc.bi][sc.ci], matched[j][sc.bi][sc.ci])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			if c != 0 {
-				if sc.desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
-	})
-	if sortErr != nil {
-		return false, sortErr
-	}
-	return true, nil
-}
-
-func colBelongsTo(b binding, ref colRef) bool {
-	if ref.Table != "" {
-		return ref.Table == b.ref.name()
-	}
-	return b.tbl.schema.colIndex(ref.Column) >= 0
-}
-
-// joinPlan pre-resolves one join: which column of the newly joined table
-// matches which already-visible column.
-type joinPlan struct {
-	innerCol  int    // column index in the inner (new) table
-	innerName string // column name, for index lookup
-	outerRef  colRef
-	outerBi   int // resolved outer column position
-	outerCi   int
-}
-
-// enumerate runs the nested-loop join with predicate pushdown and returns
-// the fully matched combined rows.
-func (db *DB) enumerate(s *selectStmt, bindings []binding, plans []joinPlan, preds [][]compiledPred, ec *execCtx) ([][][]Value, error) {
-	var out [][][]Value
-	rows := make([][]Value, len(bindings))
-
-	// applyPreds evaluates the depth-i conjuncts on the partial row.
-	applyPreds := func(i int) (bool, error) {
-		for _, p := range preds[i] {
-			ok, err := p.eval(rows, ec)
-			if err != nil || !ok {
-				return false, err
-			}
-		}
-		return true, nil
-	}
-
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i >= len(bindings) {
-			cp := make([][]Value, len(rows))
-			copy(cp, rows)
-			out = append(out, cp)
-			ec.cost.matched++
-			return nil
-		}
-		plan := plans[i-1]
-		outerVal := rows[plan.outerBi][plan.outerCi]
-		inner := bindings[i]
-		var ids []int
-		if inner.tbl.hasIndex(plan.innerName) {
-			ids = indexedRows(inner.view, plan.innerName, outerVal, ec)
-		} else {
-			n := inner.view.size()
-			ec.cost.scanned += n
-			for id := 0; id < n; id++ {
-				if row := inner.view.row(id); row != nil && valuesEqual(row[plan.innerCol], outerVal) {
-					ids = append(ids, id)
-				}
-			}
-		}
-		for _, id := range ids {
-			row := inner.view.row(id)
-			// Re-check the join equality: index buckets are stale-tolerant
-			// hints, so an id may point at a row whose visible version no
-			// longer (or, at this snapshot, does not yet) match.
-			if row == nil || !valuesEqual(row[plan.innerCol], outerVal) {
-				continue
-			}
-			rows[i] = row
-			ok, err := applyPreds(i)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				continue
-			}
-			if err := rec(i + 1); err != nil {
-				return err
-			}
-		}
-		rows[i] = nil
-		return nil
-	}
-
-	for _, id := range candidateRows(s.Where, bindings, bindings[0], ec) {
-		rows[0] = bindings[0].view.row(id)
-		if rows[0] == nil {
-			continue
-		}
-		ok, err := applyPreds(0)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
-		if err := rec(1); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-// outputColumns computes the result column names for the projection.
-func outputColumns(s *selectStmt, bindings []binding) ([]string, error) {
-	var cols []string
-	for _, it := range s.Items {
-		switch {
-		case it.Star:
-			for _, b := range bindings {
-				if it.Table != "" && b.ref.name() != it.Table {
-					continue
-				}
-				for _, c := range b.tbl.schema.Columns {
-					cols = append(cols, c.Name)
-				}
-			}
-		case it.Agg != aggNone:
-			cols = append(cols, aggOutputName(it))
-		default:
-			if it.Alias != "" {
-				cols = append(cols, it.Alias)
-			} else {
-				cols = append(cols, it.Col.Column)
-			}
-		}
-	}
-	return cols, nil
-}
-
-func aggOutputName(it selectItem) string {
-	if it.Alias != "" {
-		return it.Alias
-	}
-	var fn string
-	switch it.Agg {
-	case aggCount:
-		fn = "count"
-	case aggSum:
-		fn = "sum"
-	case aggAvg:
-		fn = "avg"
-	case aggMin:
-		fn = "min"
-	case aggMax:
-		fn = "max"
-	}
-	if it.AggStar {
-		return fn
-	}
-	return fn + "_" + it.AggCol.Column
-}
-
-// project materializes a non-aggregate result.
-func (db *DB) project(s *selectStmt, bindings []binding, matched [][][]Value, ec *execCtx) (*ResultSet, error) {
-	cols, err := outputColumns(s, bindings)
-	if err != nil {
-		return nil, err
-	}
-	rs := &ResultSet{Columns: cols, Rows: make([][]Value, 0, len(matched))}
-	for _, rows := range matched {
-		out := make([]Value, 0, len(cols))
-		for _, it := range s.Items {
-			switch {
-			case it.Star:
-				for bi, b := range bindings {
-					if it.Table != "" && b.ref.name() != it.Table {
-						continue
-					}
-					out = append(out, rows[bi]...)
-				}
-			default:
-				bi, ci, err := resolveCol(bindings, it.Col)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, rows[bi][ci])
-			}
-		}
-		rs.Rows = append(rs.Rows, out)
-	}
-	return rs, nil
-}
-
-// aggState accumulates one aggregate over one group.
-type aggState struct {
-	count    int64
-	sum      float64
-	sumInts  bool
-	min, max Value
-	seen     bool
-}
-
-func (a *aggState) add(v Value) {
-	if v == nil {
-		return
-	}
-	a.count++
-	if n, ok := asNumber(v); ok {
-		a.sum += n
-		if !a.seen {
-			a.sumInts = true
-		}
-		if _, isInt := v.(int64); !isInt {
-			a.sumInts = false
-		}
-	}
-	if !a.seen {
-		a.min, a.max, a.seen = v, v, true
-		return
-	}
-	if c, err := compare(v, a.min); err == nil && c < 0 {
-		a.min = v
-	}
-	if c, err := compare(v, a.max); err == nil && c > 0 {
-		a.max = v
-	}
-}
-
-// aggregate materializes a grouped/aggregated result.
-func (db *DB) aggregate(s *selectStmt, bindings []binding, matched [][][]Value, ec *execCtx) (*ResultSet, error) {
-	for _, it := range s.Items {
-		if it.Star {
-			return nil, fmt.Errorf("sqldb: SELECT * cannot be combined with aggregates")
-		}
-	}
-	// Resolve group-by columns.
-	type colPos struct{ bi, ci int }
-	groupPos := make([]colPos, len(s.GroupBy))
-	for i, g := range s.GroupBy {
-		bi, ci, err := resolveCol(bindings, g)
-		if err != nil {
-			return nil, err
-		}
-		groupPos[i] = colPos{bi, ci}
-	}
-	type group struct {
-		firstRows [][]Value
-		states    []aggState
-	}
-	groups := make(map[string]*group)
-	var orderKeys []string // insertion order for determinism
-	ec.cost.sorted += len(matched)
-	for _, rows := range matched {
-		var kb strings.Builder
-		for _, gp := range groupPos {
-			kb.WriteString(FormatValue(rows[gp.bi][gp.ci]))
-			kb.WriteByte('\x00')
-		}
-		key := kb.String()
-		g, ok := groups[key]
-		if !ok {
-			g = &group{firstRows: rows, states: make([]aggState, len(s.Items))}
-			groups[key] = g
-			orderKeys = append(orderKeys, key)
-		}
-		for i, it := range s.Items {
-			if it.Agg == aggNone {
-				continue
-			}
-			if it.AggStar {
-				g.states[i].count++
-				continue
-			}
-			bi, ci, err := resolveCol(bindings, it.AggCol)
-			if err != nil {
-				return nil, err
-			}
-			g.states[i].add(rows[bi][ci])
-		}
-	}
-	cols, err := outputColumns(s, bindings)
-	if err != nil {
-		return nil, err
-	}
-	// SQL semantics: an ungrouped aggregate over an empty set still
-	// yields one row (COUNT 0, SUM/AVG/MIN/MAX NULL).
-	if len(groups) == 0 && len(s.GroupBy) == 0 {
-		groups[""] = &group{firstRows: make([][]Value, len(bindings)), states: make([]aggState, len(s.Items))}
-		orderKeys = append(orderKeys, "")
-	}
-	rs := &ResultSet{Columns: cols, Rows: make([][]Value, 0, len(groups))}
-	for _, key := range orderKeys {
-		g := groups[key]
-		out := make([]Value, 0, len(cols))
-		for i, it := range s.Items {
-			if it.Agg == aggNone {
-				bi, ci, err := resolveCol(bindings, it.Col)
-				if err != nil {
-					return nil, err
-				}
-				if g.firstRows[bi] == nil {
-					out = append(out, nil) // synthetic empty-set group
-					continue
-				}
-				out = append(out, g.firstRows[bi][ci])
-				continue
-			}
-			st := g.states[i]
-			switch it.Agg {
-			case aggCount:
-				out = append(out, st.count)
-			case aggSum:
-				if st.sumInts {
-					out = append(out, int64(st.sum))
-				} else {
-					out = append(out, st.sum)
-				}
-			case aggAvg:
-				if st.count == 0 {
-					out = append(out, nil)
-				} else {
-					out = append(out, st.sum/float64(st.count))
-				}
-			case aggMin:
-				out = append(out, st.min)
-			case aggMax:
-				out = append(out, st.max)
-			}
-		}
-		rs.Rows = append(rs.Rows, out)
-	}
-	return rs, nil
-}
-
-// orderResult sorts the result set by output columns (names or aliases).
-func orderResult(rs *ResultSet, keys []orderKey, ec *execCtx) error {
-	type sortCol struct {
-		idx  int
-		desc bool
-	}
-	scols := make([]sortCol, len(keys))
-	for i, k := range keys {
-		idx := rs.ColIndex(k.Ref.Column)
-		if idx < 0 {
-			return fmt.Errorf("sqldb: ORDER BY column %q is not in the result; project it", k.Ref.Column)
-		}
-		scols[i] = sortCol{idx: idx, desc: k.Desc}
-	}
-	ec.cost.sorted += len(rs.Rows)
-	var sortErr error
-	sort.SliceStable(rs.Rows, func(i, j int) bool {
-		for _, sc := range scols {
-			c, err := compare(rs.Rows[i][sc.idx], rs.Rows[j][sc.idx])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			if c != 0 {
-				if sc.desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
-	})
-	return sortErr
-}
-
-func applyLimit(rs *ResultSet, limit, offset int) {
-	if offset > 0 {
-		if offset >= len(rs.Rows) {
-			rs.Rows = rs.Rows[:0]
-		} else {
-			rs.Rows = rs.Rows[offset:]
-		}
-	}
-	if limit >= 0 && limit < len(rs.Rows) {
-		rs.Rows = rs.Rows[:limit]
-	}
-}
-
 // ---- DML ----
 //
 // Every DML statement is split into a read phase and a commit. The read
@@ -973,7 +345,7 @@ func (db *DB) execUpdate(s *updateStmt, ec *execCtx) (ExecResult, error) {
 func (db *DB) collectUpdates(s *updateStmt, b binding, cols []int, ec *execCtx) ([]rowWrite, error) {
 	bindings := []binding{b}
 	tbl := b.tbl
-	ids := candidateRows(s.Where, bindings, b, ec)
+	ids := db.candidateRows(s.Where, bindings, b, ec)
 	rows := make([][]Value, 1)
 	var writes []rowWrite
 	for _, id := range ids {
@@ -1050,7 +422,7 @@ func (db *DB) execDelete(s *deleteStmt, ec *execCtx) (ExecResult, error) {
 // visible rows.
 func (db *DB) collectDeletes(s *deleteStmt, b binding, ec *execCtx) ([]int, error) {
 	bindings := []binding{b}
-	ids := candidateRows(s.Where, bindings, b, ec)
+	ids := db.candidateRows(s.Where, bindings, b, ec)
 	rows := make([][]Value, 1)
 	var deletes []int
 	for _, id := range ids {

@@ -246,7 +246,7 @@ func TestLookupIndexStableSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	view := tbl.view(db.CommitTS())
-	ids, ok := view.lookupIndex("h_group", int64(1))
+	ids, _, ok := view.lookupIndex("h_group", int64(1))
 	if !ok || len(ids) != 64 {
 		t.Fatalf("bucket = %d ids, ok=%v; want 64", len(ids), ok)
 	}
@@ -321,7 +321,7 @@ func TestStmtCacheLRU(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, ok := db.stmts.get(hot); !ok {
+	if _, ok := db.stmts.get(hot, db.IndexEpoch()); !ok {
 		t.Fatal("hot statement evicted despite recency")
 	}
 	if db.StmtCacheHits() == 0 {

@@ -25,6 +25,15 @@ func parseSQL(src string) (stmt, error) {
 	switch {
 	case p.acceptKeyword("SELECT"):
 		s, err = p.parseSelect()
+	case p.acceptKeyword("EXPLAIN"):
+		if err := p.expectKeyword("SELECT"); err != nil {
+			return nil, err
+		}
+		var sel *selectStmt
+		sel, err = p.parseSelect()
+		if err == nil {
+			s = &explainStmt{Sel: sel}
+		}
 	case p.acceptKeyword("INSERT"):
 		s, err = p.parseInsert()
 	case p.acceptKeyword("UPDATE"):
@@ -92,7 +101,7 @@ func (p *sqlParser) expectPunct(text string) error {
 
 // reserved keywords that terminate identifier positions.
 var sqlReserved = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "ORDER": true,
+	"SELECT": true, "EXPLAIN": true, "FROM": true, "WHERE": true, "GROUP": true, "ORDER": true,
 	"BY": true, "LIMIT": true, "OFFSET": true, "INNER": true, "JOIN": true,
 	"ON": true, "AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
 	"IS": true, "NULL": true, "LIKE": true, "INSERT": true, "INTO": true,

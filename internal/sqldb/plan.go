@@ -1,0 +1,480 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file is the planning layer of the SELECT pipeline. The layering
+// is:
+//
+//	parser.go / ast.go   — SQL text -> logical statement tree
+//	plan.go  (this file) — logical tree -> physical selectPlan: one
+//	                       access path per driving table plus a join
+//	                       strategy per joined table, chosen by cost
+//	                       from table/index statistics
+//	operators.go         — physical plan -> rows, through composable
+//	                       operators (scan, index lookup/range/order,
+//	                       filter, joins, aggregate, sort, limit)
+//
+// Plans are built once at prepare time and cached with the statement
+// (keyed by the index epoch, see stmtcache.go); placeholder values are
+// not known at plan time, so selectivity estimates use index statistics
+// and the operators re-resolve bound values at execution.
+
+// pathKind enumerates the physical access paths for one table.
+type pathKind int
+
+const (
+	// pathScan visits every slot of the table.
+	pathScan pathKind = iota
+	// pathPK resolves one row through the primary-key map.
+	pathPK
+	// pathIndexEq probes a secondary (hash or ordered) index bucket.
+	pathIndexEq
+	// pathIndexRange walks an ordered index between two bounds.
+	pathIndexRange
+	// pathIndexOrder walks an ordered index in ORDER BY order, stopping
+	// early once LIMIT+OFFSET filtered rows are in hand.
+	pathIndexOrder
+)
+
+// rangeBound is one side of an index range: the bound operand and
+// whether the comparison excludes equality (">"/"<" vs ">="/"<=").
+type rangeBound struct {
+	rhs  operand
+	excl bool
+}
+
+// accessPath is the planner's decision for producing one table's
+// candidate rows. Operand values (placeholders) are resolved at
+// execution; the operators re-check every predicate against the visible
+// row, so a path is a narrowing hint, never a source of truth.
+type accessPath struct {
+	kind    pathKind
+	colName string      // indexed column (all but pathScan)
+	eq      operand     // pathPK, pathIndexEq
+	lo, hi  *rangeBound // pathIndexRange
+	desc    bool        // pathIndexOrder direction
+	stop    int         // pathIndexOrder early-stop row count (limit+offset)
+	estCost time.Duration
+}
+
+// joinPlan pre-resolves one join: which column of the newly joined table
+// matches which already-visible column.
+type joinPlan struct {
+	innerCol  int    // column index in the inner (new) table
+	innerName string // column name, for index lookup
+	outerRef  colRef
+	outerBi   int // resolved outer column position
+	outerCi   int
+}
+
+func colBelongsTo(b binding, ref colRef) bool {
+	if ref.Table != "" {
+		return ref.Table == b.ref.name()
+	}
+	return b.tbl.schema.colIndex(ref.Column) >= 0
+}
+
+// joinStep is the resolved strategy for one INNER JOIN: the join-column
+// plumbing plus whether the inner side is driven through an index
+// (index-nested-loop) or a rescan (nested-loop).
+type joinStep struct {
+	joinPlan
+	indexed    bool
+	innerTable string // inner binding's display name, for EXPLAIN
+}
+
+// selectPlan is the physical plan for one SELECT.
+type selectPlan struct {
+	outerName string // driving table's display name
+	outer     accessPath
+	joins     []joinStep
+
+	where        boolExpr // residual filter (the full WHERE; re-checked)
+	hasAgg       bool
+	groupBy      []colRef
+	orderBy      []orderKey
+	orderByIndex bool // outer path delivers ORDER BY order; no sort
+	limit        int  // -1 when absent
+	offset       int
+}
+
+// planSelect chooses the physical plan for a parsed SELECT: join
+// strategies for every joined table and a cost-ranked access path for
+// the driving table.
+func (db *DB) planSelect(s *selectStmt) (*selectPlan, error) {
+	bindings, err := db.resolveBindings(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &selectPlan{
+		outerName: bindings[0].ref.name(),
+		where:     s.Where,
+		groupBy:   s.GroupBy,
+		orderBy:   s.OrderBy,
+		limit:     s.Limit,
+		offset:    s.Offset,
+	}
+	for _, it := range s.Items {
+		if it.Agg != aggNone {
+			p.hasAgg = true
+			break
+		}
+	}
+	// Resolve join sides: joins[i] extends binding i+1.
+	p.joins = make([]joinStep, len(s.Joins))
+	for i, j := range s.Joins {
+		inner := bindings[i+1]
+		visible := bindings[:i+1]
+		lInner := colBelongsTo(inner, j.LCol)
+		rInner := colBelongsTo(inner, j.RCol)
+		var jp joinPlan
+		switch {
+		case lInner && !rInner:
+			jp = joinPlan{innerCol: inner.tbl.schema.colIndex(j.LCol.Column), innerName: j.LCol.Column, outerRef: j.RCol}
+		case rInner && !lInner:
+			jp = joinPlan{innerCol: inner.tbl.schema.colIndex(j.RCol.Column), innerName: j.RCol.Column, outerRef: j.LCol}
+		default:
+			return nil, fmt.Errorf("sqldb: join ON must relate %q to an earlier table", inner.ref.name())
+		}
+		bi, ci, err := resolveCol(visible, jp.outerRef)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: join outer column: %w", err)
+		}
+		jp.outerBi, jp.outerCi = bi, ci
+		p.joins[i] = joinStep{
+			joinPlan:   jp,
+			indexed:    inner.tbl.hasIndex(jp.innerName),
+			innerTable: inner.ref.name(),
+		}
+	}
+	p.outer = db.chooseAccessPath(s, bindings)
+	p.orderByIndex = p.outer.kind == pathIndexOrder
+	return p, nil
+}
+
+// sargable predicates: AND-connected "col OP row-independent-value"
+// conjuncts usable by an index on the driving table.
+type sarg struct {
+	col colRef
+	op  string
+	rhs operand
+}
+
+// collectSargs walks AND-connected conjuncts for comparisons between a
+// column of binding bi and a literal or placeholder.
+func collectSargs(e boolExpr, bindings []binding, bi int, out []sarg) []sarg {
+	switch t := e.(type) {
+	case andExpr:
+		out = collectSargs(t.L, bindings, bi, out)
+		return collectSargs(t.R, bindings, bi, out)
+	case cmpExpr:
+		if !t.Rhs.IsLit && !t.Rhs.IsPlacehold {
+			return out
+		}
+		gotBi, _, err := resolveCol(bindings, t.Col)
+		if err != nil || gotBi != bi {
+			return out
+		}
+		switch t.Op {
+		case "=", "<", "<=", ">", ">=":
+			return append(out, sarg{col: t.Col, op: t.Op, rhs: t.Rhs})
+		}
+	}
+	return out
+}
+
+// choosePredPath costs every WHERE-driven access path for the driving
+// table against the full scan and returns the cheapest. Candidates are
+// priced with the same CostModel terms execution charges: scans pay
+// PerRowScanned per slot, index paths pay PerIndexProbe per entry
+// visited — so the planner's preference is exactly the latency the
+// statement would feel. Shared by SELECT planning and DML read phases.
+func (db *DB) choosePredPath(where boolExpr, bindings []binding) accessPath {
+	b := bindings[0]
+	st := b.tbl.stats()
+	rows := float64(st.rows)
+	perScan := float64(db.cost.PerRowScanned)
+	perProbe := float64(db.cost.PerIndexProbe)
+
+	best := accessPath{kind: pathScan, estCost: time.Duration(rows * perScan)}
+	consider := func(p accessPath) {
+		// At-most-as-expensive with scan seeded first: on a cost tie (for
+		// example under ZeroCostModel) the index path wins because it is
+		// considered only when no more expensive than the incumbent.
+		if p.estCost <= best.estCost {
+			best = p
+		}
+	}
+
+	var sargs []sarg
+	if where != nil {
+		sargs = collectSargs(where, bindings, 0, nil)
+	}
+
+	// Equality candidates: primary key, then secondary indexes.
+	pkName := ""
+	if b.tbl.pkCol >= 0 {
+		pkName = b.tbl.schema.Columns[b.tbl.pkCol].Name
+	}
+	for _, sg := range sargs {
+		if sg.op != "=" {
+			continue
+		}
+		col := sg.col.Column
+		if col == pkName {
+			consider(accessPath{
+				kind: pathPK, colName: col, eq: sg.rhs,
+				estCost: time.Duration(2 * perProbe),
+			})
+			continue
+		}
+		if b.tbl.hasIndex(col) {
+			est := rows
+			if d := st.distinct[col]; d > 0 {
+				est = rows / float64(d)
+			}
+			consider(accessPath{
+				kind: pathIndexEq, colName: col, eq: sg.rhs,
+				estCost: time.Duration((1 + est) * perProbe),
+			})
+		}
+	}
+
+	// Range candidates: lo/hi bounds on one ordered-indexed column.
+	type rangePair struct{ lo, hi *rangeBound }
+	ranges := map[string]*rangePair{}
+	var rangeCols []string
+	for _, sg := range sargs {
+		if sg.op == "=" {
+			continue
+		}
+		col := sg.col.Column
+		if !b.tbl.hasOrdered(col) {
+			continue
+		}
+		rp := ranges[col]
+		if rp == nil {
+			rp = &rangePair{}
+			ranges[col] = rp
+			rangeCols = append(rangeCols, col)
+		}
+		bound := &rangeBound{rhs: sg.rhs, excl: sg.op == ">" || sg.op == "<"}
+		if sg.op == ">" || sg.op == ">=" {
+			if rp.lo == nil {
+				rp.lo = bound
+			}
+		} else {
+			if rp.hi == nil {
+				rp.hi = bound
+			}
+		}
+	}
+	for _, col := range rangeCols {
+		rp := ranges[col]
+		sel := 1.0 / 3
+		if rp.lo != nil && rp.hi != nil {
+			sel = 1.0 / 4
+		}
+		est := rows * sel
+		consider(accessPath{
+			kind: pathIndexRange, colName: col, lo: rp.lo, hi: rp.hi,
+			estCost: time.Duration((1 + est) * perProbe),
+		})
+	}
+	return best
+}
+
+// chooseAccessPath picks the driving table's access path for a SELECT:
+// the cheapest WHERE-driven path, challenged by the index-order path
+// when the query shape admits one.
+func (db *DB) chooseAccessPath(s *selectStmt, bindings []binding) accessPath {
+	b := bindings[0]
+	best := db.choosePredPath(s.Where, bindings)
+
+	// Index-order candidate: a single-key ORDER BY on an ordered-indexed
+	// column of a join-free, aggregate-free SELECT with a LIMIT — the
+	// operator walks the index in order and stops once LIMIT+OFFSET
+	// filtered rows are in hand.
+	if len(s.Joins) == 0 && !planHasAgg(s) && len(s.GroupBy) == 0 &&
+		len(s.OrderBy) == 1 && s.Limit >= 0 {
+		key := s.OrderBy[0]
+		if kbi, _, err := resolveCol(bindings, key.Ref); err == nil && kbi == 0 &&
+			b.tbl.hasOrdered(key.Ref.Column) {
+			rows := float64(b.tbl.stats().rows)
+			visited := float64(s.Limit + s.Offset)
+			if s.Where != nil {
+				// A residual filter delays the early stop; assume it
+				// passes half the rows, capped by the table itself.
+				visited = min(rows, 2*visited+float64(s.Limit+s.Offset))
+				visited = max(visited, rows/2)
+			}
+			cand := accessPath{
+				kind: pathIndexOrder, colName: key.Ref.Column,
+				desc: key.Desc, stop: s.Limit + s.Offset,
+				estCost: time.Duration((1 + visited) * float64(db.cost.PerIndexProbe)),
+			}
+			// The index-order path also saves the sort the WHERE-driven
+			// paths would pay; credit it when comparing. At-most-as-expensive,
+			// like consider: on a cost tie (ZeroCostModel) the index wins.
+			sortSaved := time.Duration(rows * float64(db.cost.PerSortRow))
+			if cand.estCost <= best.estCost+sortSaved {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+func planHasAgg(s *selectStmt) bool {
+	for _, it := range s.Items {
+		if it.Agg != aggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- EXPLAIN rendering ----
+
+// resultSet renders the plan as an EXPLAIN result: one operator per
+// row, access path first, then joins, filter, aggregate, sort, limit.
+func (p *selectPlan) resultSet() *ResultSet {
+	lines := p.lines()
+	rs := &ResultSet{Columns: []string{"plan"}, Rows: make([][]Value, len(lines))}
+	for i, l := range lines {
+		rs.Rows[i] = []Value{l}
+	}
+	return rs
+}
+
+func (p *selectPlan) lines() []string {
+	var out []string
+	qual := func(col string) string { return p.outerName + "." + col }
+	switch p.outer.kind {
+	case pathScan:
+		out = append(out, fmt.Sprintf("Scan(%s)", p.outerName))
+	case pathPK:
+		out = append(out, fmt.Sprintf("PKLookup(%s = %s)", qual(p.outer.colName), renderOperand(p.outer.eq)))
+	case pathIndexEq:
+		out = append(out, fmt.Sprintf("IndexLookup(%s = %s)", qual(p.outer.colName), renderOperand(p.outer.eq)))
+	case pathIndexRange:
+		var bounds []string
+		if lo := p.outer.lo; lo != nil {
+			op := ">="
+			if lo.excl {
+				op = ">"
+			}
+			bounds = append(bounds, fmt.Sprintf("%s %s %s", qual(p.outer.colName), op, renderOperand(lo.rhs)))
+		}
+		if hi := p.outer.hi; hi != nil {
+			op := "<="
+			if hi.excl {
+				op = "<"
+			}
+			bounds = append(bounds, fmt.Sprintf("%s %s %s", qual(p.outer.colName), op, renderOperand(hi.rhs)))
+		}
+		out = append(out, fmt.Sprintf("IndexRange(%s)", strings.Join(bounds, " and ")))
+	case pathIndexOrder:
+		dir := "asc"
+		if p.outer.desc {
+			dir = "desc"
+		}
+		out = append(out, fmt.Sprintf("IndexOrder(%s %s)", qual(p.outer.colName), dir))
+	}
+	for _, j := range p.joins {
+		op := "NestedJoin"
+		if j.indexed {
+			op = "IndexJoin"
+		}
+		out = append(out, fmt.Sprintf("%s(%s.%s = %s)", op, j.innerTable, j.innerName, j.outerRef))
+	}
+	if p.where != nil {
+		out = append(out, fmt.Sprintf("Filter(%s)", renderBool(p.where)))
+	}
+	if p.hasAgg || len(p.groupBy) > 0 {
+		var keys []string
+		for _, g := range p.groupBy {
+			keys = append(keys, g.String())
+		}
+		if len(keys) > 0 {
+			out = append(out, fmt.Sprintf("Aggregate(group by %s)", strings.Join(keys, ", ")))
+		} else {
+			out = append(out, "Aggregate()")
+		}
+	}
+	if len(p.orderBy) > 0 && !p.orderByIndex {
+		var keys []string
+		for _, k := range p.orderBy {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			keys = append(keys, k.Ref.String()+" "+dir)
+		}
+		out = append(out, fmt.Sprintf("Sort(%s)", strings.Join(keys, ", ")))
+	}
+	if p.limit >= 0 || p.offset > 0 {
+		if p.offset > 0 {
+			out = append(out, fmt.Sprintf("Limit(%d offset %d)", p.limit, p.offset))
+		} else {
+			out = append(out, fmt.Sprintf("Limit(%d)", p.limit))
+		}
+	}
+	return out
+}
+
+// renderOperand prints an expression leaf for EXPLAIN output.
+func renderOperand(op operand) string {
+	switch {
+	case op.IsPlacehold:
+		return "?"
+	case op.IsLit:
+		if _, isStr := op.Lit.(string); isStr {
+			return "'" + op.Lit.(string) + "'"
+		}
+		return FormatValue(op.Lit)
+	default:
+		return op.Col.String()
+	}
+}
+
+// renderBool prints a predicate tree for EXPLAIN output.
+func renderBool(e boolExpr) string {
+	switch t := e.(type) {
+	case andExpr:
+		return renderBool(t.L) + " and " + renderBool(t.R)
+	case orExpr:
+		return "(" + renderBool(t.L) + " or " + renderBool(t.R) + ")"
+	case notExpr:
+		return "not (" + renderBool(t.E) + ")"
+	case cmpExpr:
+		return fmt.Sprintf("%s %s %s", t.Col, t.Op, renderOperand(t.Rhs))
+	case likeExpr:
+		op := "like"
+		if t.Neg {
+			op = "not like"
+		}
+		return fmt.Sprintf("%s %s %s", t.Col, op, renderOperand(t.Rhs))
+	case inExpr:
+		var vals []string
+		for _, o := range t.Set {
+			vals = append(vals, renderOperand(o))
+		}
+		op := "in"
+		if t.Neg {
+			op = "not in"
+		}
+		return fmt.Sprintf("%s %s (%s)", t.Col, op, strings.Join(vals, ", "))
+	case nullExpr:
+		if t.Neg {
+			return fmt.Sprintf("%s is not null", t.Col)
+		}
+		return fmt.Sprintf("%s is null", t.Col)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

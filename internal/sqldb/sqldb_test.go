@@ -594,7 +594,7 @@ func TestStatementCache(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, cached := db.stmts.get(q); !cached {
+	if _, cached := db.stmts.get(q, db.IndexEpoch()); !cached {
 		t.Fatal("statement not cached")
 	}
 	if db.StmtCacheHits() < 9 {

@@ -13,7 +13,11 @@ import (
 // inlined into the text) can no longer grow the cache without bound.
 const defaultStmtCacheSize = 256
 
-// stmtCache is a small LRU over parsed statements keyed by SQL text.
+// stmtCache is a small LRU over parsed-and-planned statements keyed by
+// SQL text. Every entry records the index epoch its plan was built
+// under; an entry from an older epoch is a miss (and is evicted), so a
+// CreateIndex invalidates every cached plan instead of leaving stale
+// full-scan plans resident.
 type stmtCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -25,8 +29,9 @@ type stmtCache struct {
 }
 
 type stmtCacheEntry struct {
-	sql string
-	s   stmt
+	sql   string
+	s     stmt
+	epoch int64 // index epoch the plan was built under
 }
 
 func newStmtCache(capacity int) *stmtCache {
@@ -40,9 +45,11 @@ func newStmtCache(capacity int) *stmtCache {
 	}
 }
 
-// get looks a statement up, counting the hit or miss and refreshing
-// recency on a hit.
-func (c *stmtCache) get(sql string) (stmt, bool) {
+// get looks a statement up at the current index epoch, counting the hit
+// or miss and refreshing recency on a hit. An entry planned under an
+// older epoch is evicted and reported as a miss — the caller reparses
+// and replans.
+func (c *stmtCache) get(sql string, epoch int64) (stmt, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[sql]
@@ -50,22 +57,34 @@ func (c *stmtCache) get(sql string) (stmt, bool) {
 		c.misses.Inc()
 		return nil, false
 	}
+	ent := el.Value.(*stmtCacheEntry)
+	if ent.epoch != epoch {
+		c.order.Remove(el)
+		delete(c.m, sql)
+		c.misses.Inc()
+		return nil, false
+	}
 	c.hits.Inc()
 	c.order.MoveToFront(el)
-	return el.Value.(*stmtCacheEntry).s, true
+	return ent.s, true
 }
 
-// put inserts a parsed statement, evicting the least recently used
-// entry when the cache is full. A concurrent insert of the same SQL
-// (two goroutines parsing the same miss) collapses to one entry.
-func (c *stmtCache) put(sql string, s stmt) {
+// put inserts a parsed statement planned at epoch, evicting the least
+// recently used entry when the cache is full. A concurrent insert of
+// the same SQL (two goroutines parsing the same miss) keeps the newer
+// epoch.
+func (c *stmtCache) put(sql string, s stmt, epoch int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[sql]; ok {
+		ent := el.Value.(*stmtCacheEntry)
+		if epoch > ent.epoch {
+			ent.s, ent.epoch = s, epoch
+		}
 		c.order.MoveToFront(el)
 		return
 	}
-	c.m[sql] = c.order.PushFront(&stmtCacheEntry{sql: sql, s: s})
+	c.m[sql] = c.order.PushFront(&stmtCacheEntry{sql: sql, s: s, epoch: epoch})
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

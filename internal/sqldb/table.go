@@ -71,9 +71,10 @@ type table struct {
 	slots atomic.Pointer[[]*rowSlot] // published append-only slot arena
 	live  atomic.Int64               // rows visible at the latest timestamp
 
-	idxMu   sync.RWMutex // guards pk and indexes map access
+	idxMu   sync.RWMutex // guards pk, indexes, and ordered map access
 	pk      map[int64]int
 	indexes map[string]*hashIndex
+	ordered map[string]*orderedIndex
 
 	nextAuto int64 // auto-increment state; guarded by db.commitMu
 }
@@ -105,6 +106,7 @@ func newTable(s Schema) *table {
 		schema:  s,
 		pkCol:   -1,
 		indexes: make(map[string]*hashIndex, len(s.Indexes)),
+		ordered: make(map[string]*orderedIndex, len(s.Ordered)),
 	}
 	if s.PrimaryKey != "" {
 		t.pkCol = s.colIndex(s.PrimaryKey)
@@ -112,6 +114,9 @@ func newTable(s Schema) *table {
 	}
 	for _, name := range s.Indexes {
 		t.indexes[name] = &hashIndex{col: s.colIndex(name), m: make(map[Value][]int)}
+	}
+	for _, name := range s.Ordered {
+		t.ordered[name] = newOrderedIndex(s.colIndex(name))
 	}
 	empty := make([]*rowSlot, 0, 64)
 	t.slots.Store(&empty)
@@ -160,27 +165,57 @@ func (v tableView) lookupPK(key int64) (int, bool) {
 }
 
 // lookupIndex returns the (immutable) bucket of slot hints for an
-// indexed column value. The returned slice is a stable snapshot: it is
-// never mutated after being handed out.
-func (v tableView) lookupIndex(col string, val Value) ([]int, bool) {
+// indexed column value, trying the hash index first, then the ordered
+// index. The returned slice is a stable snapshot: it is never mutated
+// after being handed out. visited is the number of index entries
+// inspected (== len(ids) for a hash bucket, possibly more for an
+// ordered probe), for honest probe pricing.
+func (v tableView) lookupIndex(col string, val Value) (ids []int, visited int, ok bool) {
 	t := v.tbl
 	t.idxMu.RLock()
-	idx, ok := t.indexes[col]
-	if !ok {
-		t.idxMu.RUnlock()
-		return nil, false
-	}
-	ids := idx.m[val]
+	idx, hok := t.indexes[col]
+	oidx, ook := t.ordered[col]
 	t.idxMu.RUnlock()
-	return ids, true
+	if hok {
+		ids = idx.m[val]
+		return ids, len(ids), true
+	}
+	if ook {
+		ids, visited = oidx.state.Load().eq(val)
+		return ids, visited, true
+	}
+	return nil, 0, false
 }
 
-// hasIndex reports whether col is the primary key or a secondary index.
+// lookupOrdered returns the ordered index on col, if any.
+func (v tableView) lookupOrdered(col string) (*orderedIndex, bool) {
+	t := v.tbl
+	t.idxMu.RLock()
+	idx, ok := t.ordered[col]
+	t.idxMu.RUnlock()
+	return idx, ok
+}
+
+// hasIndex reports whether col is the primary key or a secondary
+// (hash or ordered) index.
 func (t *table) hasIndex(col string) bool {
 	if t.pkCol >= 0 && t.schema.Columns[t.pkCol].Name == col {
 		return true
 	}
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
 	_, ok := t.indexes[col]
+	if !ok {
+		_, ok = t.ordered[col]
+	}
+	return ok
+}
+
+// hasOrdered reports whether col carries an ordered index.
+func (t *table) hasOrdered(col string) bool {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	_, ok := t.ordered[col]
 	return ok
 }
 
@@ -252,6 +287,9 @@ func (t *table) applyInsert(row []Value, ts int64) int {
 		for _, idx := range t.indexes {
 			idx.add(row[idx.col], id)
 		}
+		for _, idx := range t.ordered {
+			idx.add(row[idx.col], id)
+		}
 		t.idxMu.Unlock()
 		t.live.Add(1)
 		return id
@@ -261,6 +299,9 @@ func (t *table) applyInsert(row []Value, ts int64) int {
 	id := t.appendSlot(slot)
 	t.idxMu.Lock()
 	for _, idx := range t.indexes {
+		idx.add(row[idx.col], id)
+	}
+	for _, idx := range t.ordered {
 		idx.add(row[idx.col], id)
 	}
 	t.idxMu.Unlock()
@@ -307,6 +348,14 @@ func (t *table) applyUpdate(id int, newRow []Value, ts, horizon int64) {
 			break
 		}
 	}
+	if !idxAdds {
+		for _, idx := range t.ordered {
+			if !valuesEqual(old[idx.col], newRow[idx.col]) {
+				idxAdds = true
+				break
+			}
+		}
+	}
 	pkMoved := false
 	var newKey int64
 	if t.pkCol >= 0 {
@@ -327,6 +376,11 @@ func (t *table) applyUpdate(id int, newRow []Value, ts, horizon int64) {
 			t.pk[newKey] = id
 		}
 		for _, idx := range t.indexes {
+			if !valuesEqual(old[idx.col], newRow[idx.col]) {
+				idx.add(newRow[idx.col], id)
+			}
+		}
+		for _, idx := range t.ordered {
 			if !valuesEqual(old[idx.col], newRow[idx.col]) {
 				idx.add(newRow[idx.col], id)
 			}
@@ -366,6 +420,72 @@ func pruneChain(from *rowVersion, horizon int64) {
 			return
 		}
 	}
+}
+
+// buildIndex constructs a secondary index on col (hash or ordered) from
+// the rows visible at the latest timestamp and installs it, replacing
+// any existing index on that column. Caller holds db.commitMu, so no
+// writer races the build; readers see the old index (or none) until the
+// install, which is fine — indexes are hints, and a plan chosen against
+// the pre-install state is still correct.
+func (t *table) buildIndex(col string, ordered bool) error {
+	ci := t.schema.colIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("sqldb: table %q has no column %q", t.schema.Table, col)
+	}
+	if t.pkCol == ci {
+		return fmt.Errorf("sqldb: table %q: column %q is the primary key", t.schema.Table, col)
+	}
+	slots := *t.slots.Load()
+	if ordered {
+		idx := newOrderedIndex(ci)
+		for id, s := range slots {
+			if data := s.visible(latestTS); data != nil {
+				idx.add(data[ci], id)
+			}
+		}
+		t.idxMu.Lock()
+		delete(t.indexes, col)
+		t.ordered[col] = idx
+		t.idxMu.Unlock()
+		return nil
+	}
+	idx := &hashIndex{col: ci, m: make(map[Value][]int)}
+	for id, s := range slots {
+		if data := s.visible(latestTS); data != nil {
+			idx.add(data[ci], id)
+		}
+	}
+	t.idxMu.Lock()
+	delete(t.ordered, col)
+	t.indexes[col] = idx
+	t.idxMu.Unlock()
+	return nil
+}
+
+// stats snapshots the planner's inputs for one table: live row count and
+// per-index distinct-value estimates.
+func (t *table) stats() tableStats {
+	st := tableStats{rows: t.live.Load(), distinct: make(map[string]int)}
+	t.idxMu.RLock()
+	for name, idx := range t.indexes {
+		d := len(idx.m)
+		if d < 1 {
+			d = 1
+		}
+		st.distinct[name] = d
+	}
+	for name, idx := range t.ordered {
+		st.distinct[name] = idx.state.Load().distinctVals()
+	}
+	t.idxMu.RUnlock()
+	return st
+}
+
+// tableStats is the planner's statistical view of one table.
+type tableStats struct {
+	rows     int64
+	distinct map[string]int // indexed column -> distinct value estimate
 }
 
 // pkHint returns the current pk map entry for key, which may be stale.

@@ -1,40 +1,3 @@
-// Package sqldb implements the embedded relational database that stands
-// in for the paper's MySQL 5.0 server.
-//
-// It supports the SQL surface the TPC-W bookstore needs — CREATE-less
-// schema registration, SELECT with WHERE / INNER JOIN / GROUP BY /
-// ORDER BY / LIMIT / LIKE, aggregate functions, INSERT, UPDATE, and
-// DELETE with '?' placeholders — plus the two behaviours the DSN'09
-// evaluation hinges on:
-//
-//   - per-table reader/writer locks, so the admin-response page's UPDATE
-//     on the hot item table must wait for in-flight read queries exactly
-//     as the paper describes; and
-//   - an injectable latency CostModel that charges paper-time for rows
-//     scanned, index probes, sorts, and writes, reproducing the paper's
-//     fast/slow page dichotomy (indexed point queries vs. large scans)
-//     at laptop scale.
-//
-// Storage is row-versioned: every committed DML statement stamps the
-// versions it installs with a dense per-database commit timestamp, and
-// a statement's rows are all-or-nothing — no reader at any timestamp
-// observes half of a multi-row UPDATE. Two concurrency disciplines
-// interpret that storage, selected by Options.MVCC / DB.SetMVCC:
-//
-//   - mvcc=off (default): any number of connections may execute
-//     concurrently; each statement locks the tables it touches (read or
-//     write) for its duration, like MySQL's MyISAM table locking that
-//     the paper's admin page contends on.
-//   - mvcc=on: SELECTs run lock-free against a pinned snapshot of the
-//     current commit timestamp, and DML commits optimistically with
-//     first-writer-wins conflict detection (ErrWriteConflict, counted
-//     by DB.Conflicts) and transparent retry inside Conn.Exec. Readers
-//     never block writers and writers never block readers; cost-model
-//     sleeps happen outside the engine's commit critical section.
-//
-// Either way every commit appends to the optional versioned replication
-// log (DB.EnableReplLog), which internal/dbtier ships to replicas, and
-// DB.Snapshot / DB.SnapshotAt expose pinned time-travel read views.
 package sqldb
 
 import (

@@ -64,6 +64,17 @@ const (
 	// ProbeDBResync counts replicas reintegrated into the rotation
 	// after catching up by log replay or snapshot resync (cumulative).
 	ProbeDBResync = "db.resync"
+	// ProbeDBPlanScan counts full-scan access paths executed across the
+	// tier — statements (or join inners) the planner could not serve
+	// from an index.
+	ProbeDBPlanScan = "db.plan.scan"
+	// ProbeDBPlanIndex counts index access paths executed across the
+	// tier: point lookups, range scans, index-order scans, and
+	// index-nested-loop join inners.
+	ProbeDBPlanIndex = "db.plan.index"
+	// ProbeDBPlanRows counts row versions visited by access paths —
+	// the planner's honest I/O volume.
+	ProbeDBPlanRows = "db.plan.rowsread"
 )
 
 // TierProvider is implemented by instances fronting a database tier;
@@ -86,16 +97,33 @@ func tierProbes(t *dbtier.Tier) []Probe {
 		{ProbeDBStmtMiss, func() float64 { return float64(t.StmtCacheMisses()) }},
 		{ProbeDBEjected, func() float64 { return float64(t.Ejected()) }},
 		{ProbeDBResync, func() float64 { return float64(t.Resyncs()) }},
+		{ProbeDBPlanScan, func() float64 { return float64(t.PlanScans()) }},
+		{ProbeDBPlanIndex, func() float64 { return float64(t.PlanIndexLookups()) }},
+		{ProbeDBPlanRows, func() float64 { return float64(t.PlanRowsRead()) }},
 	}
 }
 
 // dbEngineSettings decodes the storage-engine settings shared by every
-// variant: mvcc (snapshot reads + optimistic writes, default off) and
-// repl (replica apply mode, sync|async, default sync).
+// variant: mvcc (snapshot reads + optimistic writes, default off), repl
+// (replica apply mode, sync|async, default sync), and indexes (extra
+// TPC-W secondary indexes, on|off, default off). The indexes key is
+// consumed here only so builders validate it; the harness acts on it
+// before the variant is built (see IndexesEnabled), because the extra
+// indexes must exist on the primary before replicas are cloned from it.
 func dbEngineSettings(d *Decoder) (mvcc, replAsync bool) {
 	mvcc = d.Bool("mvcc", false)
 	replAsync = d.Enum("repl", "sync", "sync", "async") == "async"
+	d.Bool("indexes", false)
 	return mvcc, replAsync
+}
+
+// IndexesEnabled reports whether the indexes=on|off setting asks for
+// the extra TPC-W secondary indexes. The harness consults it during
+// database population — before any variant builder runs — so it decodes
+// just this key without the Decoder's strict unknown-key check.
+func IndexesEnabled(explicit, defaults Settings) bool {
+	d := NewSettingsDecoder(explicit, defaults)
+	return d.Bool("indexes", false)
 }
 
 func init() {
